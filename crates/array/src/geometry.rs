@@ -1,0 +1,163 @@
+//! Array element layouts.
+//!
+//! The paper's testbed is an 8×8 uniform planar array with λ/2 spacing that
+//! beamforms only in azimuth (all elevation weights identical, §5.1). That
+//! makes its azimuth behaviour identical to an 8-element uniform linear
+//! array with 8× the element count feeding power. We model both:
+//! [`ArrayGeometry::Ula`] for azimuth-cut analysis and
+//! [`ArrayGeometry::Upa`] when the planar structure matters.
+
+/// Geometry of a phased array. Spacing is expressed in wavelengths
+/// (the testbed uses `d = λ/2`, i.e. `0.5`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrayGeometry {
+    /// Uniform linear array along the azimuth axis.
+    Ula {
+        /// Number of elements.
+        n: usize,
+        /// Element spacing in wavelengths.
+        spacing_wl: f64,
+    },
+    /// Uniform planar array; azimuth steering across `nx`, elevation across
+    /// `ny`.
+    Upa {
+        /// Elements along the azimuth axis.
+        nx: usize,
+        /// Elements along the elevation axis.
+        ny: usize,
+        /// Element spacing in wavelengths (same on both axes).
+        spacing_wl: f64,
+    },
+}
+
+impl ArrayGeometry {
+    /// Standard λ/2-spaced ULA with `n` elements.
+    pub fn ula(n: usize) -> Self {
+        assert!(n > 0, "array needs at least one element");
+        ArrayGeometry::Ula { n, spacing_wl: 0.5 }
+    }
+
+    /// The paper's 8×8 λ/2 planar array.
+    pub fn paper_8x8() -> Self {
+        ArrayGeometry::Upa { nx: 8, ny: 8, spacing_wl: 0.5 }
+    }
+
+    /// λ/2-spaced UPA.
+    pub fn upa(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "array needs at least one element per axis");
+        ArrayGeometry::Upa { nx, ny, spacing_wl: 0.5 }
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> usize {
+        match *self {
+            ArrayGeometry::Ula { n, .. } => n,
+            ArrayGeometry::Upa { nx, ny, .. } => nx * ny,
+        }
+    }
+
+    /// Number of elements along the azimuth axis (what determines azimuth
+    /// beamwidth).
+    pub fn azimuth_elements(&self) -> usize {
+        match *self {
+            ArrayGeometry::Ula { n, .. } => n,
+            ArrayGeometry::Upa { nx, .. } => nx,
+        }
+    }
+
+    /// Element spacing in wavelengths.
+    pub fn spacing_wl(&self) -> f64 {
+        match *self {
+            ArrayGeometry::Ula { spacing_wl, .. } | ArrayGeometry::Upa { spacing_wl, .. } => {
+                spacing_wl
+            }
+        }
+    }
+
+    /// Position of element `i` along the azimuth axis, in wavelengths.
+    /// For a UPA, elements are indexed row-major (azimuth fastest).
+    pub fn azimuth_position_wl(&self, i: usize) -> f64 {
+        match *self {
+            ArrayGeometry::Ula { n, spacing_wl } => {
+                assert!(i < n, "element index out of range");
+                i as f64 * spacing_wl
+            }
+            ArrayGeometry::Upa { nx, ny, spacing_wl } => {
+                assert!(i < nx * ny, "element index out of range");
+                (i % nx) as f64 * spacing_wl
+            }
+        }
+    }
+
+    /// Position of element `i` along the elevation axis, in wavelengths
+    /// (always 0 for a ULA).
+    pub fn elevation_position_wl(&self, i: usize) -> f64 {
+        match *self {
+            ArrayGeometry::Ula { n, .. } => {
+                assert!(i < n, "element index out of range");
+                0.0
+            }
+            ArrayGeometry::Upa { nx, ny, spacing_wl } => {
+                assert!(i < nx * ny, "element index out of range");
+                (i / nx) as f64 * spacing_wl
+            }
+        }
+    }
+
+    /// Azimuth-cut equivalent ULA (the view the beam-management algorithms
+    /// operate on; the paper only steers azimuth).
+    pub fn azimuth_cut(&self) -> ArrayGeometry {
+        match *self {
+            ula @ ArrayGeometry::Ula { .. } => ula,
+            ArrayGeometry::Upa { nx, spacing_wl, .. } => {
+                ArrayGeometry::Ula { n: nx, spacing_wl }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ula_positions() {
+        let g = ArrayGeometry::ula(4);
+        assert_eq!(g.num_elements(), 4);
+        assert_eq!(g.azimuth_elements(), 4);
+        assert_eq!(g.azimuth_position_wl(0), 0.0);
+        assert_eq!(g.azimuth_position_wl(3), 1.5);
+        assert_eq!(g.elevation_position_wl(3), 0.0);
+    }
+
+    #[test]
+    fn upa_positions_row_major() {
+        let g = ArrayGeometry::paper_8x8();
+        assert_eq!(g.num_elements(), 64);
+        assert_eq!(g.azimuth_elements(), 8);
+        // element 9 = row 1, col 1
+        assert_eq!(g.azimuth_position_wl(9), 0.5);
+        assert_eq!(g.elevation_position_wl(9), 0.5);
+        // element 7 = row 0, col 7
+        assert_eq!(g.azimuth_position_wl(7), 3.5);
+        assert_eq!(g.elevation_position_wl(7), 0.0);
+    }
+
+    #[test]
+    fn azimuth_cut_of_upa_is_ula() {
+        let g = ArrayGeometry::paper_8x8().azimuth_cut();
+        assert_eq!(g, ArrayGeometry::Ula { n: 8, spacing_wl: 0.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn position_bounds_checked() {
+        ArrayGeometry::ula(4).azimuth_position_wl(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn rejects_empty_array() {
+        ArrayGeometry::ula(0);
+    }
+}

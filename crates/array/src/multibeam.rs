@@ -1,0 +1,280 @@
+//! Constructive multi-beam synthesis.
+//!
+//! The paper's core beamforming object (Eq. 10 for two beams, Eq. 29 for K):
+//!
+//! ```text
+//! w(φ₁..φ_K, δ..., σ...) = ( Σ_b δ_b·e^{-jσ_b}·w_{φ_b} ) / ‖·‖
+//! ```
+//!
+//! Each component carries an angle, a relative amplitude `δ_b` (δ₁ = 1 by
+//! convention — the first beam is the reference), and a relative phase
+//! `σ_b`. The denominator restores `‖w‖ = 1`, conserving total radiated
+//! power, so splitting into more beams never radiates more energy — the
+//! SNR gain comes purely from coherent combining at the receiver.
+
+use crate::geometry::ArrayGeometry;
+use crate::steering::single_beam;
+use crate::weights::BeamWeights;
+use mmwave_dsp::complex::Complex64;
+
+/// One constituent beam of a multi-beam.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BeamComponent {
+    /// Steering angle, degrees.
+    pub angle_deg: f64,
+    /// Relative amplitude δ (linear, ≥ 0; the reference beam uses 1.0).
+    pub amplitude: f64,
+    /// Relative phase σ, radians.
+    pub phase_rad: f64,
+}
+
+impl BeamComponent {
+    /// Reference component: amplitude 1, phase 0.
+    pub fn reference(angle_deg: f64) -> Self {
+        Self { angle_deg, amplitude: 1.0, phase_rad: 0.0 }
+    }
+
+    /// Component with explicit relative amplitude/phase.
+    pub fn new(angle_deg: f64, amplitude: f64, phase_rad: f64) -> Self {
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        Self { angle_deg, amplitude, phase_rad }
+    }
+
+    /// Complex coefficient `δ·e^{-jσ}` this component contributes
+    /// (the conjugated sign matches paper Eq. 10: the weight *cancels* the
+    /// channel's relative phase).
+    pub fn coefficient(&self) -> Complex64 {
+        Complex64::from_polar(self.amplitude, -self.phase_rad)
+    }
+}
+
+/// A multi-beam: an ordered set of [`BeamComponent`]s. Index 0 is the
+/// reference beam (strongest path, usually LOS).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiBeam {
+    components: Vec<BeamComponent>,
+}
+
+impl MultiBeam {
+    /// Builds a multi-beam from components. Panics on empty input.
+    pub fn new(components: Vec<BeamComponent>) -> Self {
+        assert!(!components.is_empty(), "multi-beam needs at least one component");
+        Self { components }
+    }
+
+    /// Degenerate single beam toward `angle_deg`.
+    pub fn single(angle_deg: f64) -> Self {
+        Self::new(vec![BeamComponent::reference(angle_deg)])
+    }
+
+    /// The paper's 2-beam constructor `w(φ₁, φ₂, δ, σ)` (Eq. 10).
+    pub fn two_beam(phi1_deg: f64, phi2_deg: f64, delta: f64, sigma_rad: f64) -> Self {
+        Self::new(vec![
+            BeamComponent::reference(phi1_deg),
+            BeamComponent::new(phi2_deg, delta, sigma_rad),
+        ])
+    }
+
+    /// Number of constituent beams (K).
+    pub fn num_beams(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Component accessor.
+    pub fn component(&self, k: usize) -> &BeamComponent {
+        &self.components[k]
+    }
+
+    /// Mutable component accessor (used by the tracker to realign beams).
+    pub fn component_mut(&mut self, k: usize) -> &mut BeamComponent {
+        &mut self.components[k]
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[BeamComponent] {
+        &self.components
+    }
+
+    /// Steering angles of all beams, degrees.
+    pub fn angles_deg(&self) -> Vec<f64> {
+        self.components.iter().map(|c| c.angle_deg).collect()
+    }
+
+    /// Removes beam `k` (blockage response: §4.1 re-purposes its power to
+    /// the surviving beams — which happens automatically through the final
+    /// normalization in [`MultiBeam::weights`]). Panics if it is the last
+    /// remaining beam.
+    pub fn drop_beam(&mut self, k: usize) -> BeamComponent {
+        assert!(self.components.len() > 1, "cannot drop the last beam");
+        self.components.remove(k)
+    }
+
+    /// Adds a beam component.
+    pub fn add_beam(&mut self, c: BeamComponent) {
+        self.components.push(c);
+    }
+
+    /// Fraction of transmit power each beam carries, under the
+    /// well-separated-beams approximation (`|⟨w_i, w_j⟩| ≈ 0`):
+    /// `p_b = δ_b² / Σ δ²`.
+    pub fn power_fractions(&self) -> Vec<f64> {
+        let total: f64 = self.components.iter().map(|c| c.amplitude * c.amplitude).sum();
+        if total == 0.0 {
+            return vec![0.0; self.components.len()];
+        }
+        self.components
+            .iter()
+            .map(|c| c.amplitude * c.amplitude / total)
+            .collect()
+    }
+
+    /// Synthesizes the unit-TRP weight vector on the given array
+    /// (paper Eq. 10 / Eq. 29).
+    pub fn weights(&self, geom: &ArrayGeometry) -> BeamWeights {
+        let beams: Vec<BeamWeights> = self
+            .components
+            .iter()
+            .map(|c| single_beam(geom, c.angle_deg))
+            .collect();
+        let parts: Vec<(Complex64, &BeamWeights)> = self
+            .components
+            .iter()
+            .zip(&beams)
+            .map(|(c, w)| (c.coefficient(), w))
+            .collect();
+        let mut combo = BeamWeights::linear_combination(&parts);
+        combo.renormalize();
+        combo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{array_factor, power_gain_db};
+    use crate::steering::steering_vector;
+
+    #[test]
+    fn single_component_equals_single_beam() {
+        let g = ArrayGeometry::ula(8);
+        let mb = MultiBeam::single(12.0).weights(&g);
+        let sb = single_beam(&g, 12.0);
+        for (a, b) in mb.as_slice().iter().zip(sb.as_slice()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_are_unit_norm() {
+        let g = ArrayGeometry::ula(16);
+        let mb = MultiBeam::two_beam(0.0, 30.0, 0.7, 1.2);
+        assert!((mb.weights(&g).norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_beam_pattern_has_two_lobes() {
+        let g = ArrayGeometry::ula(16);
+        let mb = MultiBeam::two_beam(-20.0, 25.0, 1.0, 0.0);
+        let w = mb.weights(&g);
+        let lobe1 = power_gain_db(&g, &w, -20.0);
+        let lobe2 = power_gain_db(&g, &w, 25.0);
+        let valley = power_gain_db(&g, &w, 2.0);
+        assert!(lobe1 > valley + 6.0, "lobe1 {lobe1} valley {valley}");
+        assert!(lobe2 > valley + 6.0, "lobe2 {lobe2} valley {valley}");
+    }
+
+    #[test]
+    fn equal_split_halves_per_beam_power() {
+        // δ = 1: each lobe's peak array factor power is ≈ N/2 (vs N for a
+        // dedicated single beam) — the paper's intuition from §1.
+        let g = ArrayGeometry::ula(16);
+        let mb = MultiBeam::two_beam(-25.0, 25.0, 1.0, 0.0);
+        let w = mb.weights(&g);
+        let p1 = array_factor(&g, &w, -25.0).norm_sqr();
+        let p2 = array_factor(&g, &w, 25.0).norm_sqr();
+        assert!((p1 - 8.0).abs() < 0.5, "p1 {p1}");
+        assert!((p2 - 8.0).abs() < 0.5, "p2 {p2}");
+    }
+
+    #[test]
+    fn power_fractions_sum_to_one() {
+        let mb = MultiBeam::new(vec![
+            BeamComponent::reference(0.0),
+            BeamComponent::new(20.0, 0.5, 0.3),
+            BeamComponent::new(-35.0, 0.25, 2.0),
+        ]);
+        let f = mb.power_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // δ = 0.5 → power fraction 0.25/1.3125
+        assert!((f[1] - 0.25 / 1.3125).abs() < 1e-12);
+        assert!(f[0] > f[1] && f[1] > f[2]);
+    }
+
+    #[test]
+    fn coefficient_conjugates_phase() {
+        let c = BeamComponent::new(0.0, 2.0, 0.5);
+        let z = c.coefficient();
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructive_combining_beats_mismatched_phase() {
+        // Channel: two equal paths, second with phase σ. Weight matched to σ
+        // must beat weight with opposite phase.
+        let g = ArrayGeometry::ula(16);
+        let (phi1, phi2) = (-15.0, 35.0);
+        let sigma = 1.0;
+        // Effective channel: h = a(φ1) + e^{jσ}·a(φ2)
+        let a1 = steering_vector(&g, phi1);
+        let a2 = steering_vector(&g, phi2);
+        let h: Vec<Complex64> = a1
+            .iter()
+            .zip(&a2)
+            .map(|(x, y)| *x + Complex64::cis(sigma) * *y)
+            .collect();
+        let matched = MultiBeam::two_beam(phi1, phi2, 1.0, sigma).weights(&g);
+        let mismatched =
+            MultiBeam::two_beam(phi1, phi2, 1.0, sigma + std::f64::consts::PI).weights(&g);
+        let p_m = matched.apply(&h).norm_sqr();
+        let p_x = mismatched.apply(&h).norm_sqr();
+        assert!(p_m > 3.0 * p_x, "matched {p_m} vs mismatched {p_x}");
+    }
+
+    #[test]
+    fn drop_beam_removes_and_renormalizes() {
+        let g = ArrayGeometry::ula(8);
+        let mut mb = MultiBeam::two_beam(0.0, 30.0, 1.0, 0.0);
+        let dropped = mb.drop_beam(1);
+        assert_eq!(dropped.angle_deg, 30.0);
+        assert_eq!(mb.num_beams(), 1);
+        // Power re-purposed: the remaining beam gets the full TRP.
+        let w = mb.weights(&g);
+        let p = array_factor(&g, &w, 0.0).norm_sqr();
+        assert!((p - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "last beam")]
+    fn cannot_drop_last_beam() {
+        MultiBeam::single(0.0).drop_beam(0);
+    }
+
+    #[test]
+    fn three_beam_construction() {
+        let g = ArrayGeometry::ula(16);
+        let mb = MultiBeam::new(vec![
+            BeamComponent::reference(0.0),
+            BeamComponent::new(30.0, 0.6, 0.4),
+            BeamComponent::new(-40.0, 0.4, -1.0),
+        ]);
+        assert_eq!(mb.num_beams(), 3);
+        let w = mb.weights(&g);
+        assert!((w.norm() - 1.0).abs() < 1e-12);
+        // All three lobes present.
+        for angle in [0.0, 30.0, -40.0] {
+            let gain = power_gain_db(&g, &w, angle);
+            assert!(gain > 0.0, "lobe at {angle}: {gain} dB");
+        }
+    }
+}

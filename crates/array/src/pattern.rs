@@ -1,0 +1,259 @@
+//! Far-field beam patterns and their inversion.
+//!
+//! The tracking algorithm (paper §4.2, Eq. 18–20) works by reading a change
+//! in per-beam received power and inverting the transmit beam pattern
+//! `G_T(θ)` to recover the angular deviation `φ_k(t)`. This module provides:
+//!
+//! - the exact array factor of any weight vector ([`array_factor`]),
+//! - the closed-form normalized ULA pattern (the Dirichlet kernel — the
+//!   paper's Eq. 20 up to its typo; we use the standard
+//!   `sin(Nψ/2)/(N·sin(ψ/2))` form),
+//! - main-lobe metrics (HPBW, first null),
+//! - the inverse-gain lookup `ΔdB → |Δθ|` used by the tracker.
+
+use crate::geometry::ArrayGeometry;
+use crate::steering::steering_vector;
+use crate::weights::BeamWeights;
+use mmwave_dsp::complex::Complex64;
+use mmwave_dsp::units::db_from_pow;
+use std::f64::consts::PI;
+
+/// Complex array factor of weights `w` observed at departure angle
+/// `theta_deg`: `AF(θ) = a(θ)ᵀ·w`.
+pub fn array_factor(geom: &ArrayGeometry, w: &BeamWeights, theta_deg: f64) -> Complex64 {
+    let a = steering_vector(geom, theta_deg);
+    w.apply(&a)
+}
+
+/// Power gain (dB) of `w` at angle `theta_deg`: `10·log₁₀|AF(θ)|²`.
+pub fn power_gain_db(geom: &ArrayGeometry, w: &BeamWeights, theta_deg: f64) -> f64 {
+    db_from_pow(array_factor(geom, w, theta_deg).norm_sqr().max(1e-30))
+}
+
+/// Samples the power pattern (linear) across `angles_deg`.
+pub fn pattern_cut(geom: &ArrayGeometry, w: &BeamWeights, angles_deg: &[f64]) -> Vec<f64> {
+    angles_deg
+        .iter()
+        .map(|&t| array_factor(geom, w, t).norm_sqr())
+        .collect()
+}
+
+/// Normalized ULA amplitude pattern (Dirichlet kernel) for an `n`-element
+/// array with `spacing_wl` spacing, steered to `steer_deg`, observed at
+/// `theta_deg`. Returns a value in `[0, 1]` with 1 at the steering angle.
+///
+/// This is the closed form behind the paper's Eq. 20 (which the tracking
+/// algorithm inverts); it agrees with [`array_factor`] of a conjugate beam.
+pub fn ula_gain_rel(n: usize, spacing_wl: f64, steer_deg: f64, theta_deg: f64) -> f64 {
+    assert!(n > 0);
+    let psi = 2.0 * PI * spacing_wl * (theta_deg.to_radians().sin() - steer_deg.to_radians().sin());
+    dirichlet(n, psi).abs()
+}
+
+/// `sin(Nψ/2) / (N·sin(ψ/2))`, the normalized aperiodic array factor.
+fn dirichlet(n: usize, psi: f64) -> f64 {
+    let half = psi / 2.0;
+    if half.sin().abs() < 1e-12 {
+        // ψ near a multiple of 2π: lobe peak.
+        1.0
+    } else {
+        (n as f64 * half).sin() / (n as f64 * half.sin())
+    }
+}
+
+/// Half-power (−3 dB) beamwidth in degrees of a conjugate beam steered to
+/// `steer_deg`, found numerically on the true pattern.
+pub fn hpbw_deg(geom: &ArrayGeometry, steer_deg: f64) -> f64 {
+    let n = geom.azimuth_elements();
+    let d = geom.spacing_wl();
+    let target = std::f64::consts::FRAC_1_SQRT_2; // amplitude at −3 dB
+    let right = offset_for_rel_gain(n, d, steer_deg, target, 1.0);
+    let left = offset_for_rel_gain(n, d, steer_deg, target, -1.0);
+    right + left
+}
+
+/// Offset (degrees, positive) from the steering angle to the first pattern
+/// null on the `sign` side.
+pub fn first_null_offset_deg(geom: &ArrayGeometry, steer_deg: f64, sign: f64) -> f64 {
+    let n = geom.azimuth_elements() as f64;
+    let d = geom.spacing_wl();
+    // Null when ψ·N/2 = π → sinθ = sin(steer) ± 1/(N·d)
+    let s = steer_deg.to_radians().sin() + sign.signum() / (n * d);
+    if s.abs() > 1.0 {
+        return 90.0 - steer_deg.abs();
+    }
+    (s.asin().to_degrees() - steer_deg).abs()
+}
+
+/// Inverse-gain lookup: given a measured power drop `drop_db` (positive dB)
+/// relative to the beam peak, returns the angular deviation `|Δθ|` in
+/// degrees that explains it, assuming the user stayed within the main lobe.
+/// Returns `None` if the drop exceeds the main-lobe dynamic range (deviation
+/// past the first null can't be inverted unambiguously).
+///
+/// This is the `G_T⁻¹` of the paper's Eq. 19: the sign of Δθ is inherently
+/// ambiguous and is resolved by the extra probe (§4.2).
+pub fn invert_gain_drop(
+    geom: &ArrayGeometry,
+    steer_deg: f64,
+    drop_db: f64,
+) -> Option<f64> {
+    if drop_db <= 0.0 {
+        return Some(0.0);
+    }
+    let n = geom.azimuth_elements();
+    let d = geom.spacing_wl();
+    // Target relative amplitude: a power drop of `drop_db` corresponds to
+    // an amplitude ratio of 10^(-drop_db/20).
+    let target = mmwave_dsp::units::amp_from_db(-drop_db);
+    // Inversion is only trusted over the practically-monotone part of the
+    // main lobe (out to 95% of the first null, ≈25 dB of dynamic range for
+    // an 8-element array); deeper fades are blockage, not misalignment.
+    let null = first_null_offset_deg(geom, steer_deg, 1.0);
+    let g_at_null_edge = ula_gain_rel(n, d, steer_deg, steer_deg + null * 0.95);
+    if target < g_at_null_edge {
+        return None; // drop too deep to attribute to main-lobe misalignment
+    }
+    Some(offset_for_rel_gain(n, d, steer_deg, target, 1.0))
+}
+
+/// Finds the offset (degrees ≥ 0) at which the relative amplitude pattern
+/// first decays to `target` on the `sign` side, by bisection over the main
+/// lobe.
+fn offset_for_rel_gain(n: usize, spacing_wl: f64, steer_deg: f64, target: f64, sign: f64) -> f64 {
+    let geom_null = {
+        let nf = n as f64;
+        let s = steer_deg.to_radians().sin() + sign.signum() / (nf * spacing_wl);
+        if s.abs() > 1.0 {
+            (90.0 * sign.signum() - steer_deg).abs()
+        } else {
+            (s.asin().to_degrees() - steer_deg).abs()
+        }
+    };
+    let mut lo = 0.0f64;
+    let mut hi = geom_null.max(1e-6);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let g = ula_gain_rel(n, spacing_wl, steer_deg, steer_deg + sign.signum() * mid);
+        if g > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steering::single_beam;
+
+    #[test]
+    fn dirichlet_peak_is_one() {
+        assert_eq!(dirichlet(8, 0.0), 1.0);
+        assert!((ula_gain_rel(8, 0.5, 20.0, 20.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_matches_true_array_factor() {
+        let g = ArrayGeometry::ula(8);
+        let steer = 15.0;
+        let w = single_beam(&g, steer);
+        let peak = array_factor(&g, &w, steer).abs();
+        for theta in [-40.0, -10.0, 0.0, 10.0, 15.0, 18.0, 30.0, 55.0] {
+            let exact = array_factor(&g, &w, theta).abs() / peak;
+            let closed = ula_gain_rel(8, 0.5, steer, theta);
+            assert!(
+                (exact - closed).abs() < 1e-9,
+                "θ={theta}: exact {exact} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_peak_at_steering_angle() {
+        let g = ArrayGeometry::ula(8);
+        let w = single_beam(&g, 30.0);
+        let angles: Vec<f64> = (-60..=60).map(|a| a as f64).collect();
+        let cut = pattern_cut(&g, &w, &angles);
+        let peak_idx = cut
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(angles[peak_idx], 30.0);
+    }
+
+    #[test]
+    fn peak_power_gain_is_n() {
+        // Unit-TRP conjugate beam: |AF|² = N at the steering angle.
+        let g = ArrayGeometry::ula(8);
+        let w = single_beam(&g, 0.0);
+        let gain = array_factor(&g, &w, 0.0).norm_sqr();
+        assert!((gain - 8.0).abs() < 1e-9);
+        assert!((power_gain_db(&g, &w, 0.0) - db_from_pow(8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpbw_shrinks_with_array_size() {
+        let b8 = hpbw_deg(&ArrayGeometry::ula(8), 0.0);
+        let b16 = hpbw_deg(&ArrayGeometry::ula(16), 0.0);
+        let b64 = hpbw_deg(&ArrayGeometry::ula(64), 0.0);
+        assert!(b8 > b16 && b16 > b64);
+        // Rule of thumb for λ/2 ULA: HPBW ≈ 102°/N
+        assert!((b8 - 102.0 / 8.0).abs() < 2.0, "hpbw8 {b8}");
+    }
+
+    #[test]
+    fn first_null_matches_theory() {
+        // N=8, d=λ/2 at broadside: null at asin(1/(8·0.5)) = asin(0.25) ≈ 14.48°
+        let g = ArrayGeometry::ula(8);
+        let null = first_null_offset_deg(&g, 0.0, 1.0);
+        assert!((null - 14.477).abs() < 0.01, "null {null}");
+        // The pattern really is tiny there.
+        let gain = ula_gain_rel(8, 0.5, 0.0, null);
+        assert!(gain < 1e-6);
+    }
+
+    #[test]
+    fn invert_gain_drop_round_trip() {
+        let g = ArrayGeometry::ula(8);
+        for steer in [0.0, 20.0] {
+            for dtheta in [1.0, 3.0, 6.0, 10.0] {
+                let gain = ula_gain_rel(8, 0.5, steer, steer + dtheta);
+                let drop_db = -db_from_pow(gain * gain);
+                let est = invert_gain_drop(&g, steer, drop_db).unwrap();
+                assert!(
+                    (est - dtheta).abs() < 0.05,
+                    "steer {steer} Δθ {dtheta}: est {est}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invert_gain_drop_zero_drop() {
+        let g = ArrayGeometry::ula(8);
+        assert_eq!(invert_gain_drop(&g, 0.0, 0.0), Some(0.0));
+        assert_eq!(invert_gain_drop(&g, 0.0, -3.0), Some(0.0));
+    }
+
+    #[test]
+    fn invert_gain_drop_rejects_beyond_null() {
+        let g = ArrayGeometry::ula(8);
+        // 60 dB drop is past anything the main lobe can explain.
+        assert_eq!(invert_gain_drop(&g, 0.0, 60.0), None);
+    }
+
+    #[test]
+    fn paper_motivating_numbers() {
+        // §4.2: "a mere angular movement of 14° would cause a 20 dB loss".
+        // For the 8-element azimuth cut, 14° is essentially at the first
+        // null, so the loss must exceed 20 dB.
+        let gain = ula_gain_rel(8, 0.5, 0.0, 14.0);
+        let loss_db = -db_from_pow(gain * gain);
+        assert!(loss_db > 20.0, "loss at 14°: {loss_db} dB");
+    }
+}

@@ -1,0 +1,206 @@
+//! Steering vectors and conjugate single-beam weights.
+//!
+//! Conventions follow the paper (Eq. 5–6): for a ULA with spacing `d` and a
+//! departure angle `φ` measured from broadside, the channel phase at element
+//! `n` is `e^{-j2π(d/λ)·n·sin φ}`; the matching single-beam weight conjugates
+//! it. Angles at this API are **degrees**.
+
+use crate::geometry::ArrayGeometry;
+use crate::weights::BeamWeights;
+use mmwave_dsp::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Steering vector `a(φ)` (paper's Appendix A): element `n` carries
+/// `e^{-j2π·(d/λ)·x_n·sin φ}` where `x_n` is its azimuth position in
+/// wavelengths. For a UPA an elevation angle of 0 is assumed.
+pub fn steering_vector(geom: &ArrayGeometry, aod_deg: f64) -> Vec<Complex64> {
+    steering_vector_az_el(geom, aod_deg, 0.0)
+}
+
+/// Steering vector with explicit azimuth and elevation departure angles.
+pub fn steering_vector_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> Vec<Complex64> {
+    let su = az_deg.to_radians().sin();
+    let sv = el_deg.to_radians().sin();
+    (0..geom.num_elements())
+        .map(|i| {
+            let phase = -2.0
+                * PI
+                * (geom.azimuth_position_wl(i) * su + geom.elevation_position_wl(i) * sv);
+            Complex64::cis(phase)
+        })
+        .collect()
+}
+
+/// Conjugate (maximum-ratio) single-beam weights toward `aod_deg`
+/// (paper Eq. 6): `w = a*(φ)/‖a(φ)‖`, unit-norm so TRP is conserved.
+pub fn single_beam(geom: &ArrayGeometry, aod_deg: f64) -> BeamWeights {
+    let a = steering_vector(geom, aod_deg);
+    let n = (a.len() as f64).sqrt();
+    BeamWeights::from_vec(a.into_iter().map(|v| v.conj() / n).collect())
+}
+
+/// Single-beam weights with explicit azimuth and elevation.
+pub fn single_beam_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> BeamWeights {
+    let a = steering_vector_az_el(geom, az_deg, el_deg);
+    let n = (a.len() as f64).sqrt();
+    BeamWeights::from_vec(a.into_iter().map(|v| v.conj() / n).collect())
+}
+
+/// A "wide" beam: only the central `active` azimuth elements are driven
+/// (rest muted), which broadens the main lobe at the cost of array gain.
+/// Used by the wide-beam baseline. Power is renormalized to unit TRP.
+pub fn wide_beam(geom: &ArrayGeometry, aod_deg: f64, active: usize) -> BeamWeights {
+    let n_az = geom.azimuth_elements();
+    let active = active.clamp(1, n_az);
+    let full = steering_vector(geom, aod_deg);
+    let start = (n_az - active) / 2;
+    let end = start + active;
+    let mut w: Vec<Complex64> = full
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let col = match geom {
+                ArrayGeometry::Ula { .. } => i,
+                ArrayGeometry::Upa { nx, .. } => i % nx,
+            };
+            if col >= start && col < end {
+                v.conj()
+            } else {
+                Complex64::ZERO
+            }
+        })
+        .collect();
+    mmwave_dsp::complex::normalize_in_place(&mut w);
+    BeamWeights::from_vec(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_dsp::complex::norm;
+
+    #[test]
+    fn steering_vector_has_unit_elements() {
+        let g = ArrayGeometry::ula(8);
+        for angle in [-60.0, -10.0, 0.0, 33.0] {
+            let a = steering_vector(&g, angle);
+            assert_eq!(a.len(), 8);
+            for v in &a {
+                assert!((v.abs() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn broadside_steering_is_all_ones() {
+        let g = ArrayGeometry::ula(8);
+        let a = steering_vector(&g, 0.0);
+        for v in &a {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_beam_unit_norm() {
+        let g = ArrayGeometry::ula(16);
+        for angle in [-45.0, 0.0, 12.0, 60.0] {
+            let w = single_beam(&g, angle);
+            assert!((norm(w.as_slice()) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beam_gain_is_sqrt_n_toward_target() {
+        // a(φ)ᵀ·w(φ) = √N for conjugate beamforming with unit TRP.
+        let g = ArrayGeometry::ula(8);
+        let angle = 25.0;
+        let a = steering_vector(&g, angle);
+        let w = single_beam(&g, angle);
+        let gain: Complex64 = a.iter().zip(w.as_slice()).map(|(x, y)| *x * *y).sum();
+        assert!((gain.abs() - (8f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_target_gain_is_lower() {
+        let g = ArrayGeometry::ula(8);
+        let w = single_beam(&g, 0.0);
+        let on: Complex64 = steering_vector(&g, 0.0)
+            .iter()
+            .zip(w.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        let off: Complex64 = steering_vector(&g, 30.0)
+            .iter()
+            .zip(w.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        assert!(off.abs() < on.abs() / 2.0);
+    }
+
+    #[test]
+    fn upa_azimuth_behaviour_matches_ula() {
+        // With elevation 0, a UPA's azimuth gain pattern matches its
+        // azimuth-cut ULA (up to the elevation-axis power factor).
+        let upa = ArrayGeometry::paper_8x8();
+        let ula = upa.azimuth_cut();
+        let angle = 20.0;
+        let w_upa = single_beam(&upa, angle);
+        let w_ula = single_beam(&ula, angle);
+        let g_upa: Complex64 = steering_vector(&upa, angle)
+            .iter()
+            .zip(w_upa.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        let g_ula: Complex64 = steering_vector(&ula, angle)
+            .iter()
+            .zip(w_ula.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        // 64-element array: √64 = 8; 8-element: √8.
+        assert!((g_upa.abs() - 8.0).abs() < 1e-9);
+        assert!((g_ula.abs() - 8f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_beam_unit_norm_and_wider() {
+        let g = ArrayGeometry::ula(8);
+        let narrow = single_beam(&g, 0.0);
+        let wide = wide_beam(&g, 0.0, 2);
+        assert!((norm(wide.as_slice()) - 1.0).abs() < 1e-12);
+        // Peak gain of the wide beam is lower...
+        let peak_n: Complex64 = steering_vector(&g, 0.0)
+            .iter()
+            .zip(narrow.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        let peak_w: Complex64 = steering_vector(&g, 0.0)
+            .iter()
+            .zip(wide.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        assert!(peak_w.abs() < peak_n.abs());
+        // ...but it holds up better at 15° off-boresight.
+        let off_n: Complex64 = steering_vector(&g, 15.0)
+            .iter()
+            .zip(narrow.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        let off_w: Complex64 = steering_vector(&g, 15.0)
+            .iter()
+            .zip(wide.as_slice())
+            .map(|(x, y)| *x * *y)
+            .sum();
+        assert!(off_w.abs() > off_n.abs());
+    }
+
+    #[test]
+    fn wide_beam_clamps_active_count() {
+        let g = ArrayGeometry::ula(4);
+        let w = wide_beam(&g, 0.0, 100);
+        // active clamped to 4 → identical to the full single beam
+        let s = single_beam(&g, 0.0);
+        for (a, b) in w.as_slice().iter().zip(s.as_slice()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Beamforming weight vectors.
+//!
+//! [`BeamWeights`] is the unit the rest of the system trades in: a complex
+//! weight per antenna element. The FCC total-radiated-power constraint the
+//! paper works under (§1) corresponds to `‖w‖ = 1`; constructors and
+//! combinators preserve or restore that invariant explicitly.
+
+use mmwave_dsp::complex::{norm, normalize_in_place, Complex64};
+
+/// A complex beamforming weight vector, one entry per antenna element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BeamWeights {
+    w: Vec<Complex64>,
+}
+
+impl BeamWeights {
+    /// Wraps a raw weight vector without normalizing. Panics on empty input.
+    pub fn from_vec(w: Vec<Complex64>) -> Self {
+        assert!(!w.is_empty(), "weight vector cannot be empty");
+        Self { w }
+    }
+
+    /// Wraps and normalizes to unit TRP (`‖w‖ = 1`).
+    pub fn from_vec_normalized(mut w: Vec<Complex64>) -> Self {
+        assert!(!w.is_empty(), "weight vector cannot be empty");
+        normalize_in_place(&mut w);
+        Self { w }
+    }
+
+    /// All-zero weights (radio muted) for an `n`-element array.
+    pub fn muted(n: usize) -> Self {
+        assert!(n > 0);
+        Self { w: vec![Complex64::ZERO; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if the vector is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Weight slice.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.w
+    }
+
+    /// Consumes into the raw vector.
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.w
+    }
+
+    /// Euclidean norm `‖w‖` (1.0 means full TRP budget in use).
+    pub fn norm(&self) -> f64 {
+        norm(&self.w)
+    }
+
+    /// Renormalizes to unit TRP in place.
+    pub fn renormalize(&mut self) {
+        normalize_in_place(&mut self.w);
+    }
+
+    /// Applies the weights to a per-element channel vector:
+    /// `y = hᵀ·w = Σ_n h[n]·w[n]` (paper Eq. 2, without noise).
+    pub fn apply(&self, h: &[Complex64]) -> Complex64 {
+        assert_eq!(h.len(), self.w.len(), "channel/weights length mismatch");
+        h.iter().zip(&self.w).map(|(a, b)| *a * *b).sum()
+    }
+
+    /// Linear combination `Σ cᵢ·wᵢ` of weight vectors, **not** renormalized
+    /// (callers that need unit TRP call [`BeamWeights::renormalize`]).
+    pub fn linear_combination(parts: &[(Complex64, &BeamWeights)]) -> Self {
+        assert!(!parts.is_empty(), "need at least one component");
+        let n = parts[0].1.len();
+        assert!(
+            parts.iter().all(|(_, w)| w.len() == n),
+            "all components must have equal length"
+        );
+        let mut out = vec![Complex64::ZERO; n];
+        for (c, w) in parts {
+            for (o, v) in out.iter_mut().zip(w.as_slice()) {
+                *o += *c * *v;
+            }
+        }
+        Self { w: out }
+    }
+
+    /// Per-element power `|w[n]|²`, useful for inspecting quantizer effects.
+    pub fn element_powers(&self) -> Vec<f64> {
+        self.w.iter().map(|v| v.norm_sqr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_dsp::complex::c64;
+
+    #[test]
+    fn normalized_constructor() {
+        let w = BeamWeights::from_vec_normalized(vec![c64(3.0, 0.0), c64(0.0, 4.0)]);
+        assert!((w.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn muted_has_zero_norm() {
+        let w = BeamWeights::muted(8);
+        assert_eq!(w.norm(), 0.0);
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn apply_is_inner_product_without_conjugation() {
+        // hᵀw, not hᴴw — matches the paper's transmit model.
+        let w = BeamWeights::from_vec(vec![c64(0.0, 1.0)]);
+        let y = w.apply(&[c64(0.0, 1.0)]);
+        assert!((y - c64(-1.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_combination_of_orthogonal_parts() {
+        let w1 = BeamWeights::from_vec(vec![Complex64::ONE, Complex64::ZERO]);
+        let w2 = BeamWeights::from_vec(vec![Complex64::ZERO, Complex64::ONE]);
+        let combo = BeamWeights::linear_combination(&[
+            (c64(0.5, 0.0), &w1),
+            (c64(0.0, 0.5), &w2),
+        ]);
+        assert_eq!(combo.as_slice()[0], c64(0.5, 0.0));
+        assert_eq!(combo.as_slice()[1], c64(0.0, 0.5));
+    }
+
+    #[test]
+    fn renormalize_restores_trp() {
+        let mut w = BeamWeights::from_vec(vec![c64(2.0, 0.0), c64(0.0, 2.0)]);
+        assert!(w.norm() > 1.0);
+        w.renormalize();
+        assert!((w.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn apply_checks_lengths() {
+        BeamWeights::muted(4).apply(&[Complex64::ONE; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        BeamWeights::from_vec(Vec::new());
+    }
+
+    #[test]
+    fn element_powers() {
+        let w = BeamWeights::from_vec(vec![c64(1.0, 1.0), c64(0.0, 2.0)]);
+        let p = w.element_powers();
+        assert!((p[0] - 2.0).abs() < 1e-12);
+        assert!((p[1] - 4.0).abs() < 1e-12);
+    }
+}

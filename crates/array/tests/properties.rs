@@ -1,0 +1,114 @@
+//! Property-based tests for the phased-array model.
+
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::multibeam::{BeamComponent, MultiBeam};
+use mmwave_array::pattern::{array_factor, invert_gain_drop, ula_gain_rel};
+use mmwave_array::quantize::Quantizer;
+use mmwave_array::steering::{single_beam, steering_vector};
+use mmwave_dsp::units::db_from_pow;
+use proptest::prelude::*;
+
+fn angle() -> impl Strategy<Value = f64> {
+    -60.0..60.0f64
+}
+
+proptest! {
+    #[test]
+    fn single_beam_always_unit_norm(n in 1usize..64, a in angle()) {
+        let w = single_beam(&ArrayGeometry::ula(n), a);
+        prop_assert!((w.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_gain_is_n_at_steering_angle(n in 1usize..64, a in angle()) {
+        let g = ArrayGeometry::ula(n);
+        let w = single_beam(&g, a);
+        let p = array_factor(&g, &w, a).norm_sqr();
+        prop_assert!((p - n as f64).abs() < 1e-6 * n as f64);
+    }
+
+    #[test]
+    fn gain_never_exceeds_n(n in 2usize..32, steer in angle(), theta in angle()) {
+        let g = ArrayGeometry::ula(n);
+        let w = single_beam(&g, steer);
+        let p = array_factor(&g, &w, theta).norm_sqr();
+        prop_assert!(p <= n as f64 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn closed_form_pattern_matches_array_factor(n in 2usize..32, steer in angle(), theta in angle()) {
+        let g = ArrayGeometry::ula(n);
+        let w = single_beam(&g, steer);
+        let exact = array_factor(&g, &w, theta).abs() / (n as f64).sqrt();
+        let closed = ula_gain_rel(n, 0.5, steer, theta);
+        prop_assert!((exact - closed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multibeam_weights_unit_norm(
+        phi1 in angle(), phi2 in angle(), delta in 0.01..1.5f64, sigma in 0.0..6.28f64
+    ) {
+        let mb = MultiBeam::two_beam(phi1, phi2, delta, sigma);
+        let w = mb.weights(&ArrayGeometry::ula(16));
+        prop_assert!((w.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multibeam_power_fractions_sum_to_one(
+        amps in prop::collection::vec(0.01..2.0f64, 1..5)
+    ) {
+        let comps: Vec<BeamComponent> = amps
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| BeamComponent::new(i as f64 * 10.0 - 20.0, a, 0.0))
+            .collect();
+        let mb = MultiBeam::new(comps);
+        let f = mb.power_fractions();
+        prop_assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn quantization_preserves_power(steer in angle(), n_exp in 2u32..6) {
+        let n = 1usize << n_exp;
+        let w = single_beam(&ArrayGeometry::ula(n), steer);
+        for q in [Quantizer::paper_array(), Quantizer::commercial_80211ad()] {
+            let out = q.quantize(&w);
+            prop_assert!((out.norm() - w.norm()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantized_beam_keeps_most_gain(steer in -55.0..55.0f64) {
+        let g = ArrayGeometry::ula(8);
+        let w = single_beam(&g, steer);
+        let q = Quantizer::paper_array().quantize(&w);
+        let ideal = array_factor(&g, &w, steer).abs();
+        let quant = array_factor(&g, &q, steer).abs();
+        prop_assert!(quant > 0.9 * ideal, "quantized gain {quant} vs {ideal}");
+    }
+
+    #[test]
+    fn invert_gain_drop_round_trips(steer in -30.0..30.0f64, frac in 0.05..0.85f64) {
+        // Pick a deviation within the main lobe, compute its drop, invert.
+        let g = ArrayGeometry::ula(8);
+        let null = mmwave_array::pattern::first_null_offset_deg(&g, steer, 1.0);
+        let dtheta = frac * null;
+        let gain = ula_gain_rel(8, 0.5, steer, steer + dtheta);
+        prop_assume!(gain > 1e-3);
+        let drop_db = -db_from_pow(gain * gain);
+        let est = invert_gain_drop(&g, steer, drop_db);
+        prop_assert!(est.is_some());
+        prop_assert!((est.unwrap() - dtheta).abs() < 0.1, "Δθ {dtheta} est {:?}", est);
+    }
+
+    #[test]
+    fn steering_vector_elements_unit_magnitude(n in 1usize..64, az in angle(), el in -30.0..30.0f64) {
+        let g = ArrayGeometry::upa(n.min(8).max(1), 4);
+        let a = mmwave_array::steering::steering_vector_az_el(&g, az, el);
+        for v in &a {
+            prop_assert!((v.abs() - 1.0).abs() < 1e-9);
+        }
+        let _ = steering_vector(&g, az);
+    }
+}

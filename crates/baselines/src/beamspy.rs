@@ -1,0 +1,233 @@
+//! BeamSpy-like baseline (Sur et al., NSDI '16).
+//!
+//! BeamSpy's insight: after one full training scan, the *spatial channel
+//! profile* predicts which alternate beam will work when the current one is
+//! blocked — so it can switch without a new scan. It remains a single-beam
+//! scheme, acts only after quality degrades, and its stored profile goes
+//! stale under mobility; both limitations show up in the paper's Fig. 18.
+
+use crate::strategy::BeamStrategy;
+use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
+use mmwave_array::codebook::Codebook;
+use mmwave_array::steering::single_beam;
+use mmwave_array::weights::BeamWeights;
+
+/// Configuration of the BeamSpy-like baseline.
+#[derive(Clone, Debug)]
+pub struct BeamSpyConfig {
+    /// Codebook size for the initial full scan.
+    pub codebook_beams: usize,
+    /// Angular span, degrees.
+    pub span_deg: f64,
+    /// SNR (dB) below which a switch is attempted.
+    pub outage_snr_db: f64,
+    /// Minimum angular separation for an "alternate" beam, degrees.
+    pub alternate_separation_deg: f64,
+    /// Full re-scan when even alternates fail this many times in a row.
+    pub fails_before_rescan: usize,
+    /// Protocol dead time before a *full* re-scan can run, seconds
+    /// (profile-predicted switches are BeamSpy's selling point and stay
+    /// instant).
+    pub recovery_latency_s: f64,
+}
+
+impl Default for BeamSpyConfig {
+    fn default() -> Self {
+        Self {
+            codebook_beams: 64,
+            span_deg: 120.0,
+            outage_snr_db: 6.0,
+            alternate_separation_deg: 10.0,
+            fails_before_rescan: 3,
+            recovery_latency_s: 0.1,
+        }
+    }
+}
+
+/// BeamSpy-like single-beam management with profile-based fallback.
+pub struct BeamSpy {
+    cfg: BeamSpyConfig,
+    /// Stored spatial profile: (angle, power) from the last full scan.
+    profile: Vec<(f64, f64)>,
+    current_idx: Option<usize>,
+    weights: Option<BeamWeights>,
+    consecutive_fails: usize,
+    /// Switches performed without a scan (evaluation counter).
+    pub profile_switches: usize,
+    /// Full scans performed (evaluation counter).
+    pub full_scans: usize,
+}
+
+impl BeamSpy {
+    /// Creates the baseline.
+    pub fn new(cfg: BeamSpyConfig) -> Self {
+        Self {
+            cfg,
+            profile: Vec::new(),
+            current_idx: None,
+            weights: None,
+            consecutive_fails: 0,
+            profile_switches: 0,
+            full_scans: 0,
+        }
+    }
+
+    /// Current beam angle.
+    pub fn beam_angle_deg(&self) -> Option<f64> {
+        self.current_idx.map(|i| self.profile[i].0)
+    }
+
+    fn full_scan(&mut self, fe: &mut dyn LinkFrontEnd) {
+        let geom = *fe.geometry();
+        let cb = Codebook::uniform(&geom, self.cfg.codebook_beams, self.cfg.span_deg);
+        self.profile = cb
+            .iter()
+            .map(|(angle, w)| {
+                let obs = fe.probe_kind(w, ProbeKind::Ssb);
+                (angle, obs.mean_power_mw())
+            })
+            .collect();
+        self.full_scans += 1;
+        self.consecutive_fails = 0;
+        self.pick_best(&geom, None);
+    }
+
+    /// Picks the strongest profile entry, optionally excluding directions
+    /// near `avoid_deg`.
+    fn pick_best(&mut self, geom: &mmwave_array::geometry::ArrayGeometry, avoid_deg: Option<f64>) {
+        let pick = self
+            .profile
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, _))| match avoid_deg {
+                Some(av) => (a - av).abs() >= self.cfg.alternate_separation_deg,
+                None => true,
+            })
+            .max_by(|(_, (_, p1)), (_, (_, p2))| p1.total_cmp(p2))
+            .map(|(i, _)| i);
+        if let Some(i) = pick {
+            self.current_idx = Some(i);
+            self.weights = Some(single_beam(geom, self.profile[i].0));
+        }
+    }
+}
+
+impl BeamStrategy for BeamSpy {
+    fn name(&self) -> &'static str {
+        "BeamSpy"
+    }
+
+    fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, _t_s: f64) {
+        if self.weights.is_none() {
+            self.full_scan(fe);
+            return;
+        }
+        let obs = fe.probe(self.weights.as_ref().expect("trained"));
+        if obs.snr_db() >= self.cfg.outage_snr_db {
+            self.consecutive_fails = 0;
+            return;
+        }
+        self.consecutive_fails += 1;
+        if self.consecutive_fails >= self.cfg.fails_before_rescan {
+            fe.wait(self.cfg.recovery_latency_s);
+            self.full_scan(fe);
+            return;
+        }
+        // Profile-predicted switch: best direction away from the failing one.
+        let geom = *fe.geometry();
+        let avoid = self.beam_angle_deg();
+        self.pick_best(&geom, avoid);
+        self.profile_switches += 1;
+    }
+
+    fn weights(&self) -> BeamWeights {
+        match &self.weights {
+            Some(w) => w.clone(),
+            None => BeamWeights::muted(64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmreliable::frontend::SnapshotFrontEnd;
+    use mmwave_array::geometry::ArrayGeometry;
+    use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+    use mmwave_channel::environment::Scene;
+    use mmwave_channel::geom2d::v2;
+    use mmwave_dsp::rng::Rng64;
+    use mmwave_dsp::units::FC_28GHZ;
+    use mmwave_phy::chanest::ChannelSounder;
+
+    fn frontend(seed: u64) -> SnapshotFrontEnd {
+        let scene = Scene::conference_room(FC_28GHZ);
+        let paths = scene.paths_to(v2(0.9, 7.0), 180.0);
+        SnapshotFrontEnd::new(
+            GeometricChannel::new(paths, FC_28GHZ),
+            ChannelSounder::paper_indoor(),
+            ArrayGeometry::paper_8x8(),
+            UeReceiver::Omni,
+            Rng64::seed(seed),
+        )
+    }
+
+    #[test]
+    fn initial_scan_builds_profile_and_picks_los() {
+        let mut fe = frontend(1);
+        let mut s = BeamSpy::new(BeamSpyConfig::default());
+        s.on_tick(&mut fe, 0.0);
+        assert_eq!(s.full_scans, 1);
+        assert_eq!(s.profile.len(), 64);
+        assert_eq!(fe.probes_used(), 64);
+        let angle = s.beam_angle_deg().unwrap();
+        assert!((angle - 7.3).abs() < 3.0, "beam at {angle}");
+    }
+
+    #[test]
+    fn blockage_switch_without_scan() {
+        let mut fe = frontend(2);
+        let mut s = BeamSpy::new(BeamSpyConfig::default());
+        s.on_tick(&mut fe, 0.0);
+        let probes_after_scan = fe.probes_used();
+        // A blocker in front of the UE occludes both collinear rays: the
+        // LOS and the far-wall bounce that returns along almost the same
+        // departure angle.
+        fe.channel.paths[0].blockage_db = 40.0;
+        fe.channel.paths[3].blockage_db = 40.0;
+        s.on_tick(&mut fe, 0.0);
+        // One maintenance probe, then a profile switch — no new scan.
+        assert_eq!(fe.probes_used() - probes_after_scan, 1);
+        assert_eq!(s.profile_switches, 1);
+        assert_eq!(s.full_scans, 1);
+        let angle = s.beam_angle_deg().unwrap();
+        assert!(angle.abs() > 10.0, "switched to a reflector: {angle}");
+    }
+
+    #[test]
+    fn repeated_failure_forces_rescan() {
+        let mut fe = frontend(3);
+        let mut s = BeamSpy::new(BeamSpyConfig::default());
+        s.on_tick(&mut fe, 0.0);
+        for p in fe.channel.paths.iter_mut() {
+            p.blockage_db = 50.0; // everything dead
+        }
+        for _ in 0..5 {
+            s.on_tick(&mut fe, 0.0);
+        }
+        assert!(s.full_scans >= 2, "should eventually re-scan");
+    }
+
+    #[test]
+    fn healthy_link_single_probe() {
+        let mut fe = frontend(4);
+        let mut s = BeamSpy::new(BeamSpyConfig::default());
+        s.on_tick(&mut fe, 0.0);
+        let before = fe.probes_used();
+        for _ in 0..4 {
+            s.on_tick(&mut fe, 0.0);
+        }
+        assert_eq!(fe.probes_used() - before, 4);
+        assert_eq!(s.profile_switches, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The common beam-management interface every evaluated scheme implements,
+//! plus the adapter that wraps [`MmReliableController`] in it.
+//!
+//! The simulator calls [`BeamStrategy::on_tick`] at every CSI-RS instant
+//! (giving the scheme its chance to probe and adapt) and reads
+//! [`BeamStrategy::weights`] for data transmission in between. Probing cost
+//! is charged by the front end itself, so schemes that probe more pay more
+//! airtime — the throughput-reliability numbers come out of one unified
+//! accounting.
+
+use mmreliable::controller::MmReliableController;
+use mmreliable::frontend::LinkFrontEnd;
+use mmwave_array::weights::BeamWeights;
+use mmwave_channel::channel::GeometricChannel;
+
+/// A beam-management scheme under evaluation.
+pub trait BeamStrategy {
+    /// Display name (figure labels).
+    fn name(&self) -> &'static str;
+
+    /// Called once per maintenance tick. The strategy may issue probes
+    /// through `fe` (each consumes airtime) and update its beam state.
+    fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, t_s: f64);
+
+    /// Weights currently used for data transmission.
+    fn weights(&self) -> BeamWeights;
+
+    /// Genie hook: called each slot with the true channel. Only the oracle
+    /// baseline uses it; real schemes must ignore it.
+    fn observe_truth(&mut self, _ch: &GeometricChannel) {}
+}
+
+/// [`BeamStrategy`] adapter for the mmReliable controller.
+pub struct MmReliableStrategy {
+    /// The wrapped controller.
+    pub controller: MmReliableController,
+}
+
+impl MmReliableStrategy {
+    /// Wraps a controller.
+    pub fn new(controller: MmReliableController) -> Self {
+        Self { controller }
+    }
+}
+
+impl BeamStrategy for MmReliableStrategy {
+    fn name(&self) -> &'static str {
+        "mmReliable"
+    }
+
+    fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, _t_s: f64) {
+        self.controller.maintenance_round(fe);
+    }
+
+    fn weights(&self) -> BeamWeights {
+        self.controller.current_weights()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmreliable::config::MmReliableConfig;
+    use mmreliable::frontend::SnapshotFrontEnd;
+    use mmwave_array::geometry::ArrayGeometry;
+    use mmwave_channel::channel::UeReceiver;
+    use mmwave_channel::environment::Scene;
+    use mmwave_channel::geom2d::v2;
+    use mmwave_dsp::rng::Rng64;
+    use mmwave_dsp::units::FC_28GHZ;
+    use mmwave_phy::chanest::ChannelSounder;
+
+    #[test]
+    fn adapter_establishes_on_first_tick() {
+        let scene = Scene::conference_room(FC_28GHZ);
+        let paths = scene.paths_to(v2(0.9, 7.0), 180.0);
+        let mut fe = SnapshotFrontEnd::new(
+            GeometricChannel::new(paths, FC_28GHZ),
+            ChannelSounder::paper_indoor(),
+            ArrayGeometry::paper_8x8(),
+            UeReceiver::Omni,
+            Rng64::seed(1),
+        );
+        let mut s = MmReliableStrategy::new(MmReliableController::new(
+            MmReliableConfig::paper_default(),
+        ));
+        assert_eq!(s.name(), "mmReliable");
+        s.on_tick(&mut fe, 0.0);
+        assert!(s.controller.multibeam().is_some());
+        let w = s.weights();
+        assert!((w.norm() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benches for the phased-array layer: the operations the
+//! beam-management FPGA performs per reconfiguration (§5.1: multi-beam
+//! weights are "simple addition and multiplication operations").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::multibeam::MultiBeam;
+use mmwave_array::pattern::{invert_gain_drop, pattern_cut};
+use mmwave_array::quantize::Quantizer;
+use mmwave_array::steering::single_beam;
+
+fn bench_single_beam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_beam_weights");
+    for n in [8usize, 64, 256] {
+        let geom = ArrayGeometry::ula(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| single_beam(&geom, 23.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multibeam_synthesis(c: &mut Criterion) {
+    let geom = ArrayGeometry::paper_8x8();
+    let mb = MultiBeam::new(vec![
+        mmwave_array::multibeam::BeamComponent::reference(0.0),
+        mmwave_array::multibeam::BeamComponent::new(30.0, 0.6, 1.0),
+        mmwave_array::multibeam::BeamComponent::new(-40.0, 0.4, -0.5),
+    ]);
+    c.bench_function("multibeam_weights_3beam_64el", |b| b.iter(|| mb.weights(&geom)));
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let geom = ArrayGeometry::paper_8x8();
+    let w = MultiBeam::two_beam(0.0, 30.0, 0.6, 1.0).weights(&geom);
+    let q = Quantizer::paper_array();
+    c.bench_function("quantize_64el_6bit", |b| b.iter(|| q.quantize(&w)));
+}
+
+fn bench_pattern(c: &mut Criterion) {
+    let geom = ArrayGeometry::paper_8x8();
+    let w = single_beam(&geom, 10.0);
+    let angles: Vec<f64> = (0..121).map(|i| i as f64 - 60.0).collect();
+    c.bench_function("pattern_cut_121pts", |b| b.iter(|| pattern_cut(&geom, &w, &angles)));
+    c.bench_function("invert_gain_drop", |b| {
+        b.iter(|| invert_gain_drop(&geom, 10.0, 6.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_beam,
+    bench_multibeam_synthesis,
+    bench_quantizer,
+    bench_pattern
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the channel substrate and the simulator's hot
+//! loop: image-method path extraction, CSI synthesis, and one simulated
+//! slot (what bounds the wall-clock of the Fig. 18 experiment sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::steering::single_beam;
+use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+use mmwave_channel::environment::Scene;
+use mmwave_channel::geom2d::v2;
+use mmwave_dsp::rng::Rng64;
+use mmwave_dsp::units::FC_28GHZ;
+use mmwave_phy::chanest::ChannelSounder;
+use mmwave_phy::grid::ResourceGrid;
+
+fn bench_paths_to(c: &mut Criterion) {
+    let scene = Scene::conference_room(FC_28GHZ);
+    c.bench_function("scene_paths_to", |b| b.iter(|| scene.paths_to(v2(0.9, 7.0), 180.0)));
+}
+
+fn bench_csi(c: &mut Criterion) {
+    let scene = Scene::conference_room(FC_28GHZ);
+    let ch = GeometricChannel::new(scene.paths_to(v2(0.9, 7.0), 180.0), FC_28GHZ);
+    let geom = ArrayGeometry::paper_8x8();
+    let w = single_beam(&geom, 7.0);
+    let freqs = ResourceGrid::paper_400mhz().sounding_freqs(12);
+    c.bench_function("csi_264_subcarriers", |b| {
+        b.iter(|| ch.csi(&geom, &w, &UeReceiver::Omni, &freqs))
+    });
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let scene = Scene::conference_room(FC_28GHZ);
+    let ch = GeometricChannel::new(scene.paths_to(v2(0.9, 7.0), 180.0), FC_28GHZ);
+    let geom = ArrayGeometry::paper_8x8();
+    let w = single_beam(&geom, 7.0);
+    let sounder = ChannelSounder::paper_indoor();
+    let mut rng = Rng64::seed(9);
+    c.bench_function("sounder_probe", |b| {
+        b.iter(|| sounder.probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng))
+    });
+}
+
+fn bench_oracle_weights(c: &mut Criterion) {
+    let scene = Scene::conference_room(FC_28GHZ);
+    let ch = GeometricChannel::new(scene.paths_to(v2(0.9, 7.0), 180.0), FC_28GHZ);
+    let geom = ArrayGeometry::paper_8x8();
+    let freqs: Vec<f64> = (0..17).map(|i| -190e6 + 23.75e6 * i as f64).collect();
+    c.bench_function("wideband_oracle_weights_64el", |b| {
+        b.iter(|| ch.wideband_oracle_weights(&geom, &UeReceiver::Omni, &freqs))
+    });
+}
+
+criterion_group!(benches, bench_paths_to, bench_csi, bench_probe, bench_oracle_weights);
+criterion_main!(benches);

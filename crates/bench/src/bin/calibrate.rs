@@ -1,0 +1,64 @@
+//! Quick end-to-end calibration check: runs the Fig. 18 mobile+blockage
+//! protocol with every strategy and prints the ordering. Not a figure —
+//! a development tool.
+
+use mmreliable::config::MmReliableConfig;
+use mmreliable::controller::MmReliableController;
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_baselines::beamspy::BeamSpyConfig;
+use mmwave_baselines::nr_periodic::NrPeriodicConfig;
+use mmwave_baselines::single_reactive::ReactiveConfig;
+use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
+use mmwave_baselines::widebeam::WideBeamConfig;
+use mmwave_baselines::{BeamSpy, NrPeriodic, OracleMrt, SingleBeamReactive, WideBeamStrategy};
+use mmwave_channel::channel::UeReceiver;
+use mmwave_phy::mcs::McsTable;
+use mmwave_sim::runner::{run_many, Aggregate};
+use mmwave_sim::scenario;
+
+fn main() {
+    let n_runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mcs = McsTable::nr_table();
+    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn BeamStrategy + Send> + Sync>)> = vec![
+        (
+            "mmReliable",
+            Box::new(|| {
+                Box::new(MmReliableStrategy::new(MmReliableController::new(
+                    MmReliableConfig::paper_default(),
+                )))
+            }),
+        ),
+        (
+            "reactive",
+            Box::new(|| Box::new(SingleBeamReactive::new(ReactiveConfig::default()))),
+        ),
+        (
+            "beamspy",
+            Box::new(|| Box::new(BeamSpy::new(BeamSpyConfig::default()))),
+        ),
+        (
+            "widebeam",
+            Box::new(|| Box::new(WideBeamStrategy::new(WideBeamConfig::default()))),
+        ),
+        (
+            "nr-periodic",
+            Box::new(|| Box::new(NrPeriodic::new(NrPeriodicConfig::default()))),
+        ),
+        (
+            "oracle",
+            Box::new(|| {
+                Box::new(OracleMrt::ideal(ArrayGeometry::paper_8x8(), UeReceiver::Omni))
+            }),
+        ),
+    ];
+    println!("strategy,scenario,rel_mean,rel_median,tput_mbps,product_mbps,overhead");
+    for (name, factory) in &factories {
+        let runs = run_many(n_runs, 1000, 8, scenario::mobile_blockage, factory.as_ref());
+        let agg = Aggregate::from_runs(&runs, &mcs);
+        println!("{}", agg.csv_row());
+        let _ = name;
+    }
+}

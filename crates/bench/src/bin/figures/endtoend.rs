@@ -1,0 +1,414 @@
+//! End-to-end figures: blockage resilience, tracking accuracy, the
+//! reliability/throughput evaluation, probing overhead, and the
+//! 28-vs-60 GHz comparison (paper Figs. 16–19).
+
+use mmreliable::config::MmReliableConfig;
+use mmreliable::controller::MmReliableController;
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_baselines::beamspy::BeamSpyConfig;
+use mmwave_baselines::nr_periodic::NrPeriodicConfig;
+use mmwave_baselines::single_reactive::ReactiveConfig;
+use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
+use mmwave_baselines::widebeam::WideBeamConfig;
+use mmwave_baselines::{BeamSpy, NrPeriodic, OracleMrt, SingleBeamReactive, WideBeamStrategy};
+use mmwave_bench::figures::write_csv;
+use mmwave_channel::channel::UeReceiver;
+use mmwave_dsp::stats;
+use mmwave_phy::mcs::McsTable;
+use mmwave_phy::refsignal::{CsiRsConfig, ProbeBudget, SsbConfig};
+use mmwave_sim::runner::{run_many, Aggregate};
+use mmwave_sim::scenario;
+
+type Factory = Box<dyn Fn() -> Box<dyn BeamStrategy + Send> + Sync>;
+
+fn mmreliable_factory() -> Factory {
+    Box::new(|| {
+        Box::new(MmReliableStrategy::new(MmReliableController::new(
+            MmReliableConfig::paper_default(),
+        )))
+    })
+}
+
+fn reactive_factory() -> Factory {
+    Box::new(|| Box::new(SingleBeamReactive::new(ReactiveConfig::default())))
+}
+
+fn beamspy_factory() -> Factory {
+    Box::new(|| Box::new(BeamSpy::new(BeamSpyConfig::default())))
+}
+
+fn widebeam_factory() -> Factory {
+    Box::new(|| Box::new(WideBeamStrategy::new(WideBeamConfig::default())))
+}
+
+fn nr_factory() -> Factory {
+    Box::new(|| Box::new(NrPeriodic::new(NrPeriodicConfig::default())))
+}
+
+fn oracle_factory() -> Factory {
+    Box::new(|| Box::new(OracleMrt::ideal(ArrayGeometry::paper_8x8(), UeReceiver::Omni)))
+}
+
+/// Fig. 16: SNR time series under a walker crossing the link — the
+/// multi-beam dips gently; the single beam crashes below the 6 dB outage
+/// threshold.
+pub fn fig16() {
+    let grab = |factory: &Factory| {
+        let runs = run_many(1, 1600, 1, |_| scenario::static_walker(), factory.as_ref());
+        runs.into_iter().next().unwrap()
+    };
+    let multi = grab(&mmreliable_factory());
+    let single = grab(&reactive_factory());
+    let mut csv = String::from("t_s,snr_multibeam_db,snr_singlebeam_db\n");
+    let ms = multi.snr_series();
+    let ss = single.snr_series();
+    for i in 0..ms.len().min(ss.len()) {
+        csv.push_str(&format!("{:.4},{:.2},{:.2}\n", ms[i].0, ms[i].1, ss[i].1));
+    }
+    write_csv("fig16.csv", &csv).unwrap();
+    let min_multi = stats::min(&ms.iter().map(|s| s.1).collect::<Vec<_>>());
+    let min_single = stats::min(&ss.iter().map(|s| s.1).collect::<Vec<_>>());
+    let base = stats::percentile(&ms.iter().map(|s| s.1).collect::<Vec<_>>(), 90.0);
+    println!(
+        "worst-case SNR during blockage: multi-beam {:.1} dB ({:.1} dB dip; paper ~7 dB), single-beam {:.1} dB ({:.1} dB dip; paper ~26 dB, below the 6 dB outage threshold)",
+        min_multi, base - min_multi, min_single, base - min_single
+    );
+}
+
+/// Fig. 17a: per-beam tracking under gNB rotation — estimated vs true beam
+/// angle over time for the LOS and a NLOS beam.
+pub fn fig17a() {
+    let sc = scenario::gnb_rotation(8.0);
+    let mut sim = sc.simulator(1700);
+    let mut ctl = MmReliableController::new(MmReliableConfig::paper_default());
+    let mut csv = String::from("t_s,true_los_deg,est_los_deg,true_nlos_deg,est_nlos_deg\n");
+    let mut t = 0.0;
+    let mut errs_los = Vec::new();
+    let mut errs_nlos = Vec::new();
+    while t < sc.warmup_s + sc.duration_s {
+        ctl.maintenance_round(&mut sim);
+        if let Some(mb) = ctl.multibeam() {
+            let now = sim.now_s();
+            if now > sc.warmup_s && mb.num_beams() >= 2 {
+                let true_los = sim.dynamic.true_aod_deg(0, now).unwrap_or(f64::NAN);
+                let est_los = mb.component(0).angle_deg;
+                // Match the NLOS beam to whichever reference path it is
+                // closest to at establishment (index 2 = right wall).
+                let true_nlos = sim.dynamic.true_aod_deg(2, now).unwrap_or(f64::NAN);
+                let est_nlos = mb.component(1).angle_deg;
+                errs_los.push((est_los - true_los).abs());
+                errs_nlos.push((est_nlos - true_nlos).abs());
+                csv.push_str(&format!(
+                    "{:.4},{:.2},{:.2},{:.2},{:.2}\n",
+                    now - sc.warmup_s,
+                    true_los,
+                    est_los,
+                    true_nlos,
+                    est_nlos
+                ));
+            }
+        }
+        // Advance to the next tick by idling the data plane.
+        let next = t + sc.tick_period_s;
+        while sim.now_s() < next {
+            use mmreliable::frontend::LinkFrontEnd;
+            sim.wait(sc.tick_period_s / 4.0);
+        }
+        t = next;
+    }
+    write_csv("fig17a.csv", &csv).unwrap();
+    println!(
+        "mean tracking error at 8°/s rotation: LOS {:.2}°, NLOS {:.2}° (paper: ~1° incl. weak NLOS)",
+        stats::mean(&errs_los),
+        stats::mean(&errs_nlos)
+    );
+}
+
+/// Fig. 17b: final angle-estimation error vs rotation rate (2–8°/s),
+/// averaged over seeds.
+pub fn fig17b(runs: usize) {
+    let mut csv = String::from("rate_deg_s,mean_abs_error_deg,std_deg\n");
+    for rate in [2.0, 4.0, 6.0, 8.0] {
+        let mut errs = Vec::new();
+        for seed in 0..runs.max(4) as u64 {
+            let sc = scenario::gnb_rotation(rate);
+            let mut sim = sc.simulator(1710 + seed);
+            let mut ctl = MmReliableController::new(MmReliableConfig::paper_default());
+            let total = sc.warmup_s + sc.duration_s;
+            while sim.now_s() < total {
+                ctl.maintenance_round(&mut sim);
+                use mmreliable::frontend::LinkFrontEnd;
+                sim.wait(sc.tick_period_s);
+            }
+            if let (Some(mb), Some(truth)) =
+                (ctl.multibeam(), sim.dynamic.true_aod_deg(0, sim.now_s()))
+            {
+                errs.push((mb.component(0).angle_deg - truth).abs());
+            }
+        }
+        csv.push_str(&format!(
+            "{rate:.1},{:.3},{:.3}\n",
+            stats::mean(&errs),
+            stats::std_dev(&errs)
+        ));
+        println!(
+            "rotation {rate}°/s: mean |angle error| {:.2}° over {} runs (paper: ~1°)",
+            stats::mean(&errs),
+            errs.len()
+        );
+    }
+    write_csv("fig17b.csv", &csv).unwrap();
+}
+
+/// Fig. 17c: throughput time series under 1-s translation — no tracking vs
+/// tracking-only vs tracking + constructive combining.
+pub fn fig17c(runs: usize) {
+    let variants: Vec<(&str, Factory)> = vec![
+        (
+            "no_tracking",
+            Box::new(|| {
+                Box::new(MmReliableStrategy::new(MmReliableController::new(
+                    MmReliableConfig::paper_default().without_tracking(),
+                )))
+            }),
+        ),
+        (
+            "tracking_only",
+            Box::new(|| {
+                Box::new(MmReliableStrategy::new(MmReliableController::new(
+                    MmReliableConfig::paper_default().without_constructive(),
+                )))
+            }),
+        ),
+        ("tracking_cc", mmreliable_factory()),
+    ];
+    let mcs = McsTable::nr_table();
+    let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut names = Vec::new();
+    for (name, factory) in &variants {
+        let results = run_many(
+            runs.max(4),
+            1720,
+            8,
+            |_| scenario::translation_1s(),
+            factory.as_ref(),
+        );
+        // Average the throughput series across runs on a 10 ms grid.
+        let grid: Vec<f64> = (0..100).map(|i| 0.06 + 0.01 * i as f64).collect();
+        let mut avg = vec![0.0f64; grid.len()];
+        for r in &results {
+            let series = r.throughput_series(&mcs);
+            for (gi, &gt) in grid.iter().enumerate() {
+                // nearest sample at or after gt
+                if let Some(s) = series.iter().find(|(t, _)| *t >= gt) {
+                    avg[gi] += s.1 / results.len() as f64;
+                }
+            }
+        }
+        let mean_tput = stats::mean(&results.iter().map(|r| r.mean_throughput_bps(&mcs)).collect::<Vec<_>>());
+        println!("{name}: mean throughput {:.0} Mbps over {} runs", mean_tput / 1e6, results.len());
+        columns.push(grid.iter().copied().zip(avg).collect());
+        names.push(*name);
+    }
+    let mut csv = format!("t_s,{}_mbps,{}_mbps,{}_mbps\n", names[0], names[1], names[2]);
+    for i in 0..columns[0].len() {
+        csv.push_str(&format!(
+            "{:.3},{:.1},{:.1},{:.1}\n",
+            columns[0][i].0 - 0.06,
+            columns[0][i].1 / 1e6,
+            columns[1][i].1 / 1e6,
+            columns[2][i].1 / 1e6
+        ));
+    }
+    write_csv("fig17c.csv", &csv).unwrap();
+}
+
+/// Fig. 18a: static link with a crossing blocker — throughput of
+/// mmReliable (no tracking needed) vs BeamSpy vs reactive.
+pub fn fig18a(runs: usize) {
+    let mcs = McsTable::nr_table();
+    let entries: Vec<(&str, Factory)> = vec![
+        ("mmReliable", mmreliable_factory()),
+        ("beamspy", beamspy_factory()),
+        ("reactive", reactive_factory()),
+    ];
+    let mut csv = String::from("strategy,mean_tput_mbps,rel_mean,tput_drop_pct_vs_unblocked\n");
+    // Unblocked reference: the same static scenario without the walker.
+    let mut reference = f64::NAN;
+    for (name, factory) in &entries {
+        let blocked = run_many(runs, 1800, 8, |_| scenario::static_walker(), factory.as_ref());
+        let agg = Aggregate::from_runs(&blocked, &mcs);
+        let unblocked = run_many(
+            4,
+            1801,
+            4,
+            |_| {
+                let mut sc = scenario::static_walker();
+                sc.dynamic.blockage = mmwave_channel::blockage::BlockageProcess::none();
+                sc
+            },
+            factory.as_ref(),
+        );
+        let unblocked_tput = Aggregate::from_runs(&unblocked, &mcs).mean_throughput_bps();
+        if name == &"mmReliable" {
+            reference = unblocked_tput;
+        }
+        let drop_pct = 100.0 * (1.0 - agg.mean_throughput_bps() / unblocked_tput);
+        csv.push_str(&format!(
+            "{name},{:.1},{:.4},{:.1}\n",
+            agg.mean_throughput_bps() / 1e6,
+            agg.mean_reliability(),
+            drop_pct
+        ));
+        println!(
+            "{name}: {:.0} Mbps under two blockage events ({:.1}% below its unblocked rate; paper: mmReliable drops only 4%)",
+            agg.mean_throughput_bps() / 1e6,
+            drop_pct
+        );
+    }
+    let _ = reference;
+    write_csv("fig18a.csv", &csv).unwrap();
+}
+
+/// Fig. 18b: reliability distribution for mobile links with blockage.
+pub fn fig18b(runs: usize) {
+    let mcs = McsTable::nr_table();
+    let entries: Vec<(&str, Factory)> = vec![
+        ("mmReliable", mmreliable_factory()),
+        ("reactive", reactive_factory()),
+        ("widebeam", widebeam_factory()),
+    ];
+    let mut csv = String::from("strategy,run,reliability\n");
+    for (name, factory) in &entries {
+        let results = run_many(
+            runs,
+            1810,
+            8,
+            scenario::mixed_mobility_blockage,
+            factory.as_ref(),
+        );
+        let agg = Aggregate::from_runs(&results, &mcs);
+        for (i, r) in agg.reliability.iter().enumerate() {
+            csv.push_str(&format!("{name},{i},{r:.4}\n"));
+        }
+        println!(
+            "{name}: median reliability {:.3} (paper: mmReliable ≈ 1.0, reactive 0.65, widebeam 0.5)",
+            agg.median_reliability()
+        );
+    }
+    write_csv("fig18b.csv", &csv).unwrap();
+}
+
+/// Fig. 18c: throughput–reliability scatter and the headline product.
+pub fn fig18c(runs: usize) {
+    let mcs = McsTable::nr_table();
+    let entries: Vec<(&str, Factory)> = vec![
+        ("mmReliable", mmreliable_factory()),
+        ("reactive", reactive_factory()),
+        ("beamspy", beamspy_factory()),
+        ("widebeam", widebeam_factory()),
+        ("nr_periodic", nr_factory()),
+        ("oracle", oracle_factory()),
+    ];
+    let mut csv = String::from(
+        "strategy,rel_mean,rel_std,tput_mbps_mean,tput_mbps_std,product_mbps\n",
+    );
+    let mut products = std::collections::BTreeMap::new();
+    for (name, factory) in &entries {
+        let results = run_many(
+            runs,
+            1820,
+            8,
+            scenario::mixed_mobility_blockage,
+            factory.as_ref(),
+        );
+        let agg = Aggregate::from_runs(&results, &mcs);
+        csv.push_str(&format!(
+            "{name},{:.4},{:.4},{:.1},{:.1},{:.1}\n",
+            agg.mean_reliability(),
+            stats::std_dev(&agg.reliability),
+            agg.mean_throughput_bps() / 1e6,
+            stats::std_dev(&agg.throughput_bps) / 1e6,
+            agg.mean_product_bps() / 1e6
+        ));
+        products.insert(*name, agg.mean_product_bps());
+        println!(
+            "{name}: reliability {:.3}, throughput {:.0} Mbps, product {:.0} Mbps",
+            agg.mean_reliability(),
+            agg.mean_throughput_bps() / 1e6,
+            agg.mean_product_bps() / 1e6
+        );
+    }
+    write_csv("fig18c.csv", &csv).unwrap();
+    // The paper's Fig. 18c compares against its reactive and widebeam
+    // baselines (BeamSpy appears in the static study, Fig. 18a).
+    let best_paper_set = ["reactive", "widebeam", "nr_periodic"]
+        .iter()
+        .map(|k| products[*k])
+        .fold(0.0f64, f64::max);
+    println!(
+        "throughput-reliability product improvement over the best reactive baseline: {:.2}× (paper: 2.3×)",
+        products["mmReliable"] / best_paper_set
+    );
+    println!(
+        "(vs the BeamSpy-style profile-switching baseline: {:.2}×)",
+        products["mmReliable"] / products["beamspy"]
+    );
+}
+
+/// Fig. 18d: probing overhead vs antenna count — vanilla NR grows, the
+/// mmReliable maintenance round does not.
+pub fn fig18d() {
+    let b = ProbeBudget::paper();
+    let ssb = SsbConfig::default();
+    let csi = CsiRsConfig::default();
+    let mut csv = String::from("antennas,nr_scan_ms,mmreliable_2beam_ms,mmreliable_3beam_ms\n");
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let nr = b.nr_fast_scan_s(n, &ssb) * 1e3;
+        let m2 = b.mmreliable_maintenance_s(2, &csi) * 1e3;
+        let m3 = b.mmreliable_maintenance_s(3, &csi) * 1e3;
+        csv.push_str(&format!("{n},{nr:.3},{m2:.3},{m3:.3}\n"));
+        if n == 8 || n == 64 {
+            println!(
+                "{n} antennas: 5G NR scan {nr:.1} ms (paper: 3 ms @8 → 6 ms @64); mmReliable {m2:.2}/{m3:.2} ms (paper: 0.4/0.6 ms, flat)"
+            );
+        }
+    }
+    write_csv("fig18d.csv", &csv).unwrap();
+}
+
+/// Fig. 19 (Appendix B): 28 vs 60 GHz — multi-beam vs single-beam
+/// throughput gain at 10% blockage, and the inter-band comparison.
+pub fn fig19(runs: usize) {
+    let mcs = McsTable::nr_table();
+    let mut csv = String::from("band,strategy,tput_mbps,reliability\n");
+    let mut tputs = std::collections::BTreeMap::new();
+    for sixty in [false, true] {
+        let band = if sixty { "60GHz" } else { "28GHz" };
+        for (name, factory) in [
+            ("mmReliable", mmreliable_factory()),
+            ("single_beam", reactive_factory()),
+        ] {
+            let results = run_many(
+                runs.max(4),
+                1900,
+                4,
+                |_| scenario::appendix_b(sixty),
+                factory.as_ref(),
+            );
+            let agg = Aggregate::from_runs(&results, &mcs);
+            csv.push_str(&format!(
+                "{band},{name},{:.1},{:.4}\n",
+                agg.mean_throughput_bps() / 1e6,
+                agg.mean_reliability()
+            ));
+            tputs.insert((band, name), agg.mean_throughput_bps());
+        }
+    }
+    write_csv("fig19.csv", &csv).unwrap();
+    let g28 = tputs[&("28GHz", "mmReliable")] / tputs[&("28GHz", "single_beam")];
+    let g60 = tputs[&("60GHz", "mmReliable")] / tputs[&("60GHz", "single_beam")];
+    let cross = tputs[&("28GHz", "mmReliable")] / tputs[&("60GHz", "mmReliable")];
+    println!("multi-beam gain over single-beam: 28 GHz {g28:.2}× | 60 GHz {g60:.2}× (paper: 1.18× at both bands)");
+    println!("28 GHz vs 60 GHz mmReliable throughput: {cross:.1}× (paper: 4.7× at equal bandwidth)");
+}

@@ -1,0 +1,504 @@
+//! Micro-benchmark figures: channel measurement study, wideband/delay
+//! analysis, super-resolution, beam patterns, multi-beam sensitivity and
+//! constructive-combining accuracy (paper Figs. 4, 7, 8, 11, 13d, 14, 15).
+
+use mmreliable::frontend::{LinkFrontEnd, SnapshotFrontEnd};
+use mmreliable::multibeam::{
+    gain_over_single_beam_db, genie_multibeam, oracle_gain_db, sensitivity_gain_db,
+};
+use mmreliable::probing::full_relative;
+use mmreliable::superres::{estimate_per_beam, SuperResConfig};
+use mmwave_array::delay_array::{
+    phase_only_multibeam_response, single_beam_response, DelayPhasedArray, WidebandPath,
+};
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::multibeam::MultiBeam;
+use mmwave_array::pattern::power_gain_db;
+use mmwave_array::quantize::Quantizer;
+use mmwave_array::steering::single_beam;
+use mmwave_bench::figures::write_csv;
+use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+use mmwave_channel::environment::Scene;
+use mmwave_channel::geom2d::v2;
+use mmwave_channel::path::{Path, PathKind};
+use mmwave_channel::sampling::{sample_indoor, sample_outdoor};
+use mmwave_dsp::complex::{c64, Complex64};
+use mmwave_dsp::rng::Rng64;
+use mmwave_dsp::sinc::sinc;
+use mmwave_dsp::stats::{self, empirical_cdf, median};
+use mmwave_dsp::units::{amp_from_db, db_from_pow, FC_28GHZ};
+use mmwave_phy::chanest::{ChannelSounder, ProbeObservation};
+use std::f64::consts::PI;
+
+/// Fig. 4a: CDF of the strongest reflector's attenuation relative to the
+/// direct path, indoor and outdoor (paper medians: 7.2 dB / 5 dB).
+pub fn fig04a() {
+    let mut rng = Rng64::seed(4001);
+    let n = 10_000; // the paper's "overall 10K data points"
+    let indoor: Vec<f64> = sample_indoor(&mut rng, n / 2)
+        .iter()
+        .map(|s| s.rel_attenuation_db)
+        .collect();
+    let outdoor: Vec<f64> = sample_outdoor(&mut rng, n / 2)
+        .iter()
+        .map(|s| s.rel_attenuation_db)
+        .collect();
+    let cdf_in = empirical_cdf(&indoor, 60);
+    let cdf_out = empirical_cdf(&outdoor, 60);
+    let mut csv = String::from("rel_atten_db,cdf_indoor,rel_atten_db_out,cdf_outdoor\n");
+    for i in 0..60 {
+        csv.push_str(&format!(
+            "{:.3},{:.4},{:.3},{:.4}\n",
+            cdf_in[i].0, cdf_in[i].1, cdf_out[i].0, cdf_out[i].1
+        ));
+    }
+    write_csv("fig04a.csv", &csv).unwrap();
+    println!("median reflector attenuation: indoor {:.1} dB (paper 7.2), outdoor {:.1} dB (paper 5.0)",
+        median(&indoor), median(&outdoor));
+}
+
+/// Fig. 4b: angle-power heatmap over time as the UE translates through the
+/// conference room (strong reflectors appear at different times).
+pub fn fig04b() {
+    let scene = Scene::conference_room(FC_28GHZ);
+    let geom = ArrayGeometry::paper_8x8();
+    let rx = UeReceiver::Omni;
+    let mut csv = String::from("t_s,angle_deg,power_db\n");
+    for step in 0..21 {
+        let t = step as f64 * 0.05;
+        let ue = v2(-0.6 + 1.5 * t, 7.0);
+        let ch = GeometricChannel::new(scene.paths_to(ue, 180.0), FC_28GHZ);
+        for k in 0..61 {
+            let angle = -60.0 + 2.0 * k as f64;
+            let p = ch.received_power(&geom, &single_beam(&geom, angle), &rx);
+            csv.push_str(&format!("{:.2},{:.1},{:.1}\n", t, angle, db_from_pow(p.max(1e-30))));
+        }
+    }
+    write_csv("fig04b.csv", &csv).unwrap();
+    println!("61-angle × 21-instant spatial profile written (LOS ridge sweeps with motion)");
+}
+
+fn fig07_paths(delta_tau_ns: f64) -> (WidebandPath, WidebandPath) {
+    (
+        WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 },
+        WidebandPath {
+            aod_deg: 30.0,
+            gain: c64(0.9, 0.0),
+            tau_s: 20e-9 + delta_tau_ns * 1e-9,
+        },
+    )
+}
+
+/// Fig. 7: frequency response of (i) single path, (ii) 2-path channel under
+/// a phase-only multi-beam (comb), (iii) delay-compensated multi-beam
+/// (flat at the constructive level).
+pub fn fig07() {
+    let geom = ArrayGeometry::ula(16);
+    let freqs: Vec<f64> = (0..201).map(|i| -200e6 + 2e6 * i as f64).collect();
+    let single_path = [WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 }];
+    let flat = single_beam_response(&geom, 0.0, &single_path, &freqs);
+    let (p1, p2) = fig07_paths(5.0);
+    let comb = phase_only_multibeam_response(&geom, &p1, &p2, &freqs);
+    let comp = DelayPhasedArray::two_beam_compensated(geom, &p1, &p2)
+        .power_response(&[p1, p2], &freqs);
+    let mut csv = String::from("freq_mhz,single_path_db,two_path_comb_db,delay_comp_db\n");
+    for i in 0..freqs.len() {
+        csv.push_str(&format!(
+            "{:.1},{:.2},{:.2},{:.2}\n",
+            freqs[i] / 1e6,
+            db_from_pow(flat[i].max(1e-12)),
+            db_from_pow(comb[i].max(1e-12)),
+            db_from_pow(comp[i].max(1e-12))
+        ));
+    }
+    write_csv("fig07.csv", &csv).unwrap();
+    let ripple = |v: &[f64]| 10.0 * (stats::max(v) / stats::min(v)).log10();
+    println!(
+        "ripple: single-path {:.2} dB, phase-only comb {:.1} dB, delay-compensated {:.2} dB",
+        ripple(&flat),
+        ripple(&comb),
+        ripple(&comp)
+    );
+}
+
+/// Fig. 8: SNR vs frequency for 5 ns and 10 ns delay spreads, with and
+/// without the delay-phased-array compensation.
+pub fn fig08() {
+    let geom = ArrayGeometry::ula(16);
+    let freqs: Vec<f64> = (0..201).map(|i| -200e6 + 2e6 * i as f64).collect();
+    let mut csv = String::from("freq_mhz,uncomp_5ns_db,comp_5ns_db,uncomp_10ns_db,comp_10ns_db\n");
+    let mut series = Vec::new();
+    for dtau in [5.0, 10.0] {
+        let (p1, p2) = fig07_paths(dtau);
+        let uncomp = DelayPhasedArray::two_beam_uncompensated(geom, &p1, &p2)
+            .power_response(&[p1, p2], &freqs);
+        let comp = DelayPhasedArray::two_beam_compensated(geom, &p1, &p2)
+            .power_response(&[p1, p2], &freqs);
+        series.push((uncomp, comp));
+    }
+    for i in 0..freqs.len() {
+        csv.push_str(&format!(
+            "{:.1},{:.2},{:.2},{:.2},{:.2}\n",
+            freqs[i] / 1e6,
+            db_from_pow(series[0].0[i].max(1e-12)),
+            db_from_pow(series[0].1[i].max(1e-12)),
+            db_from_pow(series[1].0[i].max(1e-12)),
+            db_from_pow(series[1].1[i].max(1e-12))
+        ));
+    }
+    write_csv("fig08.csv", &csv).unwrap();
+    for (i, dtau) in [5.0, 10.0].iter().enumerate() {
+        let worst_uncomp = db_from_pow(stats::min(&series[i].0) / stats::max(&series[i].1));
+        println!(
+            "Δτ = {dtau} ns: uncompensated worst-case {worst_uncomp:.1} dB below the flat compensated level"
+        );
+    }
+}
+
+/// Synthetic multi-beam probe used by the super-resolution figures:
+/// amplitudes with phases at given relative delays on the 264-pt comb.
+fn synth_probe(
+    alphas: &[(f64, f64)],
+    rel_delays_ns: &[f64],
+    tau0_ns: f64,
+    noise_pow: f64,
+    rng: &mut Rng64,
+) -> ProbeObservation {
+    let n = 264;
+    let spacing = 12.0 * 120e3;
+    let freqs: Vec<f64> = (0..n)
+        .map(|i| (i as f64 - (n as f64 - 1.0) / 2.0) * spacing)
+        .collect();
+    let cfo = rng.random_phasor();
+    let csi: Vec<Complex64> = freqs
+        .iter()
+        .map(|&f| {
+            let mut acc = Complex64::ZERO;
+            for (k, &(a, ph)) in alphas.iter().enumerate() {
+                let tau = (tau0_ns + rel_delays_ns[k]) * 1e-9;
+                acc += Complex64::from_polar(a, ph) * Complex64::cis(-2.0 * PI * f * tau);
+            }
+            cfo * acc + rng.awgn(noise_pow)
+        })
+        .collect();
+    ProbeObservation { csi, freqs_hz: freqs, noise_power_mw: noise_pow.max(1e-18) }
+}
+
+/// Fig. 11a: per-beam power estimation MSE vs relative ToF — the
+/// super-resolution fit stays accurate below the 2.5 ns Fourier limit,
+/// while naive CIR peak-picking collapses.
+pub fn fig11a() {
+    let mut rng = Rng64::seed(1101);
+    let trials = 200;
+    let true_powers = [1.0, 0.36];
+    let mut csv = String::from("rel_tof_ns,mse_superres,mse_peak_picking\n");
+    let mut dt = 0.5;
+    while dt <= 5.01 {
+        let rel = [0.0, dt];
+        let mut se_sr = 0.0;
+        let mut se_pk = 0.0;
+        for _ in 0..trials {
+            let obs = synth_probe(&[(1.0, 0.4), (0.6, -1.2)], &rel, 25.0, 1e-4, &mut rng);
+            let est = estimate_per_beam(&obs, &rel, &SuperResConfig::default());
+            se_sr += (est.powers_mw[0] - true_powers[0]).powi(2)
+                + (est.powers_mw[1] - true_powers[1]).powi(2);
+            // Naive baseline: read powers off the two nearest CIR taps.
+            let cir = obs.cir();
+            let tap_ns = 1e9 / (obs.comb_spacing_hz() * cir.len() as f64);
+            let base = (25.0 / tap_ns).round() as usize;
+            let second = ((25.0 + dt) / tap_ns).round() as usize % cir.len();
+            se_pk += (cir[base % cir.len()].norm_sqr() - true_powers[0]).powi(2)
+                + (cir[second].norm_sqr() - true_powers[1]).powi(2);
+        }
+        csv.push_str(&format!(
+            "{:.2},{:.6},{:.6}\n",
+            dt,
+            se_sr / trials as f64,
+            se_pk / trials as f64
+        ));
+        dt += 0.5;
+    }
+    write_csv("fig11a.csv", &csv).unwrap();
+    println!("super-resolution keeps low MSE below the 2.5 ns resolution; peak-picking does not (see fig11a.csv)");
+}
+
+/// Fig. 11b: measured CIR of a 6 m link with a reflector at 30°, and the
+/// two recovered sinc components.
+pub fn fig11b() {
+    // 6 m LOS + reflector at 30° (the paper's bench measurement).
+    let geom = ArrayGeometry::paper_8x8();
+    let base = amp_from_db(-mmwave_dsp::units::fspl_db(6.0, FC_28GHZ));
+    let ch = GeometricChannel::new(
+        vec![
+            Path::new(0.0, 0.0, c64(base, 0.0), 20.0, PathKind::Los),
+            Path::new(
+                30.0,
+                -30.0,
+                Complex64::from_polar(base * 0.55, 1.0),
+                26.5,
+                PathKind::Reflected { wall: 0 },
+            ),
+        ],
+        FC_28GHZ,
+    );
+    let mut fe = SnapshotFrontEnd::new(
+        ch,
+        ChannelSounder::paper_indoor(),
+        geom,
+        UeReceiver::Omni,
+        Rng64::seed(1102),
+    );
+    let mb = MultiBeam::two_beam(0.0, 30.0, 0.55, 1.0).weights(&geom);
+    let obs = fe.probe(&mb);
+    let est = estimate_per_beam(&obs, &[0.0, 6.5], &SuperResConfig::default());
+    let cir = obs.cir();
+    let tap_ns = 1e9 / (obs.comb_spacing_hz() * cir.len() as f64);
+    let mut csv = String::from("tap_ns,cir_mag,fit_total,sinc1,sinc2\n");
+    for (i, v) in cir.iter().enumerate().take(40) {
+        let t = i as f64 * tap_ns;
+        let s1 = est.alphas[0].abs() * sinc((t - est.tau0_ns - est.rel_delays_ns[0]) / tap_ns).abs();
+        let s2 = est.alphas[1].abs() * sinc((t - est.tau0_ns - est.rel_delays_ns[1]) / tap_ns).abs();
+        csv.push_str(&format!(
+            "{:.2},{:.6e},{:.6e},{:.6e},{:.6e}\n",
+            t,
+            v.abs(),
+            (s1 * s1 + s2 * s2).sqrt(),
+            s1,
+            s2
+        ));
+    }
+    write_csv("fig11b.csv", &csv).unwrap();
+    println!(
+        "two sincs recovered at τ₀ = {:.1} ns, Δτ = {:.1} ns; per-beam powers {:?} dB",
+        est.tau0_ns,
+        est.rel_delays_ns[1],
+        est.powers_db().iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>()
+    );
+}
+
+/// Fig. 13d: theoretical vs hardware-quantized multi-beam patterns.
+pub fn fig13d() {
+    let geom = ArrayGeometry::paper_8x8();
+    let mb = MultiBeam::two_beam(-10.0, 35.0, 0.7, 1.2);
+    let ideal = mb.weights(&geom);
+    let q6 = Quantizer::paper_array().quantize(&ideal);
+    let q2 = Quantizer::commercial_80211ad().quantize(&ideal);
+    let mut csv = String::from("angle_deg,ideal_db,quant6bit_db,quant2bit_db\n");
+    let mut worst_dev_6bit = 0.0f64;
+    for k in 0..241 {
+        let angle = -60.0 + 0.5 * k as f64;
+        let gi = power_gain_db(&geom, &ideal, angle);
+        let g6 = power_gain_db(&geom, &q6, angle);
+        let g2 = power_gain_db(&geom, &q2, angle);
+        if gi > -10.0 {
+            worst_dev_6bit = worst_dev_6bit.max((gi - g6).abs());
+        }
+        csv.push_str(&format!("{angle:.1},{gi:.2},{g6:.2},{g2:.2}\n"));
+    }
+    write_csv("fig13d.csv", &csv).unwrap();
+    println!("6-bit quantized pattern deviates ≤ {worst_dev_6bit:.2} dB from theory over the main lobes (paper: \"accurate multi-beam patterns\")");
+}
+
+/// Fig. 14: SNR-gain sensitivity surface over (σ̂, δ̂) errors for a −3 dB,
+/// −40° second path.
+pub fn fig14() {
+    let geom = ArrayGeometry::ula(16);
+    let delta = amp_from_db(-3.0);
+    let sigma = (-40.0f64).to_radians();
+    let ch = GeometricChannel::new(
+        vec![
+            Path::new(0.0, 0.0, c64(1.0, 0.0), 23.0, PathKind::Los),
+            Path::new(
+                30.0,
+                -40.0,
+                Complex64::from_polar(delta, sigma),
+                23.0,
+                PathKind::Reflected { wall: 0 },
+            ),
+        ],
+        FC_28GHZ,
+    );
+    let rx = UeReceiver::Omni;
+    let mut csv = String::from("est_phase_deg,est_amp_db,gain_db\n");
+    let mut peak: f64 = -100.0;
+    for pd in (-180..=180).step_by(5) {
+        for ad in -20..=2 {
+            let g = sensitivity_gain_db(
+                &ch,
+                &geom,
+                &rx,
+                amp_from_db(ad as f64),
+                sigma + (pd as f64).to_radians(),
+            );
+            peak = peak.max(g);
+            csv.push_str(&format!("{pd},{ad},{g:.3}\n"));
+        }
+    }
+    write_csv("fig14.csv", &csv).unwrap();
+    let tol75 = sensitivity_gain_db(&ch, &geom, &rx, delta, sigma + 75.0f64.to_radians());
+    let worst = sensitivity_gain_db(&ch, &geom, &rx, delta, sigma + PI);
+    println!("peak gain {peak:.2} dB (paper 1.76); gain at +75° phase error {tol75:.2} dB (still > 0); at 180° error {worst:.2} dB (collapses)");
+}
+
+/// The Fig. 15 bench channel: 7 m LOS at 0° plus a NLOS path at 30°, with a
+/// sub-ns relative delay (the paper's Fig. 15c shows the per-beam phase is
+/// stable across 100 MHz, implying Δτ ≲ 1 ns in their setup).
+fn fig15_frontend(seed: u64) -> (SnapshotFrontEnd, f64, f64) {
+    let base = amp_from_db(-mmwave_dsp::units::fspl_db(7.0, FC_28GHZ));
+    let delta = amp_from_db(-3.8); // the paper's estimated relative amplitude
+    let sigma = 2.5; // the paper's estimated relative phase (radians)
+    let ch = GeometricChannel::new(
+        vec![
+            Path::new(0.0, 0.0, c64(base, 0.0), 23.3, PathKind::Los),
+            Path::new(
+                30.0,
+                -30.0,
+                Complex64::from_polar(base * delta, sigma),
+                23.3 + 0.6,
+                PathKind::Reflected { wall: 0 },
+            ),
+        ],
+        FC_28GHZ,
+    );
+    (
+        SnapshotFrontEnd::new(
+            ch,
+            ChannelSounder::paper_indoor(),
+            ArrayGeometry::paper_8x8(),
+            UeReceiver::Omni,
+            Rng64::seed(seed),
+        ),
+        delta,
+        sigma,
+    )
+}
+
+/// Fig. 15a: SNR vs the 2nd beam's phase (exhaustive sweep) and the
+/// two-probe estimate.
+pub fn fig15a() {
+    let (mut fe, delta, sigma) = fig15_frontend(1501);
+    let geom = *fe.geometry();
+    let mut csv = String::from("phase_rad,snr_db\n");
+    let mut best = (0.0, -100.0f64);
+    for k in 0..=63 {
+        let phase = 2.0 * PI * k as f64 / 63.0;
+        let w = MultiBeam::two_beam(0.0, 30.0, delta, phase).weights(&geom);
+        let snr = fe.probe(&w).snr_db();
+        if snr > best.1 {
+            best = (phase, snr);
+        }
+        csv.push_str(&format!("{phase:.4},{snr:.2}\n"));
+    }
+    let (rel, _, _) = full_relative(&mut fe, 0.0, 30.0, 0.6);
+    write_csv("fig15a.csv", &csv).unwrap();
+    let est_phase = mmwave_dsp::units::wrap_rad(rel.sigma_rad).rem_euclid(2.0 * PI);
+    println!(
+        "exhaustive-scan peak at {:.2} rad / {:.1} dB; two-probe estimate {:.2} rad (truth {:.2}); paper: ~2.5 rad, 27 dB peak",
+        best.0, best.1, est_phase, sigma
+    );
+}
+
+/// Fig. 15b: SNR vs the 2nd beam's relative amplitude.
+pub fn fig15b() {
+    let (mut fe, _delta, sigma) = fig15_frontend(1502);
+    let geom = *fe.geometry();
+    let mut csv = String::from("amp_db,snr_db\n");
+    for k in 0..=48 {
+        let amp_db = -10.0 + 0.25 * k as f64;
+        let w = MultiBeam::two_beam(0.0, 30.0, amp_from_db(amp_db), sigma).weights(&geom);
+        let snr = fe.probe(&w).snr_db();
+        csv.push_str(&format!("{amp_db:.2},{snr:.2}\n"));
+    }
+    let (rel, _, _) = full_relative(&mut fe, 0.0, 30.0, 0.6);
+    write_csv("fig15b.csv", &csv).unwrap();
+    println!(
+        "two-probe amplitude estimate {:.1} dB (truth −3.8 dB; paper estimates −3.8 dB inside the flat −5..−3 dB optimum)",
+        20.0 * rel.delta.log10()
+    );
+}
+
+/// Fig. 15c: per-subcarrier relative phase stability across 100 MHz.
+pub fn fig15c() {
+    let (mut fe, _, _) = fig15_frontend(1503);
+    // Derive the per-subcarrier relative channel from the 4 power spectra
+    // (as the estimator does), restricted to a 100 MHz window.
+    let (_, p1, p2) = full_relative(&mut fe, 0.0, 30.0, 0.6);
+    let geom = *fe.geometry();
+    let w3 = MultiBeam::two_beam(0.0, 30.0, 1.0, 0.0).weights(&geom);
+    let w4 = MultiBeam::two_beam(0.0, 30.0, 1.0, -PI / 2.0).weights(&geom);
+    let obs3 = fe.probe(&w3);
+    let p3: Vec<f64> = obs3.csi.iter().map(|v| (v.norm_sqr() - obs3.noise_power_mw).max(0.0)).collect();
+    let obs4 = fe.probe(&w4);
+    let p4: Vec<f64> = obs4.csi.iter().map(|v| (v.norm_sqr() - obs4.noise_power_mw).max(0.0)).collect();
+    let mut csv = String::from("freq_mhz,rel_phase_rad\n");
+    let mut phases = Vec::new();
+    for i in 0..p1.len() {
+        let f = obs3.freqs_hz[i];
+        if f.abs() > 50e6 || p1[i] <= 0.0 {
+            continue;
+        }
+        let sq = p1[i].sqrt();
+        let re = (2.0 * p3[i] - p1[i] - p2[i]) / (2.0 * sq);
+        let im = (p1[i] + p2[i] - 2.0 * p4[i]) / (2.0 * sq);
+        let r = c64(re, im) / sq;
+        let phase = (r * Complex64::cis(2.0 * PI * f * 0.6e-9)).arg();
+        phases.push(phase);
+        csv.push_str(&format!("{:.2},{:.4}\n", f / 1e6, phase));
+    }
+    write_csv("fig15c.csv", &csv).unwrap();
+    let span = stats::max(&phases) - stats::min(&phases);
+    println!("relative-phase variation over 100 MHz: {span:.2} rad (paper: < 1 rad)");
+}
+
+/// Fig. 15d: SNR gain over single beam — 2-beam, 3-beam, oracle
+/// (paper: 1.04 dB, 2.27 dB, 2.5 dB).
+pub fn fig15d() {
+    // Static unblocked 4-path channel with relative amplitudes calibrated
+    // to the paper's measured gains (δ₁ = 0.55, δ₂ = 0.50, δ₃ = 0.30 →
+    // ideal 2-beam +1.1 dB, 3-beam +1.9 dB, oracle +2.1 dB; the fourth
+    // weak path is what separates the 3-beam from the oracle, as in the
+    // paper's 92%-of-oracle observation).
+    let base = amp_from_db(-mmwave_dsp::units::fspl_db(7.0, FC_28GHZ));
+    let ch = GeometricChannel::new(
+        vec![
+            Path::new(0.0, 0.0, c64(base, 0.0), 23.3, PathKind::Los),
+            Path::new(
+                30.0,
+                -25.0,
+                Complex64::from_polar(base * 0.55, 1.9),
+                23.6,
+                PathKind::Reflected { wall: 0 },
+            ),
+            Path::new(
+                -41.0,
+                35.0,
+                Complex64::from_polar(base * 0.50, -0.8),
+                23.8,
+                PathKind::Reflected { wall: 1 },
+            ),
+            Path::new(
+                52.0,
+                -60.0,
+                Complex64::from_polar(base * 0.30, 0.4),
+                24.1,
+                PathKind::Reflected { wall: 2 },
+            ),
+        ],
+        FC_28GHZ,
+    );
+    let geom = ArrayGeometry::paper_8x8();
+    let rx = UeReceiver::Omni;
+    let g2 = gain_over_single_beam_db(&ch, &geom, &genie_multibeam(&ch, 2).unwrap(), &rx);
+    let g3 = gain_over_single_beam_db(&ch, &geom, &genie_multibeam(&ch, 3).unwrap(), &rx);
+    let go = oracle_gain_db(&ch, &geom, &rx);
+    let mut csv = String::from("scheme,snr_gain_db,paper_db\n");
+    csv.push_str(&format!("two_beam,{g2:.2},1.04\n"));
+    csv.push_str(&format!("three_beam,{g3:.2},2.27\n"));
+    csv.push_str(&format!("oracle,{go:.2},2.50\n"));
+    write_csv("fig15d.csv", &csv).unwrap();
+    println!("SNR gain vs single beam: 2-beam {g2:.2} dB (paper 1.04), 3-beam {g3:.2} dB (paper 2.27), oracle {go:.2} dB (paper 2.5)");
+    println!(
+        "3-beam reaches {:.0}% of the oracle SNR (paper: 92%)",
+        100.0 * 10f64.powf((g3 - go) / 10.0)
+    );
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the figure pipeline.
+
+use std::fs;
+use std::path::Path;
+
+/// Every figure id the `figures` binary can regenerate.
+pub fn all_figure_ids() -> Vec<&'static str> {
+    vec![
+        "fig04a", "fig04b", "fig07", "fig08", "fig11a", "fig11b", "fig13d",
+        "fig14", "fig15a", "fig15b", "fig15c", "fig15d", "fig16", "fig17a",
+        "fig17b", "fig17c", "fig18a", "fig18b", "fig18c", "fig18d", "fig19",
+    ]
+}
+
+/// Writes a CSV artifact under `results/` (created on demand) and echoes
+/// the path.
+pub fn write_csv(name: &str, contents: &str) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    println!("# wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_cover_every_evaluation_figure() {
+        let ids = all_figure_ids();
+        assert_eq!(ids.len(), 21);
+        assert!(ids.contains(&"fig18c"));
+        assert!(ids.contains(&"fig19"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Stochastic reflector-strength sampling — the measurement-study
+//! reproduction (paper Fig. 4a).
+//!
+//! The paper scanned 10K data points across indoor (5–10 m) and outdoor
+//! (10–80 m) locations and reports the CDF of the strongest reflector's
+//! attenuation relative to the direct path: 1–10 dB with a median of
+//! 7.2 dB indoors and 5 dB outdoors. We reproduce the protocol by sampling
+//! UE positions in the preset scenes, jittering material quality per
+//! location (real surfaces vary), and recording the same statistic.
+
+use crate::environment::Scene;
+use crate::geom2d::v2;
+use crate::path::strongest_paths;
+use mmwave_dsp::rng::Rng64;
+use mmwave_dsp::units::FC_28GHZ;
+
+/// One sampled location's strongest-reflector statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReflectorSample {
+    /// Attenuation of the strongest reflected path relative to the direct
+    /// path, dB (positive = weaker than LOS).
+    pub rel_attenuation_db: f64,
+    /// Departure angle of that reflected path, degrees.
+    pub aod_deg: f64,
+    /// Link distance, meters.
+    pub dist_m: f64,
+}
+
+/// Samples `n` indoor locations (conference room, 4–9.5 m links).
+pub fn sample_indoor(rng: &mut Rng64, n: usize) -> Vec<ReflectorSample> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut scene = Scene::conference_room(FC_28GHZ);
+        // Per-location surface-quality jitter.
+        scene.extra_reflection_loss_db = rng.normal_with(0.0, 2.0).clamp(-3.0, 6.0);
+        let ue = v2(rng.uniform_in(-3.0, 3.0), rng.uniform_in(4.0, 9.5));
+        if let Some(s) = strongest_reflector(&scene, ue) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Samples `n` outdoor locations (street scene, 10–80 m links).
+pub fn sample_outdoor(rng: &mut Rng64, n: usize) -> Vec<ReflectorSample> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut scene = Scene::outdoor_street(FC_28GHZ);
+        scene.extra_reflection_loss_db = rng.normal_with(0.0, 2.0).clamp(-4.0, 6.0);
+        let ue = v2(rng.uniform_in(-4.0, 4.0), rng.uniform_in(10.0, 80.0));
+        if let Some(s) = strongest_reflector(&scene, ue) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn strongest_reflector(scene: &Scene, ue: crate::geom2d::Vec2) -> Option<ReflectorSample> {
+    let paths = scene.paths_to(ue, 180.0);
+    let order = strongest_paths(&paths, paths.len());
+    let los_idx = *order.first()?;
+    if !paths[los_idx].is_los() {
+        return None; // degenerate geometry; skip the sample
+    }
+    let refl_idx = order.iter().copied().find(|&i| !paths[i].is_los())?;
+    Some(ReflectorSample {
+        rel_attenuation_db: paths[refl_idx].rel_attenuation_db(&paths[los_idx]),
+        aod_deg: paths[refl_idx].aod_deg,
+        dist_m: scene.gnb.dist(ue),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_dsp::stats::{median, percentile};
+
+    #[test]
+    fn indoor_median_near_paper() {
+        let mut rng = Rng64::seed(42);
+        let samples = sample_indoor(&mut rng, 2000);
+        let vals: Vec<f64> = samples.iter().map(|s| s.rel_attenuation_db).collect();
+        let med = median(&vals);
+        // Paper: 7.2 dB median indoors; accept a band around it.
+        assert!((4.0..=10.0).contains(&med), "indoor median {med} dB");
+    }
+
+    #[test]
+    fn outdoor_median_near_paper() {
+        let mut rng = Rng64::seed(43);
+        let samples = sample_outdoor(&mut rng, 2000);
+        let vals: Vec<f64> = samples.iter().map(|s| s.rel_attenuation_db).collect();
+        let med = median(&vals);
+        // Paper: 5 dB median outdoors.
+        assert!((2.0..=8.0).contains(&med), "outdoor median {med} dB");
+    }
+
+    #[test]
+    fn outdoor_reflectors_stronger_than_indoor() {
+        // The paper's key observation: outdoor buildings are *better*
+        // reflectors (5 dB median) than indoor surfaces (7.2 dB).
+        let mut rng = Rng64::seed(44);
+        let ind: Vec<f64> = sample_indoor(&mut rng, 1500)
+            .iter()
+            .map(|s| s.rel_attenuation_db)
+            .collect();
+        let out: Vec<f64> = sample_outdoor(&mut rng, 1500)
+            .iter()
+            .map(|s| s.rel_attenuation_db)
+            .collect();
+        assert!(median(&out) < median(&ind), "outdoor {} indoor {}", median(&out), median(&ind));
+    }
+
+    #[test]
+    fn most_samples_in_one_to_ten_db_band() {
+        let mut rng = Rng64::seed(45);
+        let vals: Vec<f64> = sample_indoor(&mut rng, 1000)
+            .iter()
+            .map(|s| s.rel_attenuation_db)
+            .collect();
+        let p10 = percentile(&vals, 10.0);
+        let p90 = percentile(&vals, 90.0);
+        assert!(p10 > 0.0, "reflections should not beat LOS often, p10 {p10}");
+        assert!(p90 < 15.0, "p90 {p90}");
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let a = sample_indoor(&mut Rng64::seed(7), 50);
+        let b = sample_indoor(&mut Rng64::seed(7), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distances_within_protocol() {
+        let mut rng = Rng64::seed(46);
+        for s in sample_outdoor(&mut rng, 200) {
+            assert!(s.dist_m >= 9.0 && s.dist_m <= 81.0);
+        }
+    }
+}

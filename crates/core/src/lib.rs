@@ -1,0 +1,42 @@
+//! # mmreliable
+//!
+//! The paper's contribution: creating and maintaining **constructive
+//! multi-beam** mmWave links that are simultaneously reliable and
+//! high-throughput (Jain, Subbaraman, Bharadia — SIGCOMM '21).
+//!
+//! Pipeline (paper Fig. 2 / Fig. 9):
+//!
+//! 1. [`training`] — exhaustive SSB beam scan → angular power profile →
+//!    top-K viable path directions.
+//! 2. [`probing`] — the magnitude-only two-probe estimator of the relative
+//!    per-path channel `(δ, σ)` (Eq. 11–12), wideband joint estimation
+//!    (Eq. 13–14), and path-delay estimation from the CIR.
+//! 3. [`multibeam`] — establish the constructive multi-beam `w(φ, δ, σ)`
+//!    (Eq. 10) from training + probing results.
+//! 4. [`superres`] — per-beam power tracking from a single multi-beam
+//!    probe via ridge-regularized sinc/steering-dictionary fitting (Eq. 23).
+//! 5. [`tracking`] — proactive mobility management: invert the beam
+//!    pattern to recover angular deviation (Eq. 18–20), resolve the sign
+//!    ambiguity with one extra probe.
+//! 6. [`blockage`] — per-beam blockage detection (rate-of-change) and
+//!    power re-purposing.
+//! 7. [`controller`] — the beam-maintenance state machine tying it all
+//!    together over an abstract [`frontend::LinkFrontEnd`].
+//! 8. [`ue`] — extension to directional (multi-beam) UEs (§4.4).
+
+
+#![warn(missing_docs)]
+pub mod blockage;
+pub mod config;
+pub mod controller;
+pub mod frontend;
+pub mod multibeam;
+pub mod probing;
+pub mod superres;
+pub mod tracking;
+pub mod training;
+pub mod ue;
+
+pub use config::MmReliableConfig;
+pub use controller::MmReliableController;
+pub use frontend::{LinkFrontEnd, ProbeKind};

@@ -1,0 +1,185 @@
+//! Multi-beam analysis utilities: oracle comparisons and the sensitivity
+//! study behind the paper's micro-benchmarks (Fig. 14, Fig. 15d).
+//!
+//! The establishment *procedure* lives in [`crate::controller`]; this module
+//! holds the pure analysis functions benches and figures use to quantify
+//! how good a multi-beam is against the single-beam and genie baselines.
+
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::multibeam::{BeamComponent, MultiBeam};
+use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+use mmwave_channel::path::strongest_paths;
+use mmwave_dsp::units::db_from_pow;
+
+/// Genie multi-beam built from the channel's true paths: one component per
+/// path (up to `k`), amplitudes/phases matched to the true relative
+/// channel. This is what perfect estimation would produce.
+pub fn genie_multibeam(ch: &GeometricChannel, k: usize) -> Option<MultiBeam> {
+    if ch.paths.is_empty() || k == 0 {
+        return None;
+    }
+    let order = strongest_paths(&ch.paths, k);
+    let reference = &ch.paths[order[0]];
+    let mut comps = vec![BeamComponent::reference(reference.aod_deg)];
+    for &i in order.iter().skip(1) {
+        let (delta, sigma) = ch.paths[i].relative_to(reference);
+        comps.push(BeamComponent::new(ch.paths[i].aod_deg, delta, sigma));
+    }
+    Some(MultiBeam::new(comps))
+}
+
+/// Received power through a single beam at the strongest path's angle.
+pub fn single_beam_power(ch: &GeometricChannel, geom: &ArrayGeometry, rx: &UeReceiver) -> f64 {
+    let order = strongest_paths(&ch.paths, 1);
+    let angle = ch.paths[order[0]].aod_deg;
+    ch.received_power(geom, &mmwave_array::steering::single_beam(geom, angle), rx)
+}
+
+/// SNR gain (dB) of a multi-beam over the single beam aimed at the
+/// channel's strongest path.
+pub fn gain_over_single_beam_db(
+    ch: &GeometricChannel,
+    geom: &ArrayGeometry,
+    mb: &MultiBeam,
+    rx: &UeReceiver,
+) -> f64 {
+    let single = single_beam_power(ch, geom, rx);
+    let multi = ch.received_power(geom, &mb.weights(geom), rx);
+    db_from_pow((multi / single).max(1e-12))
+}
+
+/// SNR gain (dB) of the oracle MRT beam (per-element channel knowledge)
+/// over the single beam — the upper bound of Fig. 15d.
+pub fn oracle_gain_db(ch: &GeometricChannel, geom: &ArrayGeometry, rx: &UeReceiver) -> f64 {
+    let single = single_beam_power(ch, geom, rx);
+    db_from_pow((ch.optimal_power(geom, rx) / single).max(1e-12))
+}
+
+/// One cell of the Fig. 14 sensitivity surface: SNR gain (dB, vs single
+/// beam) of a 2-beam multi-beam built with *estimated* `(δ̂, σ̂)` on a
+/// channel whose true second path may have different parameters.
+pub fn sensitivity_gain_db(
+    ch: &GeometricChannel,
+    geom: &ArrayGeometry,
+    rx: &UeReceiver,
+    est_delta: f64,
+    est_sigma_rad: f64,
+) -> f64 {
+    let order = strongest_paths(&ch.paths, 2);
+    assert!(order.len() >= 2, "sensitivity study needs a 2-path channel");
+    let phi1 = ch.paths[order[0]].aod_deg;
+    let phi2 = ch.paths[order[1]].aod_deg;
+    let mb = MultiBeam::two_beam(phi1, phi2, est_delta, est_sigma_rad);
+    gain_over_single_beam_db(ch, geom, &mb, rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_channel::path::{Path, PathKind};
+    use mmwave_dsp::complex::{c64, Complex64};
+    use mmwave_dsp::units::{amp_from_db, FC_28GHZ};
+
+    /// Two-path channel: LOS at 0°, reflection at 30° with (δ, σ).
+    fn two_path(delta: f64, sigma: f64) -> GeometricChannel {
+        GeometricChannel::new(
+            vec![
+                Path::new(0.0, 0.0, c64(1.0, 0.0), 23.0, PathKind::Los),
+                Path::new(
+                    30.0,
+                    -40.0,
+                    Complex64::from_polar(delta, sigma),
+                    28.0,
+                    PathKind::Reflected { wall: 0 },
+                ),
+            ],
+            FC_28GHZ,
+        )
+    }
+
+    #[test]
+    fn genie_matches_oracle_for_two_orthogonal_paths() {
+        // At 0°/30° on a 16-element ULA the steering vectors are exactly
+        // orthogonal, so the 2-beam genie attains the MRT bound.
+        let g = ArrayGeometry::ula(16);
+        let ch = two_path(0.7, 1.1);
+        let mb = genie_multibeam(&ch, 2).unwrap();
+        let genie = gain_over_single_beam_db(&ch, &g, &mb, &UeReceiver::Omni);
+        let oracle = oracle_gain_db(&ch, &g, &UeReceiver::Omni);
+        assert!((genie - oracle).abs() < 0.05, "genie {genie} oracle {oracle}");
+    }
+
+    #[test]
+    fn paper_fig14_peak_gain() {
+        // Fig. 14: for a −3 dB, −40° second path, the best 2-beam gain is
+        // 1.76 dB over single beam.
+        let g = ArrayGeometry::ula(16);
+        let delta = amp_from_db(-3.0);
+        let sigma = (-40.0f64).to_radians();
+        let ch = two_path(delta, sigma);
+        let peak = sensitivity_gain_db(&ch, &g, &UeReceiver::Omni, delta, sigma);
+        assert!((peak - 1.76).abs() < 0.05, "peak gain {peak} dB");
+    }
+
+    #[test]
+    fn paper_fig14_tolerance_to_phase_error() {
+        // "can tolerate errors of ±75° in phase estimation" — gain stays
+        // positive (multi-beam ≥ single-beam) inside that window.
+        let g = ArrayGeometry::ula(16);
+        let delta = amp_from_db(-3.0);
+        let sigma = (-40.0f64).to_radians();
+        let ch = two_path(delta, sigma);
+        for err_deg in [-75.0, -40.0, 0.0, 40.0, 75.0] {
+            let gain = sensitivity_gain_db(
+                &ch,
+                &g,
+                &UeReceiver::Omni,
+                delta,
+                sigma + (err_deg as f64).to_radians(),
+            );
+            assert!(gain > 0.0, "phase error {err_deg}°: gain {gain} dB");
+        }
+        // But a 180° error destroys the gain.
+        let bad = sensitivity_gain_db(
+            &ch,
+            &g,
+            &UeReceiver::Omni,
+            delta,
+            sigma + std::f64::consts::PI,
+        );
+        assert!(bad < -3.0, "180° error should hurt: {bad} dB");
+    }
+
+    #[test]
+    fn genie_gain_follows_one_plus_delta_sq() {
+        let g = ArrayGeometry::ula(16);
+        for delta in [0.3, 0.5, 1.0] {
+            let ch = two_path(delta, 0.4);
+            let mb = genie_multibeam(&ch, 2).unwrap();
+            let gain = gain_over_single_beam_db(&ch, &g, &mb, &UeReceiver::Omni);
+            let expect = db_from_pow(1.0 + delta * delta);
+            assert!((gain - expect).abs() < 0.1, "δ {delta}: {gain} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn genie_none_for_empty_channel() {
+        let ch = GeometricChannel::new(Vec::new(), FC_28GHZ);
+        assert!(genie_multibeam(&ch, 2).is_none());
+    }
+
+    #[test]
+    fn genie_respects_k_limit() {
+        let mut ch = two_path(0.5, 0.2);
+        ch.paths.push(Path::new(
+            -45.0,
+            10.0,
+            c64(0.3, 0.1),
+            33.0,
+            PathKind::Reflected { wall: 1 },
+        ));
+        assert_eq!(genie_multibeam(&ch, 2).unwrap().num_beams(), 2);
+        assert_eq!(genie_multibeam(&ch, 3).unwrap().num_beams(), 3);
+        assert_eq!(genie_multibeam(&ch, 10).unwrap().num_beams(), 3);
+    }
+}

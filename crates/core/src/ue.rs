@@ -1,0 +1,228 @@
+//! Directional (multi-beam) UE support (paper §4.4).
+//!
+//! When the UE also beamforms, UE motion misaligns *both* ends. Handling it
+//! needs two steps the paper describes:
+//!
+//! 1. **Association** — which UE beam listens to which gNB beam? Solved by
+//!    the unicity of per-path time of flight: both ends see the same
+//!    relative ToFs (from their super-resolved CIRs), so beams pair up by
+//!    matching them.
+//! 2. **Misalignment estimation** — *rotation* changes only the UE-side
+//!    gain (invert the UE pattern); *translation* misaligns gNB and UE
+//!    beams by the same angle (invert the *sum* of the two patterns).
+
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::pattern::{first_null_offset_deg, ula_gain_rel};
+use mmwave_dsp::units::db_from_pow;
+
+/// Associates gNB beams with UE beams by relative time of flight.
+/// Returns `(gnb_idx, ue_idx)` pairs, greedily matched by |Δτ| (closest
+/// first). Unmatched beams (count mismatch) are dropped.
+pub fn associate_beams(gnb_rel_tofs_ns: &[f64], ue_rel_tofs_ns: &[f64]) -> Vec<(usize, usize)> {
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, &tg) in gnb_rel_tofs_ns.iter().enumerate() {
+        for (j, &tu) in ue_rel_tofs_ns.iter().enumerate() {
+            candidates.push(((tg - tu).abs(), i, j));
+        }
+    }
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut used_g = vec![false; gnb_rel_tofs_ns.len()];
+    let mut used_u = vec![false; ue_rel_tofs_ns.len()];
+    let mut out = Vec::new();
+    for (_, i, j) in candidates {
+        if !used_g[i] && !used_u[j] {
+            used_g[i] = true;
+            used_u[j] = true;
+            out.push((i, j));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Combined two-sided pattern loss (dB, ≥0) when both the gNB beam (steered
+/// at `gnb_steer_deg`) and the UE beam (at `ue_steer_deg`) are misaligned by
+/// the same angle `dev_deg` — the translation signature (paper Fig. 12).
+pub fn two_sided_loss_db(
+    gnb_geom: &ArrayGeometry,
+    gnb_steer_deg: f64,
+    ue_geom: &ArrayGeometry,
+    ue_steer_deg: f64,
+    dev_deg: f64,
+) -> f64 {
+    let gt = ula_gain_rel(
+        gnb_geom.azimuth_elements(),
+        gnb_geom.spacing_wl(),
+        gnb_steer_deg,
+        gnb_steer_deg + dev_deg,
+    );
+    let gr = ula_gain_rel(
+        ue_geom.azimuth_elements(),
+        ue_geom.spacing_wl(),
+        ue_steer_deg,
+        ue_steer_deg + dev_deg,
+    );
+    -db_from_pow((gt * gt * gr * gr).max(1e-30))
+}
+
+/// Inverts the two-sided loss: finds the common misalignment angle
+/// `|Δθ|` (degrees) that explains a measured power drop under translation.
+/// Returns `None` when the drop exceeds what the joint main lobes can
+/// explain.
+pub fn estimate_translation_misalign_deg(
+    gnb_geom: &ArrayGeometry,
+    gnb_steer_deg: f64,
+    ue_geom: &ArrayGeometry,
+    ue_steer_deg: f64,
+    drop_db: f64,
+) -> Option<f64> {
+    if drop_db <= 0.0 {
+        return Some(0.0);
+    }
+    // Search within the narrower of the two main lobes.
+    let lim_g = first_null_offset_deg(gnb_geom, gnb_steer_deg, 1.0);
+    let lim_u = first_null_offset_deg(ue_geom, ue_steer_deg, 1.0);
+    let hi = lim_g.min(lim_u) * 0.999;
+    let loss_at = |d: f64| two_sided_loss_db(gnb_geom, gnb_steer_deg, ue_geom, ue_steer_deg, d);
+    if drop_db > loss_at(hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, hi);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if loss_at(mid) < drop_db {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Inverts a UE-side-only loss — the rotation signature: the gNB pattern is
+/// unchanged, so the whole drop comes from the UE beam walking off the
+/// arrival angle. Identical math to the gNB tracker but on the UE array.
+pub fn estimate_rotation_deg(
+    ue_geom: &ArrayGeometry,
+    ue_steer_deg: f64,
+    drop_db: f64,
+) -> Option<f64> {
+    mmwave_array::pattern::invert_gain_drop(ue_geom, ue_steer_deg, drop_db)
+}
+
+/// Correction to apply after a translation estimate: the gNB beam moves by
+/// `+dev` and the UE beam by `-dev` (they misalign in opposite senses,
+/// Fig. 12), with the sign of `dev` resolved by a hypothesis probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TranslationCorrection {
+    /// gNB-side angular correction, degrees.
+    pub gnb_delta_deg: f64,
+    /// UE-side angular correction, degrees.
+    pub ue_delta_deg: f64,
+}
+
+impl TranslationCorrection {
+    /// Builds the paired correction for a given misalignment and sign.
+    pub fn paired(dev_deg: f64, positive: bool) -> Self {
+        let s = if positive { 1.0 } else { -1.0 };
+        Self { gnb_delta_deg: s * dev_deg, ue_delta_deg: -s * dev_deg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn association_identity() {
+        let pairs = associate_beams(&[0.0, 5.0, 12.0], &[0.1, 5.2, 11.8]);
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn association_handles_permutation() {
+        // UE reports its beams in a different order.
+        let pairs = associate_beams(&[0.0, 5.0], &[5.1, -0.05]);
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn association_drops_unmatched() {
+        let pairs = associate_beams(&[0.0, 5.0, 9.0], &[0.0, 9.1]);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn rotation_estimate_round_trip() {
+        let ue = ArrayGeometry::ula(4); // typical handset array
+        for dev in [2.0, 5.0, 10.0] {
+            let g = ula_gain_rel(4, 0.5, 0.0, dev);
+            let drop = -db_from_pow(g * g);
+            let est = estimate_rotation_deg(&ue, 0.0, drop).unwrap();
+            assert!((est - dev).abs() < 0.1, "dev {dev} est {est}");
+        }
+    }
+
+    #[test]
+    fn translation_estimate_round_trip() {
+        let gnb = ArrayGeometry::ula(8);
+        let ue = ArrayGeometry::ula(4);
+        for dev in [1.0, 3.0, 6.0] {
+            let drop = two_sided_loss_db(&gnb, 10.0, &ue, -20.0, dev);
+            let est =
+                estimate_translation_misalign_deg(&gnb, 10.0, &ue, -20.0, drop).unwrap();
+            assert!((est - dev).abs() < 0.1, "dev {dev} est {est} (drop {drop})");
+        }
+    }
+
+    #[test]
+    fn translation_loss_exceeding_lobes_rejected() {
+        let gnb = ArrayGeometry::ula(8);
+        let ue = ArrayGeometry::ula(4);
+        assert_eq!(
+            estimate_translation_misalign_deg(&gnb, 0.0, &ue, 0.0, 80.0),
+            None
+        );
+    }
+
+    #[test]
+    fn two_sided_loss_is_sum_of_sides() {
+        let gnb = ArrayGeometry::ula(8);
+        let ue = ArrayGeometry::ula(4);
+        let dev = 4.0;
+        let total = two_sided_loss_db(&gnb, 0.0, &ue, 0.0, dev);
+        let g_only = {
+            let g = ula_gain_rel(8, 0.5, 0.0, dev);
+            -db_from_pow(g * g)
+        };
+        let u_only = {
+            let g = ula_gain_rel(4, 0.5, 0.0, dev);
+            -db_from_pow(g * g)
+        };
+        assert!((total - g_only - u_only).abs() < 1e-9);
+        // Two-sided misalignment hurts more than either side alone.
+        assert!(total > g_only && total > u_only);
+    }
+
+    #[test]
+    fn paired_correction_signs() {
+        let c = TranslationCorrection::paired(3.0, true);
+        assert_eq!(c.gnb_delta_deg, 3.0);
+        assert_eq!(c.ue_delta_deg, -3.0);
+        let c = TranslationCorrection::paired(3.0, false);
+        assert_eq!(c.gnb_delta_deg, -3.0);
+        assert_eq!(c.ue_delta_deg, 3.0);
+    }
+
+    #[test]
+    fn zero_drop_zero_estimate() {
+        let gnb = ArrayGeometry::ula(8);
+        let ue = ArrayGeometry::ula(4);
+        assert_eq!(
+            estimate_translation_misalign_deg(&gnb, 0.0, &ue, 0.0, 0.0),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Fast Fourier transforms.
+//!
+//! Provides an in-place radix-2 Cooley–Tukey FFT for power-of-two lengths and
+//! a Bluestein chirp-z fallback for arbitrary lengths, plus a naive reference
+//! DFT used in tests. Conventions:
+//!
+//! - Forward transform: `X[k] = Σ_n x[n]·e^{-j2πkn/N}` (no scaling).
+//! - Inverse transform: `x[n] = (1/N)·Σ_k X[k]·e^{+j2πkn/N}`.
+//!
+//! The OFDM PHY uses power-of-two grids (512–4096), so the radix-2 path is
+//! the hot one; Bluestein exists so channel-analysis code can transform
+//! arbitrary-length CIR windows without padding artifacts.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Direction of the transform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// In-place radix-2 FFT. Panics if `x.len()` is not a power of two.
+pub fn fft_in_place(x: &mut [Complex64]) {
+    radix2(x, Direction::Forward);
+}
+
+/// In-place radix-2 inverse FFT (includes the `1/N` scaling).
+/// Panics if `x.len()` is not a power of two.
+pub fn ifft_in_place(x: &mut [Complex64]) {
+    radix2(x, Direction::Inverse);
+    let scale = 1.0 / x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+/// Out-of-place FFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise).
+pub fn fft(x: &[Complex64]) -> Vec<Complex64> {
+    transform_any(x, Direction::Forward)
+}
+
+/// Out-of-place inverse FFT of arbitrary length (includes `1/N` scaling).
+pub fn ifft(x: &[Complex64]) -> Vec<Complex64> {
+    let mut out = transform_any(x, Direction::Inverse);
+    let scale = 1.0 / x.len() as f64;
+    for v in out.iter_mut() {
+        *v = v.scale(scale);
+    }
+    out
+}
+
+/// Reference DFT in O(N²) — used by tests as ground truth and by callers
+/// that need a handful of output bins only.
+pub fn dft_naive(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (i, &v) in x.iter().enumerate() {
+                let theta = -2.0 * PI * (k * i) as f64 / n as f64;
+                acc += v * Complex64::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Circularly shifts `x` left by `k` positions (i.e. `out[i] = x[(i+k) % n]`).
+pub fn circular_shift_left<T: Copy>(x: &[T], k: usize) -> Vec<T> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k % n;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[k..]);
+    out.extend_from_slice(&x[..k]);
+    out
+}
+
+/// `fftshift`: moves the zero-frequency bin to the center.
+pub fn fftshift<T: Copy>(x: &[T]) -> Vec<T> {
+    circular_shift_left(x, x.len().div_ceil(2))
+}
+
+fn transform_any(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        radix2(&mut buf, dir);
+        buf
+    } else {
+        bluestein(x, dir)
+    }
+}
+
+fn radix2(x: &mut [Complex64], dir: Direction) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Iterative butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let u = x[i + k];
+                let v = x[i + k + len / 2] * w;
+                x[i + k] = u + v;
+                x[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: expresses a length-N DFT as a convolution, carried
+/// out with a power-of-two FFT of length ≥ 2N−1.
+fn bluestein(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    // Chirp: w[k] = e^{sign·jπk²/n}
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            // k² mod 2n to keep the angle argument small and precise.
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex64::cis(sign * PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex64::ZERO; m];
+    let mut b = vec![Complex64::ZERO; m];
+    for k in 0..n {
+        a[k] = x[k] * chirp[k];
+        b[k] = chirp[k].conj();
+    }
+    for k in 1..n {
+        b[m - k] = chirp[k].conj();
+    }
+    radix2(&mut a, Direction::Forward);
+    radix2(&mut b, Direction::Forward);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    radix2(&mut a, Direction::Inverse);
+    let scale = 1.0 / m as f64;
+    (0..n).map(|k| a[k].scale(scale) * chirp[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn assert_vec_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft_in_place(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_pow2() {
+        let mut rng = Rng64::seed(7);
+        let x: Vec<Complex64> = (0..32).map(|_| rng.complex_normal()).collect();
+        let fast = fft(&x);
+        let slow = dft_naive(&x);
+        assert_vec_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft_non_pow2() {
+        for n in [3usize, 5, 12, 17, 100, 33] {
+            let mut rng = Rng64::seed(n as u64);
+            let x: Vec<Complex64> = (0..n).map(|_| rng.complex_normal()).collect();
+            let fast = fft(&x);
+            let slow = dft_naive(&x);
+            assert_vec_close(&fast, &slow, 1e-8);
+        }
+    }
+
+    #[test]
+    fn round_trip_pow2() {
+        let mut rng = Rng64::seed(42);
+        let x: Vec<Complex64> = (0..128).map(|_| rng.complex_normal()).collect();
+        let y = ifft(&fft(&x));
+        assert_vec_close(&x, &y, 1e-10);
+    }
+
+    #[test]
+    fn round_trip_non_pow2() {
+        let mut rng = Rng64::seed(43);
+        let x: Vec<Complex64> = (0..37).map(|_| rng.complex_normal()).collect();
+        let y = ifft(&fft(&x));
+        assert_vec_close(&x, &y, 1e-8);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let mut rng = Rng64::seed(9);
+        let x: Vec<Complex64> = (0..256).map(|_| rng.complex_normal()).collect();
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((ex - ey).abs() / ex < 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = Rng64::seed(11);
+        let a: Vec<Complex64> = (0..64).map(|_| rng.complex_normal()).collect();
+        let b: Vec<Complex64> = (0..64).map(|_| rng.complex_normal()).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let expect: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_vec_close(&fsum, &expect, 1e-9);
+    }
+
+    #[test]
+    fn shift_helpers() {
+        let v = [1, 2, 3, 4, 5];
+        assert_eq!(circular_shift_left(&v, 2), vec![3, 4, 5, 1, 2]);
+        assert_eq!(fftshift(&v), vec![4, 5, 1, 2, 3]);
+        let e: [i32; 0] = [];
+        assert!(circular_shift_left(&e, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn in_place_rejects_non_pow2() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft_in_place(&mut x);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mmwave-dsp
+//!
+//! Self-contained digital-signal-processing substrate for the mmReliable
+//! reproduction. The allowed dependency set contains no numeric/DSP crates,
+//! so everything the upper layers need is implemented here from scratch:
+//!
+//! - [`Complex64`] — complex arithmetic (the workhorse type of every crate
+//!   above this one),
+//! - [`fft`] — radix-2 and Bluestein FFTs plus a reference DFT,
+//! - [`linalg`] — dense complex matrices, Hermitian solves, ridge-regularized
+//!   least squares (used by the paper's super-resolution step, Eq. 23),
+//! - [`sinc`] — band-limited interpolation kernels (Eq. 22),
+//! - [`fit`] — real polynomial least squares (tracking smoother, §6.1),
+//! - [`stats`] — summary statistics, CDFs, EWMA,
+//! - [`units`] — dB/linear conversions and RF constants,
+//! - [`rng`] — seeded Gaussian / complex-Gaussian sampling.
+//!
+//! Everything is deterministic given a seed; no global state, no I/O.
+
+
+#![warn(missing_docs)]
+pub mod complex;
+pub mod fft;
+pub mod fit;
+pub mod linalg;
+pub mod rng;
+pub mod sinc;
+pub mod stats;
+pub mod units;
+
+pub use complex::Complex64;
+pub use linalg::CMatrix;

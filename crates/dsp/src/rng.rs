@@ -1,0 +1,179 @@
+//! Seeded random sampling helpers.
+//!
+//! Wraps `rand::StdRng` with the distributions the simulator needs
+//! (standard normal via Box–Muller, circularly-symmetric complex Gaussian)
+//! so that no extra distribution crate is required. Every stochastic
+//! component in the workspace takes one of these explicitly — there is no
+//! global RNG, keeping simulations exactly reproducible.
+
+use crate::complex::{c64, Complex64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A seeded random source with DSP-oriented sampling methods.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    inner: StdRng,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// experiment run or each subsystem its own stream.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed(s)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        // Guard against log(0).
+        let u1 = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Circularly-symmetric complex Gaussian with unit variance
+    /// (`E[|z|²] = 1`, i.e. each component has variance 1/2).
+    pub fn complex_normal(&mut self) -> Complex64 {
+        c64(
+            self.normal() * std::f64::consts::FRAC_1_SQRT_2,
+            self.normal() * std::f64::consts::FRAC_1_SQRT_2,
+        )
+    }
+
+    /// Complex AWGN sample with total noise power `pow` (`E[|z|²] = pow`).
+    pub fn awgn(&mut self, pow: f64) -> Complex64 {
+        self.complex_normal().scale(pow.sqrt())
+    }
+
+    /// Uniform phase in `[0, 2π)` as a unit phasor.
+    pub fn random_phasor(&mut self) -> Complex64 {
+        Complex64::cis(self.uniform_in(0.0, 2.0 * PI))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng64::seed(123);
+        let mut b = Rng64::seed(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed(1);
+        let mut b = Rng64::seed(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::seed(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn complex_normal_unit_power() {
+        let mut rng = Rng64::seed(8);
+        let n = 100_000;
+        let p: f64 = (0..n).map(|_| rng.complex_normal().norm_sqr()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.03, "power {p}");
+    }
+
+    #[test]
+    fn awgn_power_scales() {
+        let mut rng = Rng64::seed(9);
+        let n = 50_000;
+        let p: f64 = (0..n).map(|_| rng.awgn(4.0).norm_sqr()).sum::<f64>() / n as f64;
+        assert!((p - 4.0).abs() < 0.2, "power {p}");
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut rng = Rng64::seed(10);
+        for _ in 0..1000 {
+            let x = rng.uniform_in(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng64::seed(11);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0 + 1e-12)));
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut root = Rng64::seed(5);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn random_phasor_unit_magnitude() {
+        let mut rng = Rng64::seed(12);
+        for _ in 0..100 {
+            assert!((rng.random_phasor().abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mmwave-phy
+//!
+//! A 5G-NR-flavoured OFDM physical layer, standing in for the paper's FPGA
+//! baseband (§5.2): 400 MHz / 100 MHz waveforms at numerology 3 (120 kHz
+//! subcarrier spacing), SSB-based beam training probes, CSI-RS maintenance
+//! probes, LS channel estimation, and NR modulation-and-coding throughput
+//! mapping.
+//!
+//! Everything the beam-management layer learns about the world flows
+//! through [`chanest::ProbeObservation`]s produced here, complete with the
+//! impairments that shaped the paper's algorithm design: AWGN on every
+//! estimate and an unknown common phase per probe (CFO/SFO — the reason
+//! mmReliable estimates multi-beam parameters from channel *magnitudes*
+//! only, §3.3).
+
+
+#![warn(missing_docs)]
+pub mod chanest;
+pub mod grid;
+pub mod mcs;
+pub mod modulation;
+pub mod numerology;
+pub mod ofdm;
+pub mod refsignal;
+
+pub use chanest::{ChannelSounder, ProbeObservation};
+pub use grid::ResourceGrid;
+pub use mcs::McsTable;
+pub use numerology::Numerology;
+pub use refsignal::{CsiRsConfig, ProbeBudget, SsbConfig};

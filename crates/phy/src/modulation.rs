@@ -1,0 +1,187 @@
+//! QAM modulation and hard-decision demodulation.
+//!
+//! NR uses Gray-coded square QAM. We implement QPSK through 256-QAM with
+//! unit average symbol energy; the bench OFDM loopback uses these to prove
+//! the waveform path end-to-end.
+
+use mmwave_dsp::complex::{c64, Complex64};
+
+/// Modulation orders used by NR data channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Modulation {
+    /// 2 bits/symbol.
+    Qpsk,
+    /// 4 bits/symbol.
+    Qam16,
+    /// 6 bits/symbol.
+    Qam64,
+    /// 8 bits/symbol.
+    Qam256,
+}
+
+impl Modulation {
+    /// Bits carried per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+        }
+    }
+
+    /// Points per I/Q axis.
+    fn side(self) -> usize {
+        1 << (self.bits_per_symbol() / 2)
+    }
+
+    /// Normalization factor so that average symbol energy is 1.
+    fn scale(self) -> f64 {
+        let m = self.side() as f64;
+        // E[|x|²] for PAM levels ±1, ±3, … on each axis = 2(m²−1)/3.
+        (2.0 * (m * m - 1.0) / 3.0).sqrt().recip()
+    }
+
+    /// Maps `bits_per_symbol` bits (LSB-first within the slice) to a
+    /// constellation point. Panics if `bits.len()` is wrong.
+    pub fn map(self, bits: &[u8]) -> Complex64 {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "bit-group size mismatch");
+        let half = self.bits_per_symbol() / 2;
+        let i = gray_to_pam(&bits[..half]);
+        let q = gray_to_pam(&bits[half..]);
+        c64(i, q) * self.scale()
+    }
+
+    /// Hard-decision demap: nearest constellation point's bits.
+    pub fn demap(self, sym: Complex64) -> Vec<u8> {
+        let half = self.bits_per_symbol() / 2;
+        let side = self.side();
+        let mut bits = pam_to_gray(sym.re / self.scale(), side, half);
+        bits.extend(pam_to_gray(sym.im / self.scale(), side, half));
+        bits
+    }
+
+    /// Maps a bit stream to symbols (stream length must divide evenly).
+    pub fn map_stream(self, bits: &[u8]) -> Vec<Complex64> {
+        assert_eq!(bits.len() % self.bits_per_symbol(), 0, "stream length mismatch");
+        bits.chunks(self.bits_per_symbol())
+            .map(|c| self.map(c))
+            .collect()
+    }
+
+    /// Demaps a symbol stream to bits.
+    pub fn demap_stream(self, syms: &[Complex64]) -> Vec<u8> {
+        syms.iter().flat_map(|&s| self.demap(s)).collect()
+    }
+}
+
+/// Gray-coded bits (LSB-first) → PAM level (±1, ±3, …).
+fn gray_to_pam(bits: &[u8]) -> f64 {
+    // Convert Gray to binary index.
+    let mut gray = 0usize;
+    for (i, &b) in bits.iter().enumerate() {
+        gray |= (b as usize & 1) << i;
+    }
+    let mut bin = gray;
+    let mut shift = gray >> 1;
+    while shift != 0 {
+        bin ^= shift;
+        shift >>= 1;
+    }
+    let m = 1usize << bits.len();
+    2.0 * bin as f64 - (m as f64 - 1.0)
+}
+
+/// PAM level → Gray-coded bits (LSB-first), nearest-neighbor decision.
+fn pam_to_gray(level: f64, side: usize, n_bits: usize) -> Vec<u8> {
+    let idx = (((level + (side as f64 - 1.0)) / 2.0).round() as i64)
+        .clamp(0, side as i64 - 1) as usize;
+    let gray = idx ^ (idx >> 1);
+    (0..n_bits).map(|i| ((gray >> i) & 1) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_dsp::rng::Rng64;
+
+    const ALL: [Modulation; 4] = [
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+    ];
+
+    #[test]
+    fn unit_average_energy() {
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            let mut energy = 0.0;
+            let count = 1usize << n;
+            for v in 0..count {
+                let bits: Vec<u8> = (0..n).map(|i| ((v >> i) & 1) as u8).collect();
+                energy += m.map(&bits).norm_sqr();
+            }
+            let avg = energy / count as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{m:?}: avg energy {avg}");
+        }
+    }
+
+    #[test]
+    fn map_demap_round_trip_all_points() {
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            for v in 0..(1usize << n) {
+                let bits: Vec<u8> = (0..n).map(|i| ((v >> i) & 1) as u8).collect();
+                let sym = m.map(&bits);
+                assert_eq!(m.demap(sym), bits, "{m:?} point {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn demap_survives_small_noise() {
+        let mut rng = Rng64::seed(5);
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            // Noise well inside half the minimum distance.
+            let side = 1 << (n / 2);
+            let dmin = 2.0 / ((2.0 * ((side * side) as f64 - 1.0) / 3.0).sqrt());
+            for _ in 0..100 {
+                let bits: Vec<u8> = (0..n).map(|_| rng.chance(0.5) as u8).collect();
+                let sym = m.map(&bits) + rng.complex_normal().scale(dmin * 0.1);
+                assert_eq!(m.demap(sym), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn gray_neighbors_differ_by_one_bit() {
+        // Adjacent PAM levels must differ in exactly one bit (Gray property)
+        // — this is what makes QAM BER ≈ bit errors ∝ symbol errors.
+        for n_bits in [1usize, 2, 3, 4] {
+            let side = 1usize << n_bits;
+            for idx in 0..side - 1 {
+                let a = idx ^ (idx >> 1);
+                let b = (idx + 1) ^ ((idx + 1) >> 1);
+                assert_eq!((a ^ b).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let mut rng = Rng64::seed(6);
+        let m = Modulation::Qam64;
+        let bits: Vec<u8> = (0..600).map(|_| rng.chance(0.5) as u8).collect();
+        let syms = m.map_stream(&bits);
+        assert_eq!(syms.len(), 100);
+        assert_eq!(m.demap_stream(&syms), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn map_checks_length() {
+        Modulation::Qam16.map(&[0, 1]);
+    }
+}

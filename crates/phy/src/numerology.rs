@@ -1,0 +1,98 @@
+//! 5G NR numerology and frame timing.
+//!
+//! NR scales its OFDM parameters by `μ`: subcarrier spacing `15·2^μ` kHz,
+//! slot duration `1/2^μ` ms, 14 symbols per slot. The paper's testbed runs
+//! FR2 numerology 3: 120 kHz SCS, 0.125 ms slots, 8.93 µs symbols (§5.2).
+
+/// An NR numerology (μ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Numerology {
+    /// The μ exponent (0–4 in NR; FR2 uses 2–3).
+    pub mu: u8,
+}
+
+impl Numerology {
+    /// Creates a numerology. Panics for μ > 4 (not defined by NR).
+    pub fn new(mu: u8) -> Self {
+        assert!(mu <= 4, "NR defines μ = 0..4");
+        Self { mu }
+    }
+
+    /// The paper's numerology: μ = 3 (120 kHz SCS).
+    pub fn paper_mu3() -> Self {
+        Self::new(3)
+    }
+
+    /// Subcarrier spacing, Hz.
+    pub fn scs_hz(&self) -> f64 {
+        15_000.0 * (1u32 << self.mu) as f64
+    }
+
+    /// Slot duration, seconds (14 OFDM symbols).
+    pub fn slot_duration_s(&self) -> f64 {
+        1e-3 / (1u32 << self.mu) as f64
+    }
+
+    /// Slots per 10 ms radio frame.
+    pub fn slots_per_frame(&self) -> usize {
+        10 * (1usize << self.mu)
+    }
+
+    /// OFDM symbols per slot (normal cyclic prefix).
+    pub fn symbols_per_slot(&self) -> usize {
+        14
+    }
+
+    /// Average OFDM symbol duration including cyclic prefix, seconds.
+    pub fn symbol_duration_s(&self) -> f64 {
+        self.slot_duration_s() / self.symbols_per_slot() as f64
+    }
+
+    /// Useful (FFT) symbol duration, seconds — `1/SCS`.
+    pub fn useful_symbol_s(&self) -> f64 {
+        1.0 / self.scs_hz()
+    }
+
+    /// Nominal cyclic-prefix length, seconds.
+    pub fn cp_s(&self) -> f64 {
+        self.symbol_duration_s() - self.useful_symbol_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu3_matches_paper() {
+        let n = Numerology::paper_mu3();
+        assert_eq!(n.scs_hz(), 120_000.0);
+        assert!((n.slot_duration_s() - 0.125e-3).abs() < 1e-12);
+        // "8.93 µs @ 120 kHz" (§5.2)
+        assert!((n.symbol_duration_s() - 8.93e-6).abs() < 0.02e-6);
+        assert_eq!(n.slots_per_frame(), 80);
+    }
+
+    #[test]
+    fn mu0_is_lte_like() {
+        let n = Numerology::new(0);
+        assert_eq!(n.scs_hz(), 15_000.0);
+        assert!((n.slot_duration_s() - 1e-3).abs() < 1e-12);
+        assert_eq!(n.slots_per_frame(), 10);
+    }
+
+    #[test]
+    fn cp_positive_and_small() {
+        for mu in 0..=4 {
+            let n = Numerology::new(mu);
+            assert!(n.cp_s() > 0.0);
+            assert!(n.cp_s() < n.useful_symbol_s());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0..4")]
+    fn rejects_big_mu() {
+        Numerology::new(7);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mmwave-sim
+//!
+//! The slot-level link simulator and experiment harness of the mmReliable
+//! reproduction — the stand-in for the paper's physical testbed loop
+//! (gantry + human blockers + MATLAB post-processing, §5–§6).
+//!
+//! - [`simulator::LinkSimulator`] — binds a [`mmwave_channel::DynamicChannel`]
+//!   to a beam-management strategy. It implements
+//!   [`mmreliable::LinkFrontEnd`], so *probes advance simulated time*:
+//!   a reactive scheme's 6 ms scan really costs 6 ms of link downtime, and
+//!   the channel keeps evolving underneath it.
+//! - [`metrics`] — reliability (paper Eq. 1), throughput, and the
+//!   throughput-reliability product, computed from one unified per-slot
+//!   record; CSV emitters for the figure pipeline.
+//! - [`scenario`] — the paper's experiment library: static link with a
+//!   walking blocker (Fig. 16/18a), mobile link with mid-run blockage
+//!   (Fig. 18b/c), gantry rotation (Fig. 17a/b), 1-s translation
+//!   (Fig. 17c), outdoor long links, and Appendix B's 28-vs-60 GHz scene.
+//! - [`runner`] — seeded multi-run sweeps across OS threads with
+//!   aggregation.
+
+
+#![warn(missing_docs)]
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+pub mod simulator;
+
+pub use metrics::{RunResult, Sample};
+pub use runner::{run_many, Aggregate};
+pub use scenario::Scenario;
+pub use simulator::LinkSimulator;

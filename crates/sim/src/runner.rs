@@ -1,0 +1,186 @@
+//! Seeded multi-run experiment sweeps.
+//!
+//! The paper's end-to-end numbers aggregate ~100 repetitions per
+//! configuration (§6.2). [`run_many`] plays one strategy family over many
+//! seeded scenario instances across OS threads and aggregates reliability,
+//! throughput, and the throughput-reliability product.
+
+use crate::metrics::RunResult;
+use crate::scenario::Scenario;
+use mmwave_baselines::strategy::BeamStrategy;
+use mmwave_dsp::stats;
+use mmwave_phy::mcs::McsTable;
+
+/// Aggregated statistics over a batch of runs.
+#[derive(Clone, Debug)]
+pub struct Aggregate {
+    /// Strategy name.
+    pub strategy: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Per-run reliability values.
+    pub reliability: Vec<f64>,
+    /// Per-run mean throughput, bits/s.
+    pub throughput_bps: Vec<f64>,
+    /// Per-run throughput-reliability product, bits/s.
+    pub product_bps: Vec<f64>,
+    /// Per-run probing overhead fraction.
+    pub overhead: Vec<f64>,
+}
+
+impl Aggregate {
+    /// Builds the aggregate from raw run results.
+    pub fn from_runs(runs: &[RunResult], mcs: &McsTable) -> Self {
+        let first = runs.first();
+        Self {
+            strategy: first.map(|r| r.strategy.clone()).unwrap_or_default(),
+            scenario: first.map(|r| r.scenario.clone()).unwrap_or_default(),
+            reliability: runs.iter().map(|r| r.reliability()).collect(),
+            throughput_bps: runs.iter().map(|r| r.mean_throughput_bps(mcs)).collect(),
+            product_bps: runs
+                .iter()
+                .map(|r| r.throughput_reliability_product(mcs))
+                .collect(),
+            overhead: runs.iter().map(|r| r.probing_overhead()).collect(),
+        }
+    }
+
+    /// Median reliability.
+    pub fn median_reliability(&self) -> f64 {
+        stats::median(&self.reliability)
+    }
+
+    /// Mean reliability.
+    pub fn mean_reliability(&self) -> f64 {
+        stats::mean(&self.reliability)
+    }
+
+    /// Mean throughput, bits/s.
+    pub fn mean_throughput_bps(&self) -> f64 {
+        stats::mean(&self.throughput_bps)
+    }
+
+    /// Mean throughput-reliability product, bits/s.
+    pub fn mean_product_bps(&self) -> f64 {
+        stats::mean(&self.product_bps)
+    }
+
+    /// Mean probing overhead fraction.
+    pub fn mean_overhead(&self) -> f64 {
+        stats::mean(&self.overhead)
+    }
+
+    /// One CSV row: `strategy,scenario,rel_mean,rel_median,tput_mbps,product_mbps,overhead`.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.4},{:.4},{:.1},{:.1},{:.4}",
+            self.strategy,
+            self.scenario,
+            self.mean_reliability(),
+            self.median_reliability(),
+            self.mean_throughput_bps() / 1e6,
+            self.mean_product_bps() / 1e6,
+            self.mean_overhead()
+        )
+    }
+}
+
+/// Runs `n_runs` seeded instances of a scenario family against a strategy
+/// family, spread across `threads` OS threads. Returns all run records.
+///
+/// `scenario_fn(seed)` builds the (possibly seed-dependent) scenario;
+/// `strategy_fn()` builds a fresh strategy per run.
+pub fn run_many<S, F>(
+    n_runs: usize,
+    base_seed: u64,
+    threads: usize,
+    scenario_fn: S,
+    strategy_fn: F,
+) -> Vec<RunResult>
+where
+    S: Fn(u64) -> Scenario + Sync,
+    F: Fn() -> Box<dyn BeamStrategy + Send> + Sync,
+{
+    assert!(threads > 0);
+    let mut results: Vec<Option<RunResult>> = Vec::new();
+    results.resize_with(n_runs, || None);
+    let chunk = n_runs.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ti, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let scenario_fn = &scenario_fn;
+            let strategy_fn = &strategy_fn;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    let run_idx = ti * chunk + i;
+                    let seed = base_seed.wrapping_add(run_idx as u64);
+                    let sc = scenario_fn(seed);
+                    let mut sim = sc.simulator(seed);
+                    let mut strategy = strategy_fn();
+                    let r = sim.run_with_warmup(
+                        strategy.as_mut(),
+                        sc.duration_s,
+                        sc.tick_period_s,
+                        sc.name,
+                        sc.warmup_s,
+                    );
+                    *slot = Some(r);
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("run completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use mmwave_baselines::single_reactive::{ReactiveConfig, SingleBeamReactive};
+
+    #[test]
+    fn run_many_produces_all_runs() {
+        let runs = run_many(
+            4,
+            100,
+            2,
+            |seed| scenario::mobile_blockage(seed),
+            || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
+        );
+        assert_eq!(runs.len(), 4);
+        for r in &runs {
+            assert!((r.duration_s() - 1.0).abs() < 5e-3);
+            assert_eq!(r.strategy, "single-beam reactive");
+        }
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let mcs = McsTable::nr_table();
+        let runs = run_many(
+            3,
+            7,
+            3,
+            |seed| scenario::mobile_blockage(seed),
+            || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
+        );
+        let agg = Aggregate::from_runs(&runs, &mcs);
+        assert_eq!(agg.reliability.len(), 3);
+        assert!(agg.mean_reliability() >= 0.0 && agg.mean_reliability() <= 1.0);
+        assert!(agg.csv_row().contains("single-beam reactive"));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let go = |threads| {
+            let runs = run_many(
+                4,
+                55,
+                threads,
+                |seed| scenario::mobile_blockage(seed),
+                || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
+            );
+            runs.iter().map(|r| r.reliability()).collect::<Vec<_>>()
+        };
+        assert_eq!(go(1), go(4));
+    }
+}

@@ -1,0 +1,159 @@
+//! Failure injection: the system's behavior when the world degrades —
+//! estimation noise, total blockage, vanished reflectors, and the CFO
+//! impairment that motivated the paper's magnitude-only estimators.
+
+use mmreliable::config::MmReliableConfig;
+use mmreliable::controller::MmReliableController;
+use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
+use mmwave_channel::blockage::{BlockageEvent, BlockageProcess};
+use mmwave_sim::scenario::{self, Scenario};
+
+fn mmreliable() -> Box<dyn BeamStrategy> {
+    Box::new(MmReliableStrategy::new(MmReliableController::new(
+        MmReliableConfig::paper_default(),
+    )))
+}
+
+fn run(sc: &Scenario, seed: u64) -> mmwave_sim::metrics::RunResult {
+    let mut sim = sc.simulator(seed);
+    let mut s = mmreliable();
+    sim.run_with_warmup(s.as_mut(), sc.duration_s, sc.tick_period_s, sc.name, sc.warmup_s)
+}
+
+#[test]
+fn estimation_noise_degrades_gracefully() {
+    // 10 dB worse estimation SNR: the link must get worse, not collapse.
+    let clean = {
+        let sc = scenario::translation_1s();
+        run(&sc, 5)
+    };
+    let noisy = {
+        let mut sc = scenario::translation_1s();
+        sc.sounder.noise_boost = 10.0;
+        run(&sc, 5)
+    };
+    assert!(noisy.mean_snr_db() <= clean.mean_snr_db() + 0.5);
+    assert!(
+        noisy.reliability() > 0.7,
+        "graceful degradation expected, got reliability {}",
+        noisy.reliability()
+    );
+    // At 100× noise the tracking loop is operating below its design point;
+    // the link may thrash, but must not be permanently dead.
+    let storm = {
+        let mut sc = scenario::translation_1s();
+        sc.sounder.noise_boost = 100.0;
+        run(&sc, 5)
+    };
+    assert!(
+        storm.reliability() > 0.2,
+        "even at 100x noise some link time survives, got {}",
+        storm.reliability()
+    );
+}
+
+#[test]
+fn cfo_impairment_does_not_break_the_estimators() {
+    // The paper's design premise: probe phases are unreliable, magnitudes
+    // are not. Disabling the impairment must not change behavior much.
+    let with_cfo = {
+        let sc = scenario::translation_1s();
+        assert!(sc.sounder.cfo_impairment);
+        run(&sc, 9)
+    };
+    let without_cfo = {
+        let mut sc = scenario::translation_1s();
+        sc.sounder.cfo_impairment = false;
+        run(&sc, 9)
+    };
+    assert!(
+        (with_cfo.mean_snr_db() - without_cfo.mean_snr_db()).abs() < 1.5,
+        "CFO on {:.1} dB vs off {:.1} dB",
+        with_cfo.mean_snr_db(),
+        without_cfo.mean_snr_db()
+    );
+    assert!((with_cfo.reliability() - without_cfo.reliability()).abs() < 0.1);
+}
+
+#[test]
+fn total_blockage_causes_outage_then_recovery() {
+    // Every path blocked 35 dB for 200 ms: nothing can save the link
+    // (the paper: "no solution can prevent link outage if all paths are
+    // blocked") — but it must come back afterwards.
+    let mut sc = scenario::static_walker();
+    let events: Vec<BlockageEvent> = (0..4)
+        .map(|i| BlockageEvent::nominal(i, 0.4, 35.0, 0.2))
+        .collect();
+    sc.dynamic.blockage = BlockageProcess::from_events(events);
+    let r = run(&sc, 21);
+    let series = r.snr_series();
+    // In outage mid-event…
+    let mid: Vec<f64> = series
+        .iter()
+        .filter(|(t, _)| (*t - sc.warmup_s - 0.5).abs() < 0.05)
+        .map(|(_, s)| *s)
+        .collect();
+    assert!(
+        mid.iter().copied().fold(f64::INFINITY, f64::min) < 6.0,
+        "total blockage must cause outage"
+    );
+    // …healthy again at the end.
+    let tail: Vec<f64> = series
+        .iter()
+        .filter(|(t, _)| *t > sc.warmup_s + 1.0)
+        .map(|(_, s)| *s)
+        .collect();
+    let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(tail_mean > 14.0, "link should recover, tail mean {tail_mean} dB");
+}
+
+#[test]
+fn reflector_only_blockage_is_survivable() {
+    // Blocking only the NLOS beams must barely dent the link.
+    let mut sc = scenario::static_walker();
+    sc.dynamic.blockage = BlockageProcess::from_events(vec![
+        BlockageEvent::nominal(1, 0.3, 30.0, 0.3),
+        BlockageEvent::nominal(2, 0.3, 30.0, 0.3),
+    ]);
+    let r = run(&sc, 33);
+    assert!(
+        r.reliability() > 0.95,
+        "NLOS-only blockage: reliability {}",
+        r.reliability()
+    );
+}
+
+#[test]
+fn repeated_blockage_events_each_handled() {
+    // Three back-to-back LOS blockage events within one run.
+    let mut sc = scenario::static_walker();
+    sc.duration_s = 1.5;
+    let mut events = Vec::new();
+    for i in 0..3 {
+        let start = 0.2 + 0.45 * i as f64;
+        events.push(BlockageEvent::nominal(0, start, 30.0, 0.2));
+        events.push(BlockageEvent::nominal(3, start, 30.0, 0.2));
+    }
+    sc.dynamic.blockage = BlockageProcess::from_events(events);
+    let r = run(&sc, 44);
+    assert!(
+        r.reliability() > 0.85,
+        "repeated blockage: reliability {}",
+        r.reliability()
+    );
+}
+
+#[test]
+fn quantizer_failure_mode_two_bit_hardware_still_works() {
+    let mut cfg = MmReliableConfig::paper_default();
+    cfg.quantizer = mmwave_array::quantize::Quantizer::commercial_80211ad();
+    let sc = scenario::static_walker();
+    let mut sim = sc.simulator(55);
+    let mut s = MmReliableStrategy::new(MmReliableController::new(cfg));
+    let r = sim.run_with_warmup(&mut s, sc.duration_s, sc.tick_period_s, sc.name, sc.warmup_s);
+    assert!(
+        r.reliability() > 0.85,
+        "2-bit hardware: reliability {}",
+        r.reliability()
+    );
+}

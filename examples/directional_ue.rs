@@ -1,0 +1,112 @@
+//! Directional UE (§4.4): two-sided beam maintenance under UE rotation.
+//!
+//! ```text
+//! cargo run --release --example directional_ue
+//! ```
+//!
+//! Long outdoor links need a directional UE. When the UE rotates, only the
+//! UE-side gain changes (the gNB pattern is untouched), so the UE inverts
+//! its own beam pattern to recover the rotation angle and realigns —
+//! resolving the ± ambiguity exactly like the gNB tracker, with one
+//! hypothesis measurement. This example closes that loop on a 30 m street
+//! link while the gNB runs its normal mmReliable maintenance.
+
+use mmreliable::config::MmReliableConfig;
+use mmreliable::controller::MmReliableController;
+use mmreliable::frontend::LinkFrontEnd;
+use mmreliable::ue::estimate_rotation_deg;
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::steering::single_beam;
+use mmwave_channel::blockage::BlockageProcess;
+use mmwave_channel::channel::UeReceiver;
+use mmwave_channel::dynamics::DynamicChannel;
+use mmwave_channel::environment::Scene;
+use mmwave_channel::geom2d::v2;
+use mmwave_channel::mobility::{Pose, Trajectory};
+use mmwave_dsp::rng::Rng64;
+use mmwave_dsp::units::{db_from_pow, FC_28GHZ};
+use mmwave_phy::chanest::ChannelSounder;
+use mmwave_sim::LinkSimulator;
+
+fn main() {
+    // 30 m outdoor link; the UE rotates at 24°/s (VR-headset rate).
+    let dynamic = DynamicChannel::new(
+        Scene::outdoor_street(FC_28GHZ),
+        Trajectory::Rotation {
+            start: Pose { pos: v2(0.0, 30.0), facing_deg: 180.0 },
+            rate_deg_s: 24.0,
+        },
+        BlockageProcess::none(),
+    );
+    let ue_geom = ArrayGeometry::ula(4);
+    // The UE initially points straight at the gNB (AoA 0 in its own frame).
+    let mut ue_beam_deg = 0.0;
+    let mut sim = LinkSimulator::new(
+        dynamic,
+        ChannelSounder::paper_outdoor(),
+        ArrayGeometry::paper_8x8(),
+        UeReceiver::Array { geom: ue_geom, weights: single_beam(&ue_geom, 0.0) },
+        Rng64::seed(2718),
+    );
+
+    // gNB side: plain mmReliable establishment + maintenance.
+    let mut ctl = MmReliableController::new(MmReliableConfig::paper_default());
+    ctl.establish(&mut sim);
+    let w = ctl.current_weights();
+    let baseline_db = db_from_pow(sim.probe(&w).mean_power_mw().max(1e-20));
+
+    println!("{:>6}  {:>10}  {:>10}  {:>9}  {:>8}", "t", "true AoA", "UE beam", "misalign", "SNR");
+    let mut worst_misalign = 0.0f64;
+    for step in 1..=40 {
+        // Advance 25 ms of rotation by idling the link.
+        sim.wait(25e-3);
+        let t = sim.now_s();
+
+        // UE-side maintenance: measure the drop, invert the UE pattern,
+        // resolve the sign with one extra measurement.
+        let w = ctl.current_weights();
+        let p_now = db_from_pow(sim.probe(&w).mean_power_mw().max(1e-20));
+        let drop = (baseline_db - p_now).max(0.0);
+        if let Some(dev) = estimate_rotation_deg(&ue_geom, ue_beam_deg, drop) {
+            if dev > 0.5 {
+                // Hypothesis: +dev. Try it, keep whichever is better.
+                let try_beam = |sim: &mut LinkSimulator, angle: f64| {
+                    sim.rx = UeReceiver::Array {
+                        geom: ue_geom,
+                        weights: single_beam(&ue_geom, angle),
+                    };
+                    db_from_pow(sim.probe(&w).mean_power_mw().max(1e-20))
+                };
+                let p_plus = try_beam(&mut sim, ue_beam_deg + dev);
+                let p_minus = try_beam(&mut sim, ue_beam_deg - dev);
+                ue_beam_deg += if p_plus >= p_minus { dev } else { -dev };
+                sim.rx = UeReceiver::Array {
+                    geom: ue_geom,
+                    weights: single_beam(&ue_geom, ue_beam_deg),
+                };
+            }
+        }
+        // gNB-side maintenance keeps running as usual.
+        ctl.maintenance_round(&mut sim);
+
+        // Ground truth: the LOS arrival angle in the UE's (rotated) frame.
+        let true_aoa = sim.dynamic.paths_at(t)[0].aoa_deg;
+        let misalign = (true_aoa - ue_beam_deg).abs();
+        worst_misalign = worst_misalign.max(misalign);
+        if step % 5 == 0 {
+            println!(
+                "{:>5.2}s  {:>9.2}°  {:>9.2}°  {:>8.2}°  {:>7.1} dB",
+                t,
+                true_aoa,
+                ue_beam_deg,
+                misalign,
+                sim.true_snr_db(&ctl.current_weights())
+            );
+        }
+    }
+    println!(
+        "\nUE tracked 24°/s rotation with ≤ {worst_misalign:.1}° misalignment \
+         (4-element UE HPBW ≈ 26°, so the link never left the main lobe)"
+    );
+    assert!(worst_misalign < 13.0, "UE lost the beam");
+}

@@ -1,0 +1,72 @@
+//! OFDM loopback: prove the waveform path end-to-end.
+//!
+//! ```text
+//! cargo run --release --example ofdm_loopback
+//! ```
+//!
+//! Modulates random bits onto a CP-OFDM carrier (numerology 3, like the
+//! paper's 400 MHz testbed waveform), passes the samples through a two-tap
+//! multipath channel with AWGN, equalizes with one tap per subcarrier, and
+//! reports EVM and bit errors per modulation order.
+
+use mmwave_dsp::complex::Complex64;
+use mmwave_dsp::rng::Rng64;
+use mmwave_phy::grid::ResourceGrid;
+use mmwave_phy::modulation::Modulation;
+use mmwave_phy::numerology::Numerology;
+use mmwave_phy::ofdm::{apply_fir_channel, evm, OfdmModem};
+
+fn main() {
+    let grid = ResourceGrid { numerology: Numerology::paper_mu3(), n_subcarriers: 600 };
+    let modem = OfdmModem::new(grid);
+    let mut rng = Rng64::seed(2024);
+
+    // Two-tap multipath channel well inside the cyclic prefix.
+    let taps = vec![
+        Complex64::from_polar(1.0, 0.4),
+        Complex64::from_polar(0.35, -1.9),
+    ];
+    let nfft = modem.grid.fft_size();
+    let h_est: Vec<Complex64> = (0..grid.n_subcarriers)
+        .map(|k| {
+            let offset = k as i64 - (grid.n_subcarriers as i64) / 2;
+            let bin = offset.rem_euclid(nfft as i64) as usize;
+            taps.iter()
+                .enumerate()
+                .map(|(d, &t)| {
+                    t * Complex64::cis(-2.0 * std::f64::consts::PI * (bin * d) as f64 / nfft as f64)
+                })
+                .sum()
+        })
+        .collect();
+
+    println!("{:>8}  {:>9}  {:>12}  {:>10}", "mod", "EVM", "bit errors", "bits");
+    for (m, snr_db) in [
+        (Modulation::Qpsk, 12.0),
+        (Modulation::Qam16, 18.0),
+        (Modulation::Qam64, 25.0),
+        (Modulation::Qam256, 32.0),
+    ] {
+        let n_symbols = 4;
+        let n_bits = grid.n_subcarriers * n_symbols * m.bits_per_symbol();
+        let bits: Vec<u8> = (0..n_bits).map(|_| rng.chance(0.5) as u8).collect();
+        let syms = m.map_stream(&bits);
+        let frame = modem.modulate(&syms, n_symbols);
+        let sig_pow: f64 = frame.samples.iter().map(|v| v.norm_sqr()).sum::<f64>()
+            / frame.samples.len() as f64;
+        let noise = sig_pow / 10f64.powf(snr_db / 10.0);
+        let rx_samples = apply_fir_channel(&frame.samples, &taps, noise, &mut rng);
+        let rx_points = modem.demodulate(&rx_samples, n_symbols);
+        let eq = modem.equalize(&rx_points, &h_est);
+        let rx_bits = m.demap_stream(&eq);
+        let errors = bits.iter().zip(&rx_bits).filter(|(a, b)| a != b).count();
+        println!(
+            "{:>8}  {:>8.1}%  {:>12}  {:>10}  (per-sample SNR {snr_db} dB)",
+            format!("{m:?}"),
+            100.0 * evm(&syms, &eq),
+            errors,
+            n_bits
+        );
+    }
+    println!("\n(two-tap multipath, one-tap equalization from perfect CSI; CP absorbs the delay spread)");
+}

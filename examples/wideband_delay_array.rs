@@ -1,0 +1,59 @@
+//! Delay-phased-array demo: flat wideband multi-beam response (§3.4).
+//!
+//! ```text
+//! cargo run --release --example wideband_delay_array
+//! ```
+//!
+//! When a multi-beam's two paths differ in propagation delay, a phase-only
+//! array gets an interference comb across the band. The paper's delay
+//! phased array (Fig. 6) inserts true-time-delay lines per beam and
+//! restores a flat response at the full constructive level. This example
+//! prints the three responses side by side.
+
+use mmwave_array::delay_array::{
+    phase_only_multibeam_response, single_beam_response, DelayPhasedArray, WidebandPath,
+};
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_dsp::complex::c64;
+use mmwave_dsp::units::db_from_pow;
+
+fn main() {
+    let geom = ArrayGeometry::ula(16);
+    let p1 = WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 };
+    let p2 = WidebandPath { aod_deg: 30.0, gain: c64(0.9, 0.0), tau_s: 25e-9 }; // Δτ = 5 ns
+    let freqs: Vec<f64> = (0..41).map(|i| -200e6 + 10e6 * i as f64).collect();
+
+    let single = single_beam_response(&geom, 0.0, &[p1, p2], &freqs);
+    let comb = phase_only_multibeam_response(&geom, &p1, &p2, &freqs);
+    let flat = DelayPhasedArray::two_beam_compensated(geom, &p1, &p2)
+        .power_response(&[p1, p2], &freqs);
+
+    println!("two-path channel, Δτ = 5 ns over 400 MHz (relative power, dB):\n");
+    println!("{:>8}  {:>12} {:>12} {:>12}", "freq", "single-beam", "phase-only", "delay-comp");
+    let reference = single[freqs.len() / 2];
+    for (i, f) in freqs.iter().enumerate() {
+        let bar = |p: f64| {
+            let db = db_from_pow((p / reference).max(1e-6));
+            format!("{db:>6.1} dB")
+        };
+        println!(
+            "{:>5.0} MHz  {:>12} {:>12} {:>12}",
+            f / 1e6,
+            bar(single[i]),
+            bar(comb[i]),
+            bar(flat[i])
+        );
+    }
+    let ripple = |v: &[f64]| {
+        10.0 * (v.iter().cloned().fold(f64::MIN, f64::max)
+            / v.iter().cloned().fold(f64::MAX, f64::min))
+        .log10()
+    };
+    println!(
+        "\nripple across the band: single {:.2} dB | phase-only multi-beam {:.1} dB | delay-compensated {:.2} dB",
+        ripple(&single),
+        ripple(&comb),
+        ripple(&flat)
+    );
+    println!("the delay-compensated bank is flat at the constructive (upper-envelope) level — paper Fig. 7/8");
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the mmReliable reproduction workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the member crates:
+//!
+//! - [`mmwave_dsp`] — complex math, FFT, least squares, statistics
+//! - [`mmwave_array`] — phased-array geometry, beams, quantization
+//! - [`mmwave_channel`] — sparse geometric mmWave channel, blockage, mobility
+//! - [`mmwave_phy`] — 5G-NR-style OFDM PHY, reference signals, MCS
+//! - [`mmreliable`] — the paper's contribution: constructive multi-beam
+//!   creation and proactive maintenance
+//! - [`mmwave_baselines`] — single-beam reactive, BeamSpy-like, wide-beam,
+//!   oracle beamformers
+//! - [`mmwave_sim`] — slot-level link simulator and experiment harness
+
+pub use mmreliable;
+pub use mmwave_array;
+pub use mmwave_baselines;
+pub use mmwave_channel;
+pub use mmwave_dsp;
+pub use mmwave_phy;
+pub use mmwave_sim;
