@@ -74,9 +74,7 @@ impl Codebook {
         self.angles_deg
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                (*a - angle_deg).abs().total_cmp(&(*b - angle_deg).abs())
-            })
+            .min_by(|(_, a), (_, b)| (*a - angle_deg).abs().total_cmp(&(*b - angle_deg).abs()))
             .map(|(i, _)| i)
             .expect("codebook is non-empty")
     }

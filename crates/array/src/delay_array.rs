@@ -66,7 +66,10 @@ impl DelayPhasedArray {
     /// `groups`. Panics when no groups are given.
     pub fn new(per_beam_geom: ArrayGeometry, groups: Vec<SubArrayBeam>) -> Self {
         assert!(!groups.is_empty(), "need at least one sub-array");
-        Self { per_beam_geom, groups }
+        Self {
+            per_beam_geom,
+            groups,
+        }
     }
 
     /// Two-beam delay array matched to a two-path channel: the first array
@@ -218,12 +221,8 @@ pub fn phase_only_multibeam_response(
     freqs_hz: &[f64],
 ) -> Vec<f64> {
     let rel = path2.gain / path1.gain;
-    let mb = crate::multibeam::MultiBeam::two_beam(
-        path1.aod_deg,
-        path2.aod_deg,
-        rel.abs(),
-        rel.arg(),
-    );
+    let mb =
+        crate::multibeam::MultiBeam::two_beam(path1.aod_deg, path2.aod_deg, rel.abs(), rel.arg());
     let w = mb.weights(geom);
     freqs_hz
         .iter()
@@ -253,7 +252,11 @@ mod tests {
 
     fn two_paths(delta_tau_s: f64) -> (WidebandPath, WidebandPath) {
         (
-            WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 },
+            WidebandPath {
+                aod_deg: 0.0,
+                gain: c64(1.0, 0.0),
+                tau_s: 20e-9,
+            },
             WidebandPath {
                 aod_deg: 30.0,
                 gain: c64(0.9, 0.0),
@@ -270,7 +273,11 @@ mod tests {
     #[test]
     fn single_path_single_beam_is_flat() {
         let g = ArrayGeometry::ula(16);
-        let p = WidebandPath { aod_deg: 10.0, gain: c64(1.0, 0.0), tau_s: 30e-9 };
+        let p = WidebandPath {
+            aod_deg: 10.0,
+            gain: c64(1.0, 0.0),
+            tau_s: 30e-9,
+        };
         let resp = single_beam_response(&g, 10.0, &[p], &freqs_400mhz(101));
         assert!(ripple_db(&resp) < 1e-9, "single path must be flat");
     }
@@ -343,11 +350,9 @@ mod tests {
         let freqs = freqs_400mhz(401);
         let arr = DelayPhasedArray::two_beam_compensated(g, &p1, &p2);
         let flat = arr.power_response(&[p1, p2], &freqs);
-        let comb = arr
-            .clone()
-            .power_response(&[p1, p2], &freqs); // same bank
-        let uncomp = DelayPhasedArray::two_beam_uncompensated(g, &p1, &p2)
-            .power_response(&[p1, p2], &freqs);
+        let comb = arr.clone().power_response(&[p1, p2], &freqs); // same bank
+        let uncomp =
+            DelayPhasedArray::two_beam_uncompensated(g, &p1, &p2).power_response(&[p1, p2], &freqs);
         let flat_level = stats::mean(&flat);
         let comb_peak = stats::max(&uncomp);
         assert!(
@@ -373,11 +378,19 @@ mod tests {
     fn delays_are_non_negative_when_path_order_flips() {
         let g = ArrayGeometry::ula(16);
         // Path 2 earlier than path 1 — compensation must flip to group 2.
-        let p1 = WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 30e-9 };
+        let p1 = WidebandPath {
+            aod_deg: 0.0,
+            gain: c64(1.0, 0.0),
+            tau_s: 30e-9,
+        };
         // 30° is a pattern null of the 16-element array steered to 0°, so
         // cross-lobe leakage (which adds a small physical ripple at other
         // separations) vanishes and the compensated response is clean.
-        let p2 = WidebandPath { aod_deg: 30.0, gain: c64(0.5, 0.0), tau_s: 22e-9 };
+        let p2 = WidebandPath {
+            aod_deg: 30.0,
+            gain: c64(0.5, 0.0),
+            tau_s: 22e-9,
+        };
         let arr = DelayPhasedArray::two_beam_compensated(g, &p1, &p2);
         assert!(arr.groups().iter().all(|grp| grp.delay_s >= 0.0));
         let resp = arr.power_response(&[p1, p2], &freqs_400mhz(101));

@@ -39,13 +39,24 @@ impl ArrayGeometry {
 
     /// The paper's 8×8 λ/2 planar array.
     pub fn paper_8x8() -> Self {
-        ArrayGeometry::Upa { nx: 8, ny: 8, spacing_wl: 0.5 }
+        ArrayGeometry::Upa {
+            nx: 8,
+            ny: 8,
+            spacing_wl: 0.5,
+        }
     }
 
     /// λ/2-spaced UPA.
     pub fn upa(nx: usize, ny: usize) -> Self {
-        assert!(nx > 0 && ny > 0, "array needs at least one element per axis");
-        ArrayGeometry::Upa { nx, ny, spacing_wl: 0.5 }
+        assert!(
+            nx > 0 && ny > 0,
+            "array needs at least one element per axis"
+        );
+        ArrayGeometry::Upa {
+            nx,
+            ny,
+            spacing_wl: 0.5,
+        }
     }
 
     /// Total number of elements.
@@ -109,9 +120,7 @@ impl ArrayGeometry {
     pub fn azimuth_cut(&self) -> ArrayGeometry {
         match *self {
             ula @ ArrayGeometry::Ula { .. } => ula,
-            ArrayGeometry::Upa { nx, spacing_wl, .. } => {
-                ArrayGeometry::Ula { n: nx, spacing_wl }
-            }
+            ArrayGeometry::Upa { nx, spacing_wl, .. } => ArrayGeometry::Ula { n: nx, spacing_wl },
         }
     }
 }
@@ -146,7 +155,13 @@ mod tests {
     #[test]
     fn azimuth_cut_of_upa_is_ula() {
         let g = ArrayGeometry::paper_8x8().azimuth_cut();
-        assert_eq!(g, ArrayGeometry::Ula { n: 8, spacing_wl: 0.5 });
+        assert_eq!(
+            g,
+            ArrayGeometry::Ula {
+                n: 8,
+                spacing_wl: 0.5
+            }
+        );
     }
 
     #[test]

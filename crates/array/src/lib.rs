@@ -19,7 +19,6 @@
 //! - [`delay_array`] — the delay-phased-array architecture for wideband
 //!   multi-beam operation (§3.4, Eq. 17).
 
-
 #![warn(missing_docs)]
 pub mod codebook;
 pub mod delay_array;

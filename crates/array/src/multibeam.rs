@@ -31,13 +31,21 @@ pub struct BeamComponent {
 impl BeamComponent {
     /// Reference component: amplitude 1, phase 0.
     pub fn reference(angle_deg: f64) -> Self {
-        Self { angle_deg, amplitude: 1.0, phase_rad: 0.0 }
+        Self {
+            angle_deg,
+            amplitude: 1.0,
+            phase_rad: 0.0,
+        }
     }
 
     /// Component with explicit relative amplitude/phase.
     pub fn new(angle_deg: f64, amplitude: f64, phase_rad: f64) -> Self {
         assert!(amplitude >= 0.0, "amplitude must be non-negative");
-        Self { angle_deg, amplitude, phase_rad }
+        Self {
+            angle_deg,
+            amplitude,
+            phase_rad,
+        }
     }
 
     /// Complex coefficient `δ·e^{-jσ}` this component contributes
@@ -58,7 +66,10 @@ pub struct MultiBeam {
 impl MultiBeam {
     /// Builds a multi-beam from components. Panics on empty input.
     pub fn new(components: Vec<BeamComponent>) -> Self {
-        assert!(!components.is_empty(), "multi-beam needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "multi-beam needs at least one component"
+        );
         Self { components }
     }
 
@@ -118,7 +129,11 @@ impl MultiBeam {
     /// well-separated-beams approximation (`|⟨w_i, w_j⟩| ≈ 0`):
     /// `p_b = δ_b² / Σ δ²`.
     pub fn power_fractions(&self) -> Vec<f64> {
-        let total: f64 = self.components.iter().map(|c| c.amplitude * c.amplitude).sum();
+        let total: f64 = self
+            .components
+            .iter()
+            .map(|c| c.amplitude * c.amplitude)
+            .sum();
         if total == 0.0 {
             return vec![0.0; self.components.len()];
         }

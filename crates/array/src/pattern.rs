@@ -93,11 +93,7 @@ pub fn first_null_offset_deg(geom: &ArrayGeometry, steer_deg: f64, sign: f64) ->
 ///
 /// This is the `G_T⁻¹` of the paper's Eq. 19: the sign of Δθ is inherently
 /// ambiguous and is resolved by the extra probe (§4.2).
-pub fn invert_gain_drop(
-    geom: &ArrayGeometry,
-    steer_deg: f64,
-    drop_db: f64,
-) -> Option<f64> {
+pub fn invert_gain_drop(geom: &ArrayGeometry, steer_deg: f64, drop_db: f64) -> Option<f64> {
     if drop_db <= 0.0 {
         return Some(0.0);
     }

@@ -48,7 +48,10 @@ pub struct Quantizer {
 impl Quantizer {
     /// Ideal pass-through quantizer.
     pub fn ideal() -> Self {
-        Self { phase_bits: None, amplitude: AmplitudeControl::Continuous }
+        Self {
+            phase_bits: None,
+            amplitude: AmplitudeControl::Continuous,
+        }
     }
 
     /// The paper's in-house array: 6-bit phase, 27 dB gain range
@@ -56,7 +59,10 @@ impl Quantizer {
     pub fn paper_array() -> Self {
         Self {
             phase_bits: Some(6),
-            amplitude: AmplitudeControl::SteppedDb { step_db: 0.5, range_db: 27.0 },
+            amplitude: AmplitudeControl::SteppedDb {
+                step_db: 0.5,
+                range_db: 27.0,
+            },
         }
     }
 
@@ -76,11 +82,7 @@ impl Quantizer {
         if input_norm == 0.0 {
             return w.clone();
         }
-        let max_amp = w
-            .as_slice()
-            .iter()
-            .map(|v| v.abs())
-            .fold(0.0f64, f64::max);
+        let max_amp = w.as_slice().iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         let mut out: Vec<Complex64> = w
             .as_slice()
             .iter()
@@ -238,7 +240,10 @@ mod tests {
         let a = crate::steering::steering_vector(&g, 10.0);
         let ideal = w.apply(&a).abs();
         let quant = q.apply(&a).abs();
-        assert!(quant > 0.7 * ideal, "2-bit beam too weak: {quant} vs {ideal}");
+        assert!(
+            quant > 0.7 * ideal,
+            "2-bit beam too weak: {quant} vs {ideal}"
+        );
     }
 
     #[test]

@@ -23,9 +23,8 @@ pub fn steering_vector_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> 
     let sv = el_deg.to_radians().sin();
     (0..geom.num_elements())
         .map(|i| {
-            let phase = -2.0
-                * PI
-                * (geom.azimuth_position_wl(i) * su + geom.elevation_position_wl(i) * sv);
+            let phase =
+                -2.0 * PI * (geom.azimuth_position_wl(i) * su + geom.elevation_position_wl(i) * sv);
             Complex64::cis(phase)
         })
         .collect()

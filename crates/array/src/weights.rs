@@ -30,7 +30,9 @@ impl BeamWeights {
     /// All-zero weights (radio muted) for an `n`-element array.
     pub fn muted(n: usize) -> Self {
         assert!(n > 0);
-        Self { w: vec![Complex64::ZERO; n] }
+        Self {
+            w: vec![Complex64::ZERO; n],
+        }
     }
 
     /// Number of elements.
@@ -124,10 +126,7 @@ mod tests {
     fn linear_combination_of_orthogonal_parts() {
         let w1 = BeamWeights::from_vec(vec![Complex64::ONE, Complex64::ZERO]);
         let w2 = BeamWeights::from_vec(vec![Complex64::ZERO, Complex64::ONE]);
-        let combo = BeamWeights::linear_combination(&[
-            (c64(0.5, 0.0), &w1),
-            (c64(0.0, 0.5), &w2),
-        ]);
+        let combo = BeamWeights::linear_combination(&[(c64(0.5, 0.0), &w1), (c64(0.0, 0.5), &w2)]);
         assert_eq!(combo.as_slice()[0], c64(0.5, 0.0));
         assert_eq!(combo.as_slice()[1], c64(0.0, 0.5));
     }

@@ -46,7 +46,7 @@ proptest! {
 
     #[test]
     fn multibeam_weights_unit_norm(
-        phi1 in angle(), phi2 in angle(), delta in 0.01..1.5f64, sigma in 0.0..6.28f64
+        phi1 in angle(), phi2 in angle(), delta in 0.01..1.5f64, sigma in 0.0..std::f64::consts::TAU
     ) {
         let mb = MultiBeam::two_beam(phi1, phi2, delta, sigma);
         let w = mb.weights(&ArrayGeometry::ula(16));
@@ -104,7 +104,7 @@ proptest! {
 
     #[test]
     fn steering_vector_elements_unit_magnitude(n in 1usize..64, az in angle(), el in -30.0..30.0f64) {
-        let g = ArrayGeometry::upa(n.min(8).max(1), 4);
+        let g = ArrayGeometry::upa(n.clamp(1, 8), 4);
         let a = mmwave_array::steering::steering_vector_az_el(&g, az, el);
         for v in &a {
             prop_assert!((v.abs() - 1.0).abs() < 1e-9);

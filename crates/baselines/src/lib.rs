@@ -18,7 +18,6 @@
 //!   truth (the upper bound of Fig. 15d).
 //! - [`strategy`] — the common trait + the mmReliable adapter.
 
-
 #![warn(missing_docs)]
 pub mod beamspy;
 pub mod nr_periodic;

@@ -51,7 +51,13 @@ pub struct NrPeriodic {
 impl NrPeriodic {
     /// Creates the baseline.
     pub fn new(cfg: NrPeriodicConfig) -> Self {
-        Self { cfg, weights: None, next_scan_s: 0.0, scans: 0, angle_deg: None }
+        Self {
+            cfg,
+            weights: None,
+            next_scan_s: 0.0,
+            scans: 0,
+            angle_deg: None,
+        }
     }
 
     fn scan(&mut self, fe: &mut dyn LinkFrontEnd) {
@@ -62,7 +68,11 @@ impl NrPeriodic {
         let n_probes = n_probes.clamp(1, cb.len());
         let mut best: Option<(f64, f64)> = None;
         for k in 0..n_probes {
-            let i = if n_probes == 1 { 0 } else { k * (cb.len() - 1) / (n_probes - 1) };
+            let i = if n_probes == 1 {
+                0
+            } else {
+                k * (cb.len() - 1) / (n_probes - 1)
+            };
             let obs = fe.probe_kind(cb.beam(i), ProbeKind::Ssb);
             let p = obs.mean_power_mw();
             if best.is_none_or(|(bp, _)| p > bp) {
@@ -154,8 +164,10 @@ mod tests {
     #[test]
     fn eight_antenna_scan_costs_3ms() {
         let mut fe = frontend(3);
-        let mut cfg = NrPeriodicConfig::default();
-        cfg.n_antennas = 8;
+        let cfg = NrPeriodicConfig {
+            n_antennas: 8,
+            ..NrPeriodicConfig::default()
+        };
         let mut s = NrPeriodic::new(cfg);
         s.on_tick(&mut fe, 0.0);
         assert!((fe.probe_airtime_s() - 3e-3).abs() < 1e-9);

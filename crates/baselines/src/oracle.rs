@@ -27,12 +27,22 @@ pub struct OracleMrt {
 impl OracleMrt {
     /// Ideal (unquantized) oracle.
     pub fn ideal(geom: mmwave_array::geometry::ArrayGeometry, rx: UeReceiver) -> Self {
-        Self { quantizer: Quantizer::ideal(), geom, rx, weights: None }
+        Self {
+            quantizer: Quantizer::ideal(),
+            geom,
+            rx,
+            weights: None,
+        }
     }
 
     /// Oracle limited by the paper's 6-bit hardware.
     pub fn quantized(geom: mmwave_array::geometry::ArrayGeometry, rx: UeReceiver) -> Self {
-        Self { quantizer: Quantizer::paper_array(), geom, rx, weights: None }
+        Self {
+            quantizer: Quantizer::paper_array(),
+            geom,
+            rx,
+            weights: None,
+        }
     }
 }
 
@@ -115,7 +125,12 @@ mod tests {
         };
         let eig = ch.wideband_oracle_weights(&geom, &UeReceiver::Omni, &freqs);
         let mrt = ch.optimal_weights(&geom, &UeReceiver::Omni);
-        assert!(avg(&eig) >= avg(&mrt) * (1.0 - 1e-9), "{} vs {}", avg(&eig), avg(&mrt));
+        assert!(
+            avg(&eig) >= avg(&mrt) * (1.0 - 1e-9),
+            "{} vs {}",
+            avg(&eig),
+            avg(&mrt)
+        );
         // And beats the single beam on the strongest path.
         let single = mmwave_array::steering::single_beam(&geom, 0.0);
         assert!(avg(&eig) >= avg(&single) * (1.0 - 1e-9));
@@ -132,7 +147,10 @@ mod tests {
         let pi = ch.received_power(&geom, &ideal.weights(), &UeReceiver::Omni);
         let pq = ch.received_power(&geom, &quant.weights(), &UeReceiver::Omni);
         assert!(pq <= pi);
-        assert!(pq > 0.9 * pi, "6-bit quantization loss too large: {pq} vs {pi}");
+        assert!(
+            pq > 0.9 * pi,
+            "6-bit quantization loss too large: {pq} vs {pi}"
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl SingleBeamReactive {
         let n_probes = n_probes.clamp(1, cb.len());
         let mut best: Option<(f64, f64)> = None; // (power, angle)
         for k in 0..n_probes {
-            let i = if n_probes == 1 { 0 } else { k * (cb.len() - 1) / (n_probes - 1) };
+            let i = if n_probes == 1 {
+                0
+            } else {
+                k * (cb.len() - 1) / (n_probes - 1)
+            };
             let obs = fe.probe_kind(cb.beam(i), ProbeKind::Ssb);
             let p = obs.mean_power_mw();
             if best.is_none_or(|(bp, _)| p > bp) {

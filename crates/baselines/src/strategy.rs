@@ -10,6 +10,7 @@
 
 use mmreliable::controller::MmReliableController;
 use mmreliable::frontend::LinkFrontEnd;
+use mmreliable::linkstate::Transition;
 use mmwave_array::weights::BeamWeights;
 use mmwave_channel::channel::GeometricChannel;
 
@@ -28,6 +29,13 @@ pub trait BeamStrategy {
     /// Genie hook: called each slot with the true channel. Only the oracle
     /// baseline uses it; real schemes must ignore it.
     fn observe_truth(&mut self, _ch: &GeometricChannel) {}
+
+    /// Takes the link lifecycle transitions recorded since the last drain.
+    /// Strategies without an explicit state machine return nothing; the
+    /// run loop forwards drained transitions into the per-run event log.
+    fn drain_transitions(&mut self) -> Vec<Transition> {
+        Vec::new()
+    }
 }
 
 /// [`BeamStrategy`] adapter for the mmReliable controller.
@@ -55,6 +63,10 @@ impl BeamStrategy for MmReliableStrategy {
     fn weights(&self) -> BeamWeights {
         self.controller.current_weights()
     }
+
+    fn drain_transitions(&mut self) -> Vec<Transition> {
+        self.controller.drain_transitions()
+    }
 }
 
 #[cfg(test)]
@@ -81,9 +93,8 @@ mod tests {
             UeReceiver::Omni,
             Rng64::seed(1),
         );
-        let mut s = MmReliableStrategy::new(MmReliableController::new(
-            MmReliableConfig::paper_default(),
-        ));
+        let mut s =
+            MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
         assert_eq!(s.name(), "mmReliable");
         s.on_tick(&mut fe, 0.0);
         assert!(s.controller.multibeam().is_some());

@@ -54,7 +54,13 @@ pub struct WideBeamStrategy {
 impl WideBeamStrategy {
     /// Creates the baseline.
     pub fn new(cfg: WideBeamConfig) -> Self {
-        Self { cfg, angle_deg: None, weights: None, consecutive_fails: 0, scans: 0 }
+        Self {
+            cfg,
+            angle_deg: None,
+            weights: None,
+            consecutive_fails: 0,
+            scans: 0,
+        }
     }
 
     /// Current pointing angle.
@@ -182,8 +188,10 @@ mod tests {
     #[test]
     fn deep_outage_eventually_rescans_when_configured() {
         let mut fe = frontend(3);
-        let mut cfg = WideBeamConfig::default();
-        cfg.fails_before_rescan = 4;
+        let cfg = WideBeamConfig {
+            fails_before_rescan: 4,
+            ..WideBeamConfig::default()
+        };
         let mut s = WideBeamStrategy::new(cfg);
         s.on_tick(&mut fe, 0.0);
         for p in fe.channel.paths.iter_mut() {

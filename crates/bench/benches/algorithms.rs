@@ -37,7 +37,11 @@ fn synth_probe(k: usize) -> ProbeObservation {
             acc + rng.awgn(1e-6)
         })
         .collect();
-    ProbeObservation { csi, freqs_hz: freqs, noise_power_mw: 1e-6 }
+    ProbeObservation {
+        csi,
+        freqs_hz: freqs,
+        noise_power_mw: 1e-6,
+    }
 }
 
 fn bench_superres(c: &mut Criterion) {

@@ -27,7 +27,9 @@ fn bench_multibeam_synthesis(c: &mut Criterion) {
         mmwave_array::multibeam::BeamComponent::new(30.0, 0.6, 1.0),
         mmwave_array::multibeam::BeamComponent::new(-40.0, 0.4, -0.5),
     ]);
-    c.bench_function("multibeam_weights_3beam_64el", |b| b.iter(|| mb.weights(&geom)));
+    c.bench_function("multibeam_weights_3beam_64el", |b| {
+        b.iter(|| mb.weights(&geom))
+    });
 }
 
 fn bench_quantizer(c: &mut Criterion) {
@@ -41,7 +43,9 @@ fn bench_pattern(c: &mut Criterion) {
     let geom = ArrayGeometry::paper_8x8();
     let w = single_beam(&geom, 10.0);
     let angles: Vec<f64> = (0..121).map(|i| i as f64 - 60.0).collect();
-    c.bench_function("pattern_cut_121pts", |b| b.iter(|| pattern_cut(&geom, &w, &angles)));
+    c.bench_function("pattern_cut_121pts", |b| {
+        b.iter(|| pattern_cut(&geom, &w, &angles))
+    });
     c.bench_function("invert_gain_drop", |b| {
         b.iter(|| invert_gain_drop(&geom, 10.0, 6.0))
     });

@@ -15,7 +15,9 @@ use mmwave_phy::grid::ResourceGrid;
 
 fn bench_paths_to(c: &mut Criterion) {
     let scene = Scene::conference_room(FC_28GHZ);
-    c.bench_function("scene_paths_to", |b| b.iter(|| scene.paths_to(v2(0.9, 7.0), 180.0)));
+    c.bench_function("scene_paths_to", |b| {
+        b.iter(|| scene.paths_to(v2(0.9, 7.0), 180.0))
+    });
 }
 
 fn bench_csi(c: &mut Criterion) {
@@ -51,5 +53,11 @@ fn bench_oracle_weights(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_paths_to, bench_csi, bench_probe, bench_oracle_weights);
+criterion_group!(
+    benches,
+    bench_paths_to,
+    bench_csi,
+    bench_probe,
+    bench_oracle_weights
+);
 criterion_main!(benches);

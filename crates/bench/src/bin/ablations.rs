@@ -44,7 +44,13 @@ fn quantizer_study(runs: usize, mcs: &McsTable) {
     ] {
         let mut cfg = MmReliableConfig::paper_default();
         cfg.quantizer = q;
-        let results = run_many(runs, 9100, 8, scenario::mixed_mobility_blockage, mm_with(cfg));
+        let results = run_many(
+            runs,
+            9100,
+            8,
+            scenario::mixed_mobility_blockage,
+            mm_with(cfg),
+        );
         let agg = Aggregate::from_runs(&results, mcs);
         csv.push_str(&format!(
             "{name},{:.4},{:.1},{:.1}\n",
@@ -68,7 +74,13 @@ fn beams_study(runs: usize, mcs: &McsTable) {
     for k in [1usize, 2, 3] {
         let mut cfg = MmReliableConfig::paper_default();
         cfg.max_beams = k;
-        let results = run_many(runs, 9200, 8, scenario::mixed_mobility_blockage, mm_with(cfg));
+        let results = run_many(
+            runs,
+            9200,
+            8,
+            scenario::mixed_mobility_blockage,
+            mm_with(cfg),
+        );
         let agg = Aggregate::from_runs(&results, mcs);
         csv.push_str(&format!(
             "{k},{:.4},{:.1},{:.1}\n",
@@ -125,8 +137,10 @@ fn latency_study(runs: usize, mcs: &McsTable) {
     let mut csv = String::from("recovery_ms,rel_mean,tput_mbps\n");
     for rec_ms in [0.0, 50.0, 100.0, 200.0, 300.0] {
         let factory = move || -> Box<dyn BeamStrategy + Send> {
-            let mut cfg = ReactiveConfig::default();
-            cfg.recovery_latency_s = rec_ms * 1e-3;
+            let cfg = ReactiveConfig {
+                recovery_latency_s: rec_ms * 1e-3,
+                ..ReactiveConfig::default()
+            };
             Box::new(SingleBeamReactive::new(cfg))
         };
         let results = run_many(runs, 9400, 8, scenario::mixed_mobility_blockage, factory);

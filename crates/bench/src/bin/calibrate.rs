@@ -16,13 +16,15 @@ use mmwave_phy::mcs::McsTable;
 use mmwave_sim::runner::{run_many, Aggregate};
 use mmwave_sim::scenario;
 
+type StrategyFactory = Box<dyn Fn() -> Box<dyn BeamStrategy + Send> + Sync>;
+
 fn main() {
     let n_runs: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
     let mcs = McsTable::nr_table();
-    let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn BeamStrategy + Send> + Sync>)> = vec![
+    let factories: Vec<(&str, StrategyFactory)> = vec![
         (
             "mmReliable",
             Box::new(|| {
@@ -50,7 +52,10 @@ fn main() {
         (
             "oracle",
             Box::new(|| {
-                Box::new(OracleMrt::ideal(ArrayGeometry::paper_8x8(), UeReceiver::Omni))
+                Box::new(OracleMrt::ideal(
+                    ArrayGeometry::paper_8x8(),
+                    UeReceiver::Omni,
+                ))
             }),
         ),
     ];

@@ -46,7 +46,12 @@ fn nr_factory() -> Factory {
 }
 
 fn oracle_factory() -> Factory {
-    Box::new(|| Box::new(OracleMrt::ideal(ArrayGeometry::paper_8x8(), UeReceiver::Omni)))
+    Box::new(|| {
+        Box::new(OracleMrt::ideal(
+            ArrayGeometry::paper_8x8(),
+            UeReceiver::Omni,
+        ))
+    })
 }
 
 /// Fig. 16: SNR time series under a walker crossing the link — the
@@ -205,17 +210,29 @@ pub fn fig17c(runs: usize) {
                 }
             }
         }
-        let mean_tput = stats::mean(&results.iter().map(|r| r.mean_throughput_bps(&mcs)).collect::<Vec<_>>());
-        println!("{name}: mean throughput {:.0} Mbps over {} runs", mean_tput / 1e6, results.len());
+        let mean_tput = stats::mean(
+            &results
+                .iter()
+                .map(|r| r.mean_throughput_bps(&mcs))
+                .collect::<Vec<_>>(),
+        );
+        println!(
+            "{name}: mean throughput {:.0} Mbps over {} runs",
+            mean_tput / 1e6,
+            results.len()
+        );
         columns.push(grid.iter().copied().zip(avg).collect());
         names.push(*name);
     }
-    let mut csv = format!("t_s,{}_mbps,{}_mbps,{}_mbps\n", names[0], names[1], names[2]);
-    for i in 0..columns[0].len() {
+    let mut csv = format!(
+        "t_s,{}_mbps,{}_mbps,{}_mbps\n",
+        names[0], names[1], names[2]
+    );
+    for (i, &(t_s, first_bps)) in columns[0].iter().enumerate() {
         csv.push_str(&format!(
             "{:.3},{:.1},{:.1},{:.1}\n",
-            columns[0][i].0 - 0.06,
-            columns[0][i].1 / 1e6,
+            t_s - 0.06,
+            first_bps / 1e6,
             columns[1][i].1 / 1e6,
             columns[2][i].1 / 1e6
         ));
@@ -236,7 +253,13 @@ pub fn fig18a(runs: usize) {
     // Unblocked reference: the same static scenario without the walker.
     let mut reference = f64::NAN;
     for (name, factory) in &entries {
-        let blocked = run_many(runs, 1800, 8, |_| scenario::static_walker(), factory.as_ref());
+        let blocked = run_many(
+            runs,
+            1800,
+            8,
+            |_| scenario::static_walker(),
+            factory.as_ref(),
+        );
         let agg = Aggregate::from_runs(&blocked, &mcs);
         let unblocked = run_many(
             4,
@@ -310,9 +333,8 @@ pub fn fig18c(runs: usize) {
         ("nr_periodic", nr_factory()),
         ("oracle", oracle_factory()),
     ];
-    let mut csv = String::from(
-        "strategy,rel_mean,rel_std,tput_mbps_mean,tput_mbps_std,product_mbps\n",
-    );
+    let mut csv =
+        String::from("strategy,rel_mean,rel_std,tput_mbps_mean,tput_mbps_std,product_mbps\n");
     let mut products = std::collections::BTreeMap::new();
     for (name, factory) in &entries {
         let results = run_many(
@@ -410,5 +432,7 @@ pub fn fig19(runs: usize) {
     let g60 = tputs[&("60GHz", "mmReliable")] / tputs[&("60GHz", "single_beam")];
     let cross = tputs[&("28GHz", "mmReliable")] / tputs[&("60GHz", "mmReliable")];
     println!("multi-beam gain over single-beam: 28 GHz {g28:.2}× | 60 GHz {g60:.2}× (paper: 1.18× at both bands)");
-    println!("28 GHz vs 60 GHz mmReliable throughput: {cross:.1}× (paper: 4.7× at equal bandwidth)");
+    println!(
+        "28 GHz vs 60 GHz mmReliable throughput: {cross:.1}× (paper: 4.7× at equal bandwidth)"
+    );
 }

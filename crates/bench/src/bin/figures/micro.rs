@@ -53,8 +53,11 @@ pub fn fig04a() {
         ));
     }
     write_csv("fig04a.csv", &csv).unwrap();
-    println!("median reflector attenuation: indoor {:.1} dB (paper 7.2), outdoor {:.1} dB (paper 5.0)",
-        median(&indoor), median(&outdoor));
+    println!(
+        "median reflector attenuation: indoor {:.1} dB (paper 7.2), outdoor {:.1} dB (paper 5.0)",
+        median(&indoor),
+        median(&outdoor)
+    );
 }
 
 /// Fig. 4b: angle-power heatmap over time as the UE translates through the
@@ -71,7 +74,12 @@ pub fn fig04b() {
         for k in 0..61 {
             let angle = -60.0 + 2.0 * k as f64;
             let p = ch.received_power(&geom, &single_beam(&geom, angle), &rx);
-            csv.push_str(&format!("{:.2},{:.1},{:.1}\n", t, angle, db_from_pow(p.max(1e-30))));
+            csv.push_str(&format!(
+                "{:.2},{:.1},{:.1}\n",
+                t,
+                angle,
+                db_from_pow(p.max(1e-30))
+            ));
         }
     }
     write_csv("fig04b.csv", &csv).unwrap();
@@ -80,7 +88,11 @@ pub fn fig04b() {
 
 fn fig07_paths(delta_tau_ns: f64) -> (WidebandPath, WidebandPath) {
     (
-        WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 },
+        WidebandPath {
+            aod_deg: 0.0,
+            gain: c64(1.0, 0.0),
+            tau_s: 20e-9,
+        },
         WidebandPath {
             aod_deg: 30.0,
             gain: c64(0.9, 0.0),
@@ -95,12 +107,16 @@ fn fig07_paths(delta_tau_ns: f64) -> (WidebandPath, WidebandPath) {
 pub fn fig07() {
     let geom = ArrayGeometry::ula(16);
     let freqs: Vec<f64> = (0..201).map(|i| -200e6 + 2e6 * i as f64).collect();
-    let single_path = [WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 }];
+    let single_path = [WidebandPath {
+        aod_deg: 0.0,
+        gain: c64(1.0, 0.0),
+        tau_s: 20e-9,
+    }];
     let flat = single_beam_response(&geom, 0.0, &single_path, &freqs);
     let (p1, p2) = fig07_paths(5.0);
     let comb = phase_only_multibeam_response(&geom, &p1, &p2, &freqs);
-    let comp = DelayPhasedArray::two_beam_compensated(geom, &p1, &p2)
-        .power_response(&[p1, p2], &freqs);
+    let comp =
+        DelayPhasedArray::two_beam_compensated(geom, &p1, &p2).power_response(&[p1, p2], &freqs);
     let mut csv = String::from("freq_mhz,single_path_db,two_path_comb_db,delay_comp_db\n");
     for i in 0..freqs.len() {
         csv.push_str(&format!(
@@ -136,10 +152,10 @@ pub fn fig08() {
             .power_response(&[p1, p2], &freqs);
         series.push((uncomp, comp));
     }
-    for i in 0..freqs.len() {
+    for (i, &freq) in freqs.iter().enumerate() {
         csv.push_str(&format!(
             "{:.1},{:.2},{:.2},{:.2},{:.2}\n",
-            freqs[i] / 1e6,
+            freq / 1e6,
             db_from_pow(series[0].0[i].max(1e-12)),
             db_from_pow(series[0].1[i].max(1e-12)),
             db_from_pow(series[1].0[i].max(1e-12)),
@@ -181,7 +197,11 @@ fn synth_probe(
             cfo * acc + rng.awgn(noise_pow)
         })
         .collect();
-    ProbeObservation { csi, freqs_hz: freqs, noise_power_mw: noise_pow.max(1e-18) }
+    ProbeObservation {
+        csi,
+        freqs_hz: freqs,
+        noise_power_mw: noise_pow.max(1e-18),
+    }
 }
 
 /// Fig. 11a: per-beam power estimation MSE vs relative ToF — the
@@ -256,8 +276,10 @@ pub fn fig11b() {
     let mut csv = String::from("tap_ns,cir_mag,fit_total,sinc1,sinc2\n");
     for (i, v) in cir.iter().enumerate().take(40) {
         let t = i as f64 * tap_ns;
-        let s1 = est.alphas[0].abs() * sinc((t - est.tau0_ns - est.rel_delays_ns[0]) / tap_ns).abs();
-        let s2 = est.alphas[1].abs() * sinc((t - est.tau0_ns - est.rel_delays_ns[1]) / tap_ns).abs();
+        let s1 =
+            est.alphas[0].abs() * sinc((t - est.tau0_ns - est.rel_delays_ns[0]) / tap_ns).abs();
+        let s2 =
+            est.alphas[1].abs() * sinc((t - est.tau0_ns - est.rel_delays_ns[1]) / tap_ns).abs();
         csv.push_str(&format!(
             "{:.2},{:.6e},{:.6e},{:.6e},{:.6e}\n",
             t,
@@ -272,7 +294,10 @@ pub fn fig11b() {
         "two sincs recovered at τ₀ = {:.1} ns, Δτ = {:.1} ns; per-beam powers {:?} dB",
         est.tau0_ns,
         est.rel_delays_ns[1],
-        est.powers_db().iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>()
+        est.powers_db()
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -427,9 +452,17 @@ pub fn fig15c() {
     let w3 = MultiBeam::two_beam(0.0, 30.0, 1.0, 0.0).weights(&geom);
     let w4 = MultiBeam::two_beam(0.0, 30.0, 1.0, -PI / 2.0).weights(&geom);
     let obs3 = fe.probe(&w3);
-    let p3: Vec<f64> = obs3.csi.iter().map(|v| (v.norm_sqr() - obs3.noise_power_mw).max(0.0)).collect();
+    let p3: Vec<f64> = obs3
+        .csi
+        .iter()
+        .map(|v| (v.norm_sqr() - obs3.noise_power_mw).max(0.0))
+        .collect();
     let obs4 = fe.probe(&w4);
-    let p4: Vec<f64> = obs4.csi.iter().map(|v| (v.norm_sqr() - obs4.noise_power_mw).max(0.0)).collect();
+    let p4: Vec<f64> = obs4
+        .csi
+        .iter()
+        .map(|v| (v.norm_sqr() - obs4.noise_power_mw).max(0.0))
+        .collect();
     let mut csv = String::from("freq_mhz,rel_phase_rad\n");
     let mut phases = Vec::new();
     for i in 0..p1.len() {

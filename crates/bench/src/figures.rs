@@ -6,9 +6,9 @@ use std::path::Path;
 /// Every figure id the `figures` binary can regenerate.
 pub fn all_figure_ids() -> Vec<&'static str> {
     vec![
-        "fig04a", "fig04b", "fig07", "fig08", "fig11a", "fig11b", "fig13d",
-        "fig14", "fig15a", "fig15b", "fig15c", "fig15d", "fig16", "fig17a",
-        "fig17b", "fig17c", "fig18a", "fig18b", "fig18c", "fig18d", "fig19",
+        "fig04a", "fig04b", "fig07", "fig08", "fig11a", "fig11b", "fig13d", "fig14", "fig15a",
+        "fig15b", "fig15c", "fig15d", "fig16", "fig17a", "fig17b", "fig17c", "fig18a", "fig18b",
+        "fig18c", "fig18d", "fig19",
     ]
 }
 

@@ -27,10 +27,42 @@ pub struct BlockageEvent {
 
 impl BlockageEvent {
     /// The paper's nominal event: 10 dB/0.9 ms ramp to the given depth.
+    /// Panics on invalid inputs (see [`BlockageEvent::validate`]).
     pub fn nominal(path_idx: usize, start_s: f64, depth_db: f64, hold_s: f64) -> Self {
         // 10 dB per 10 OFDM symbols (8.93 µs each) → scale ramp to depth.
         let ramp_s = depth_db / 10.0 * 10.0 * 8.93e-6;
-        Self { path_idx, start_s, ramp_s, depth_db, hold_s }
+        let e = Self {
+            path_idx,
+            start_s,
+            ramp_s,
+            depth_db,
+            hold_s,
+        };
+        if let Err(msg) = e.validate() {
+            panic!("invalid blockage event: {msg}");
+        }
+        e
+    }
+
+    /// Checks the event is physically meaningful: all times finite, start
+    /// non-negative, ramp/hold non-negative, depth non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.start_s.is_finite() || self.start_s < 0.0 {
+            return Err(format!("start_s {} must be finite and >= 0", self.start_s));
+        }
+        if !self.ramp_s.is_finite() || self.ramp_s < 0.0 {
+            return Err(format!("ramp_s {} must be finite and >= 0", self.ramp_s));
+        }
+        if !self.hold_s.is_finite() || self.hold_s < 0.0 {
+            return Err(format!("hold_s {} must be finite and >= 0", self.hold_s));
+        }
+        if !self.depth_db.is_finite() || self.depth_db < 0.0 {
+            return Err(format!(
+                "depth_db {} must be finite and >= 0",
+                self.depth_db
+            ));
+        }
+        Ok(())
     }
 
     /// Attenuation contributed by this event at time `t_s`, dB (≥ 0).
@@ -71,8 +103,14 @@ impl BlockageProcess {
         Self::default()
     }
 
-    /// From explicit events.
+    /// From explicit events. Panics if any event fails
+    /// [`BlockageEvent::validate`].
     pub fn from_events(events: Vec<BlockageEvent>) -> Self {
+        for (i, e) in events.iter().enumerate() {
+            if let Err(msg) = e.validate() {
+                panic!("invalid blockage event #{i}: {msg}");
+            }
+        }
         Self { events }
     }
 
@@ -109,8 +147,11 @@ impl BlockageProcess {
         &self.events
     }
 
-    /// Adds an event.
+    /// Adds an event. Panics if it fails [`BlockageEvent::validate`].
     pub fn push(&mut self, e: BlockageEvent) {
+        if let Err(msg) = e.validate() {
+            panic!("invalid blockage event: {msg}");
+        }
         self.events.push(e);
     }
 
@@ -123,7 +164,10 @@ impl BlockageProcess {
             .events
             .iter()
             .filter(|e| e.path_idx == from_path)
-            .map(|e| BlockageEvent { path_idx: to_path, ..*e })
+            .map(|e| BlockageEvent {
+                path_idx: to_path,
+                ..*e
+            })
             .collect();
         self.events.extend(cloned);
     }
@@ -187,18 +231,118 @@ mod tests {
     #[test]
     fn process_sums_overlapping_events() {
         let p = BlockageProcess::from_events(vec![
-            BlockageEvent { path_idx: 0, start_s: 0.0, ramp_s: 0.01, depth_db: 10.0, hold_s: 1.0 },
-            BlockageEvent { path_idx: 0, start_s: 0.5, ramp_s: 0.01, depth_db: 5.0, hold_s: 1.0 },
+            BlockageEvent {
+                path_idx: 0,
+                start_s: 0.0,
+                ramp_s: 0.01,
+                depth_db: 10.0,
+                hold_s: 1.0,
+            },
+            BlockageEvent {
+                path_idx: 0,
+                start_s: 0.5,
+                ramp_s: 0.01,
+                depth_db: 5.0,
+                hold_s: 1.0,
+            },
         ]);
         assert!((p.attenuation_db(0, 0.6) - 15.0).abs() < 1e-9);
         assert!((p.attenuation_db(1, 0.6) - 0.0).abs() < 1e-9);
     }
 
     #[test]
+    fn overlapping_ramps_sum_pointwise() {
+        // Two events whose ramps overlap: attenuation is the pointwise sum
+        // of the two trapezoids, not the max.
+        let a = BlockageEvent {
+            path_idx: 0,
+            start_s: 0.0,
+            ramp_s: 0.1,
+            depth_db: 20.0,
+            hold_s: 0.2,
+        };
+        let b = BlockageEvent {
+            path_idx: 0,
+            start_s: 0.05,
+            ramp_s: 0.1,
+            depth_db: 10.0,
+            hold_s: 0.2,
+        };
+        let p = BlockageProcess::from_events(vec![a, b]);
+        for t in [0.02, 0.08, 0.12, 0.25, 0.38] {
+            let expect = a.attenuation_db(t) + b.attenuation_db(t);
+            assert!(
+                (p.attenuation_db(0, t) - expect).abs() < 1e-12,
+                "t={t}: {} vs {expect}",
+                p.attenuation_db(0, t)
+            );
+        }
+        // Mid-overlap sanity: both ramps contribute partial depth.
+        assert!(p.attenuation_db(0, 0.08) > 16.0);
+    }
+
+    #[test]
+    fn mirrored_events_stack_independently_per_path() {
+        let mut p = BlockageProcess::from_events(vec![BlockageEvent::nominal(0, 0.1, 30.0, 0.2)]);
+        p.mirror_events(0, 3);
+        assert_eq!(p.events().len(), 2);
+        // Each path sees one copy at full depth, not a doubled stack.
+        assert!((p.attenuation_db(0, 0.2) - 30.0).abs() < 1e-9);
+        assert!((p.attenuation_db(3, 0.2) - 30.0).abs() < 1e-9);
+        assert_eq!(p.attenuation_db(1, 0.2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid blockage event")]
+    fn nominal_rejects_negative_depth() {
+        let _ = BlockageEvent::nominal(0, 0.1, -5.0, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid blockage event")]
+    fn from_events_rejects_non_finite_times() {
+        let _ = BlockageProcess::from_events(vec![BlockageEvent {
+            path_idx: 0,
+            start_s: f64::NAN,
+            ramp_s: 0.01,
+            depth_db: 10.0,
+            hold_s: 0.1,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid blockage event")]
+    fn push_rejects_negative_hold() {
+        let mut p = BlockageProcess::none();
+        p.push(BlockageEvent {
+            path_idx: 0,
+            start_s: 0.0,
+            ramp_s: 0.01,
+            depth_db: 10.0,
+            hold_s: -0.1,
+        });
+    }
+
+    #[test]
+    fn zero_depth_event_is_valid_and_inert() {
+        let e = BlockageEvent::nominal(0, 0.1, 0.0, 0.2);
+        assert_eq!(e.ramp_s, 0.0);
+        for t in [0.05, 0.1, 0.2, 0.4] {
+            assert_eq!(e.attenuation_db(t), 0.0);
+        }
+    }
+
+    #[test]
     fn apply_sets_blockage_on_paths() {
         let mut paths = vec![
             Path::new(0.0, 0.0, c64(1.0, 0.0), 20.0, PathKind::Los),
-            Path::new(30.0, 0.0, c64(0.5, 0.0), 25.0, PathKind::Reflected { wall: 0 }),
+            Path::new(
+                30.0,
+                0.0,
+                c64(0.5, 0.0),
+                25.0,
+                PathKind::Reflected { wall: 0 },
+            ),
         ];
         let p = BlockageProcess::from_events(vec![BlockageEvent {
             path_idx: 1,

@@ -192,9 +192,7 @@ impl GeometricChannel {
             .map(|&f| self.element_response_at(geom, rx, f))
             .collect();
         // Power iteration on R·w = Σ_f h*(f)·(h(f)ᵀ·w), starting from MRT.
-        let mut w: Vec<Complex64> = self
-            .optimal_weights(geom, rx)
-            .into_vec();
+        let mut w: Vec<Complex64> = self.optimal_weights(geom, rx).into_vec();
         for _ in 0..40 {
             let mut next = vec![Complex64::ZERO; n];
             for h in &rows {
@@ -266,7 +264,10 @@ mod tests {
         let w = single_beam(&g, 12.0);
         let p = ch.received_power(&g, &w, &UeReceiver::Omni);
         let opt = ch.optimal_power(&g, &UeReceiver::Omni);
-        assert!((p - opt).abs() < 1e-9 * opt, "single beam {p} vs optimal {opt}");
+        assert!(
+            (p - opt).abs() < 1e-9 * opt,
+            "single beam {p} vs optimal {opt}"
+        );
         // N·|γ|² = 8·0.64
         assert!((p - 8.0 * 0.64).abs() < 1e-9);
     }
@@ -322,7 +323,10 @@ mod tests {
         let csi = ch.csi(&g, &w, &UeReceiver::Omni, &freqs);
         let powers: Vec<f64> = csi.iter().map(|v| v.norm_sqr()).collect();
         let ripple = mmwave_dsp::stats::max(&powers) / mmwave_dsp::stats::min(&powers);
-        assert!(ripple > 2.0, "expected frequency selectivity, ripple {ripple}");
+        assert!(
+            ripple > 2.0,
+            "expected frequency selectivity, ripple {ripple}"
+        );
     }
 
     #[test]
@@ -332,7 +336,7 @@ mod tests {
         let w = MultiBeam::two_beam(0.0, 30.0, 0.8, 0.0).weights(&g);
         let bw = 400e6;
         let ts = 1.0 / bw; // 2.5 ns
-        // Δτ = 5 ns = 2 taps; guard of 2 taps.
+                           // Δτ = 5 ns = 2 taps; guard of 2 taps.
         let cir = ch.cir(&g, &w, &UeReceiver::Omni, bw, 16, 2.0 * ts);
         let mags: Vec<f64> = cir.iter().map(|v| v.abs()).collect();
         // Peaks at taps 2 (LOS) and 4 (reflection).

@@ -128,7 +128,10 @@ mod tests {
         DynamicChannel::new(
             Scene::conference_room(FC_28GHZ),
             Trajectory::Static {
-                pose: Pose { pos: v2(0.0, 7.0), facing_deg: 180.0 },
+                pose: Pose {
+                    pos: v2(0.0, 7.0),
+                    facing_deg: 180.0,
+                },
             },
             BlockageProcess::none(),
         )

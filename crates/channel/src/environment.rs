@@ -87,7 +87,13 @@ pub struct Scene {
 impl Scene {
     /// Creates an empty scene (LOS only).
     pub fn open(fc_hz: f64, gnb: Vec2) -> Self {
-        Self { fc_hz, gnb, walls: Vec::new(), extra_reflection_loss_db: 0.0, max_bounces: 1 }
+        Self {
+            fc_hz,
+            gnb,
+            walls: Vec::new(),
+            extra_reflection_loss_db: 0.0,
+            max_bounces: 1,
+        }
     }
 
     /// The paper's indoor setting: a 7 m × 10 m conference room with glass
@@ -121,7 +127,13 @@ impl Scene {
                 material: Material::Metal,
             },
         ];
-        Self { fc_hz, gnb: v2(0.0, 0.2), walls, extra_reflection_loss_db: 0.0, max_bounces: 1 }
+        Self {
+            fc_hz,
+            gnb: v2(0.0, 0.2),
+            walls,
+            extra_reflection_loss_db: 0.0,
+            max_bounces: 1,
+        }
     }
 
     /// The paper's outdoor setting: a long link running beside a large
@@ -139,7 +151,13 @@ impl Scene {
                 material: Material::Concrete,
             },
         ];
-        Self { fc_hz, gnb: v2(0.0, 0.0), walls, extra_reflection_loss_db: 0.0, max_bounces: 1 }
+        Self {
+            fc_hz,
+            gnb: v2(0.0, 0.0),
+            walls,
+            extra_reflection_loss_db: 0.0,
+            max_bounces: 1,
+        }
     }
 
     /// Appendix B's Wireless-Insite scenario: a 10 m link with one concrete
@@ -155,7 +173,13 @@ impl Scene {
         // slightly better specular reflector than the nominal material
         // (without this the 60 GHz reflector falls below the decode
         // threshold and the band comparison loses its meaning).
-        Self { fc_hz, gnb: v2(0.0, 0.0), walls, extra_reflection_loss_db: -2.0, max_bounces: 1 }
+        Self {
+            fc_hz,
+            gnb: v2(0.0, 0.0),
+            walls,
+            extra_reflection_loss_db: -2.0,
+            max_bounces: 1,
+        }
     }
 
     /// Free-space amplitude gain over distance `d_m`: `λ/(4πd)`.
@@ -273,7 +297,10 @@ impl Scene {
                     aoa,
                     self.ray_gain(total, loss),
                     total / SPEED_OF_LIGHT * 1e9,
-                    PathKind::DoubleReflected { first: i, second: j },
+                    PathKind::DoubleReflected {
+                        first: i,
+                        second: j,
+                    },
                 ));
             }
         }
@@ -322,7 +349,11 @@ mod tests {
             .find(|p| matches!(p.kind, PathKind::Reflected { wall: 1 }))
             .expect("right-wall path");
         // Symmetric setup: AoD ≈ atan2(7, 3.4) from +y ≈ 45.8°.
-        assert!(right.aod_deg > 30.0 && right.aod_deg < 60.0, "aod {}", right.aod_deg);
+        assert!(
+            right.aod_deg > 30.0 && right.aod_deg < 60.0,
+            "aod {}",
+            right.aod_deg
+        );
         // Reflection is longer than LOS.
         assert!(right.tof_ns > paths[0].tof_ns);
         // And weaker.
@@ -431,7 +462,10 @@ mod tests {
         s.max_bounces = 2;
         let ue = v2(0.9, 7.0);
         let paths = s.paths_to(ue, 180.0);
-        for p in paths.iter().filter(|p| matches!(p.kind, PathKind::DoubleReflected { .. })) {
+        for p in paths
+            .iter()
+            .filter(|p| matches!(p.kind, PathKind::DoubleReflected { .. }))
+        {
             let d_m = p.tof_ns * 1e-9 * SPEED_OF_LIGHT;
             // Any double bounce is at least as long as LOS + wall spacing
             // margin; sanity bound: between the LOS length and 5× it.
@@ -457,7 +491,10 @@ mod tests {
         let weak = s.paths_to(v2(0.0, 7.0), 180.0);
         assert_eq!(base[0].effective_gain(), weak[0].effective_gain()); // LOS untouched
         for (b, w) in base.iter().zip(&weak).skip(1) {
-            assert!((db_from_amp(b.effective_gain().abs() / w.effective_gain().abs()) - 10.0).abs() < 1e-6);
+            assert!(
+                (db_from_amp(b.effective_gain().abs() / w.effective_gain().abs()) - 10.0).abs()
+                    < 1e-6
+            );
         }
     }
 }

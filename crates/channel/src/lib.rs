@@ -22,7 +22,6 @@
 //! - [`sampling`] — stochastic reflector-strength sampling for the
 //!   measurement-study reproduction (Fig. 4a).
 
-
 #![warn(missing_docs)]
 pub mod blockage;
 pub mod channel;

@@ -99,7 +99,11 @@ mod tests {
     fn noise_floor_reference() {
         let b = LinkBudget::paper_28ghz();
         // −174 + 10·log10(400e6) + 5 ≈ −83 dBm
-        assert!((b.noise_dbm() + 83.0).abs() < 0.2, "noise {}", b.noise_dbm());
+        assert!(
+            (b.noise_dbm() + 83.0).abs() < 0.2,
+            "noise {}",
+            b.noise_dbm()
+        );
     }
 
     #[test]

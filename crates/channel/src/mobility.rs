@@ -64,7 +64,10 @@ impl Trajectory {
     /// gNB.
     pub fn paper_translation(start_pos: Vec2) -> Self {
         Trajectory::Translation {
-            start: Pose { pos: start_pos, facing_deg: 180.0 },
+            start: Pose {
+                pos: start_pos,
+                facing_deg: 180.0,
+            },
             velocity: v2(1.5, 0.0),
         }
     }
@@ -72,7 +75,10 @@ impl Trajectory {
     /// The paper's rotation experiment: 24°/s in place (typical VR headset).
     pub fn paper_rotation(pos: Vec2) -> Self {
         Trajectory::Rotation {
-            start: Pose { pos, facing_deg: 180.0 },
+            start: Pose {
+                pos,
+                facing_deg: 180.0,
+            },
             rate_deg_s: 24.0,
         }
     }
@@ -89,7 +95,11 @@ impl Trajectory {
                 pos: start.pos + velocity * t_s,
                 facing_deg: start.facing_deg,
             },
-            Trajectory::TranslateRotate { start, velocity, rate_deg_s } => Pose {
+            Trajectory::TranslateRotate {
+                start,
+                velocity,
+                rate_deg_s,
+            } => Pose {
                 pos: start.pos + velocity * t_s,
                 facing_deg: start.facing_deg + rate_deg_s * t_s,
             },
@@ -109,7 +119,10 @@ impl Trajectory {
 
 /// Linear interpolation over timestamped pose knots, clamped at the ends.
 fn waypoint_pose(knots: &[(f64, Pose)], t_s: f64) -> Pose {
-    assert!(!knots.is_empty(), "waypoint trajectory needs at least one knot");
+    assert!(
+        !knots.is_empty(),
+        "waypoint trajectory needs at least one knot"
+    );
     if t_s <= knots[0].0 {
         return knots[0].1;
     }
@@ -133,7 +146,10 @@ mod tests {
     #[test]
     fn static_pose_constant() {
         let t = Trajectory::Static {
-            pose: Pose { pos: v2(1.0, 7.0), facing_deg: 180.0 },
+            pose: Pose {
+                pos: v2(1.0, 7.0),
+                facing_deg: 180.0,
+            },
         };
         assert_eq!(t.pose_at(0.0), t.pose_at(5.0));
         assert!(!t.is_mobile());
@@ -160,7 +176,10 @@ mod tests {
     #[test]
     fn combined_motion() {
         let t = Trajectory::TranslateRotate {
-            start: Pose { pos: Vec2::ZERO, facing_deg: 0.0 },
+            start: Pose {
+                pos: Vec2::ZERO,
+                facing_deg: 0.0,
+            },
             velocity: v2(1.0, 2.0),
             rate_deg_s: -10.0,
         };
@@ -173,9 +192,27 @@ mod tests {
     fn waypoints_interpolate_and_clamp() {
         let t = Trajectory::Waypoints {
             knots: vec![
-                (0.0, Pose { pos: v2(0.0, 7.0), facing_deg: 180.0 }),
-                (1.0, Pose { pos: v2(1.0, 7.0), facing_deg: 190.0 }),
-                (2.0, Pose { pos: v2(1.0, 8.0), facing_deg: 170.0 }),
+                (
+                    0.0,
+                    Pose {
+                        pos: v2(0.0, 7.0),
+                        facing_deg: 180.0,
+                    },
+                ),
+                (
+                    1.0,
+                    Pose {
+                        pos: v2(1.0, 7.0),
+                        facing_deg: 190.0,
+                    },
+                ),
+                (
+                    2.0,
+                    Pose {
+                        pos: v2(1.0, 8.0),
+                        facing_deg: 170.0,
+                    },
+                ),
             ],
         };
         // Clamp before the first knot.
@@ -192,7 +229,13 @@ mod tests {
         assert_eq!(t.pose_at(99.0), t.pose_at(2.0));
         assert!(t.is_mobile());
         let single = Trajectory::Waypoints {
-            knots: vec![(0.0, Pose { pos: v2(0.0, 7.0), facing_deg: 180.0 })],
+            knots: vec![(
+                0.0,
+                Pose {
+                    pos: v2(0.0, 7.0),
+                    facing_deg: 180.0,
+                },
+            )],
         };
         assert!(!single.is_mobile());
     }

@@ -47,7 +47,14 @@ pub struct Path {
 impl Path {
     /// Creates an unblocked path.
     pub fn new(aod_deg: f64, aoa_deg: f64, gain: Complex64, tof_ns: f64, kind: PathKind) -> Self {
-        Self { aod_deg, aoa_deg, gain, tof_ns, kind, blockage_db: 0.0 }
+        Self {
+            aod_deg,
+            aoa_deg,
+            gain,
+            tof_ns,
+            kind,
+            blockage_db: 0.0,
+        }
     }
 
     /// Effective complex gain including current blockage attenuation.
@@ -133,7 +140,11 @@ mod tests {
 
     #[test]
     fn strongest_paths_ordering() {
-        let paths = vec![path_with_gain(0.3), path_with_gain(1.0), path_with_gain(0.6)];
+        let paths = vec![
+            path_with_gain(0.3),
+            path_with_gain(1.0),
+            path_with_gain(0.6),
+        ];
         assert_eq!(strongest_paths(&paths, 2), vec![1, 2]);
         assert_eq!(strongest_paths(&paths, 10), vec![1, 2, 0]);
     }
@@ -149,7 +160,13 @@ mod tests {
     #[test]
     fn kind_queries() {
         assert!(path_with_gain(1.0).is_los());
-        let r = Path::new(0.0, 0.0, c64(1.0, 0.0), 1.0, PathKind::Reflected { wall: 2 });
+        let r = Path::new(
+            0.0,
+            0.0,
+            c64(1.0, 0.0),
+            1.0,
+            PathKind::Reflected { wall: 2 },
+        );
         assert!(!r.is_los());
     }
 }

@@ -108,7 +108,12 @@ mod tests {
             .iter()
             .map(|s| s.rel_attenuation_db)
             .collect();
-        assert!(median(&out) < median(&ind), "outdoor {} indoor {}", median(&out), median(&ind));
+        assert!(
+            median(&out) < median(&ind),
+            "outdoor {} indoor {}",
+            median(&out),
+            median(&ind)
+        );
     }
 
     #[test]
@@ -120,7 +125,10 @@ mod tests {
             .collect();
         let p10 = percentile(&vals, 10.0);
         let p90 = percentile(&vals, 90.0);
-        assert!(p10 > 0.0, "reflections should not beat LOS often, p10 {p10}");
+        assert!(
+            p10 > 0.0,
+            "reflections should not beat LOS often, p10 {p10}"
+        );
         assert!(p90 < 15.0, "p90 {p90}");
     }
 

@@ -39,7 +39,7 @@ proptest! {
         aod1 in -50.0..50.0f64,
         aod2 in -50.0..50.0f64,
         delta in 0.05..1.0f64,
-        sigma in 0.0..6.28f64,
+        sigma in 0.0..std::f64::consts::TAU,
         steer in -50.0..50.0f64,
     ) {
         let ch = GeometricChannel::new(
@@ -100,7 +100,7 @@ proptest! {
 
     #[test]
     fn csi_magnitude_invariant_to_common_phase(
-        delta in 0.1..1.0f64, sigma in 0.0..6.28f64, extra_phase in 0.0..6.28f64
+        delta in 0.1..1.0f64, sigma in 0.0..std::f64::consts::TAU, extra_phase in 0.0..std::f64::consts::TAU
     ) {
         // CFO/SFO add a common phase to all paths; |CSI| must not change —
         // this is why the paper estimates from magnitudes only (§3.3).

@@ -1,5 +1,6 @@
 //! System configuration for the mmReliable controller.
 
+use crate::linkstate::LifecycleConfig;
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_array::quantize::Quantizer;
 
@@ -46,6 +47,9 @@ pub struct MmReliableConfig {
     /// equal-power, zero-phase split instead of estimated (δ, σ)
     /// (Fig. 17c's "tracking without CC" curve).
     pub enable_constructive: bool,
+    /// Lifecycle state-machine knobs: degradation/outage thresholds, retry
+    /// budgets, and re-training backoff.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl MmReliableConfig {
@@ -71,6 +75,7 @@ impl MmReliableConfig {
             max_step_deg: 4.0,
             enable_tracking: true,
             enable_constructive: true,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 
@@ -108,6 +113,7 @@ impl MmReliableConfig {
         if self.training_span_deg <= 0.0 || self.training_span_deg > 180.0 {
             return Err("training_span_deg must be in (0,180]".into());
         }
+        self.lifecycle.validate()?;
         Ok(())
     }
 }

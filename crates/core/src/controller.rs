@@ -16,10 +16,19 @@
 //!      periodically for recovery.
 //! 3. **Re-train** — when the link degrades beyond what maintenance can
 //!    explain, fall back to a full training scan.
+//!
+//! The establish / maintain / re-train life cycle is governed by the
+//! explicit [`LinkLifecycle`] state machine ([`crate::linkstate`]): every
+//! state change goes through its single transition function, re-training
+//! runs with bounded attempts and exponential backoff instead of
+//! hot-looping SSB scans, and an episode that exhausts its retry budget
+//! escalates to a **wide-beam degraded fallback** that keeps serving what
+//! it can until conditions visibly improve.
 
 use crate::blockage::{BeamEvent, BlockageDetector};
 use crate::config::MmReliableConfig;
 use crate::frontend::LinkFrontEnd;
+use crate::linkstate::{LinkLifecycle, LinkSignal, LinkState, Transition};
 use crate::probing::two_probe_relative;
 use crate::superres::{estimate_per_beam, SuperResConfig};
 use crate::tracking::BeamTracker;
@@ -27,9 +36,20 @@ use crate::training::{beam_training, TrainingResult};
 use mmwave_array::codebook::Codebook;
 use mmwave_array::multibeam::{BeamComponent, MultiBeam};
 use mmwave_array::pattern::hpbw_deg;
-use mmwave_array::steering::single_beam;
+use mmwave_array::steering::{single_beam, wide_beam};
 use mmwave_array::weights::BeamWeights;
 use mmwave_dsp::units::db_from_pow;
+
+/// Columns kept active in the wide-beam degraded fallback (of the 8-column
+/// paper array): half the aperture ≈ twice the beamwidth.
+const FALLBACK_ACTIVE_COLUMNS: usize = 4;
+
+/// Reports at or below this SNR carry no measured signal at all — the
+/// observation is indistinguishable from a lost/erased probe, so it is not
+/// treated as evidence for an *urgent* (same-round) re-train. The probe
+/// floor is −60 dB; real deep fades (30+ dB of blockage on a ~25 dB link)
+/// still measure far above this.
+const ERASURE_FLOOR_DB: f64 = -55.0;
 
 /// Something the controller did during a round.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,6 +84,10 @@ pub struct RoundReport {
     pub actions: Vec<ControllerAction>,
     /// Probes consumed this round.
     pub probes: usize,
+    /// Lifecycle state after the round.
+    pub state: LinkState,
+    /// Lifecycle transitions that fired during the round.
+    pub transitions: Vec<Transition>,
 }
 
 /// The mmReliable gNB controller.
@@ -82,18 +106,23 @@ pub struct MmReliableController {
     established_snr_db: Option<f64>,
     /// Best establishment SNR seen so far — the long-term health reference.
     /// A re-training that runs *during* a blockage storm establishes a
-    /// degraded link; judging "chronically degraded" against this value
-    /// (with backoff) lets the controller rediscover the good paths once
-    /// the storm passes.
+    /// degraded link; judging "degraded" against this value (decayed when
+    /// re-trainings keep landing low) lets the controller rediscover the
+    /// good paths once the storm passes without re-training forever in a
+    /// genuinely worse environment.
     best_snr_db: f64,
-    /// Consecutive rounds spent well below the healthy reference.
-    degraded_rounds: usize,
+    /// The lifecycle state machine — the sole owner of link state.
+    lifecycle: LinkLifecycle,
 }
 
 impl MmReliableController {
     /// Creates a controller; no link is established yet.
     pub fn new(cfg: MmReliableConfig) -> Self {
         cfg.validate().expect("invalid configuration");
+        // The lifecycle's outage threshold mirrors the controller's decode
+        // threshold — one source of truth.
+        let mut lc_cfg = cfg.lifecycle;
+        lc_cfg.outage_snr_db = cfg.outage_snr_db;
         Self {
             cfg,
             superres_cfg: SuperResConfig::default(),
@@ -106,13 +135,28 @@ impl MmReliableController {
             last_training: None,
             established_snr_db: None,
             best_snr_db: f64::NEG_INFINITY,
-            degraded_rounds: 0,
+            lifecycle: LinkLifecycle::new(lc_cfg),
         }
     }
 
     /// Configuration accessor.
     pub fn config(&self) -> &MmReliableConfig {
         &self.cfg
+    }
+
+    /// The lifecycle state machine (read-only).
+    pub fn lifecycle(&self) -> &LinkLifecycle {
+        &self.lifecycle
+    }
+
+    /// Current lifecycle state.
+    pub fn link_state(&self) -> LinkState {
+        self.lifecycle.state()
+    }
+
+    /// Takes the lifecycle transitions accumulated since the last drain.
+    pub fn drain_transitions(&mut self) -> Vec<Transition> {
+        self.lifecycle.drain_log()
     }
 
     /// The current multi-beam, if established.
@@ -126,20 +170,45 @@ impl MmReliableController {
     }
 
     /// Hardware-quantized weights currently used for data transmission.
-    /// Falls back to a broadside single beam before establishment.
+    /// Falls back to a broadside single beam before establishment, and to a
+    /// wide beam at the best-known direction when the lifecycle's retry
+    /// budget is exhausted (degraded fallback: coverage over gain).
     pub fn current_weights(&self) -> BeamWeights {
-        let ideal = match &self.mb {
-            Some(mb) => mb.weights(&self.cfg.geom),
-            None => single_beam(&self.cfg.geom, 0.0),
+        let ideal = if self.lifecycle.fallback_active() {
+            wide_beam(
+                &self.cfg.geom,
+                self.fallback_angle_deg(),
+                FALLBACK_ACTIVE_COLUMNS,
+            )
+        } else {
+            match &self.mb {
+                Some(mb) => mb.weights(&self.cfg.geom),
+                None => single_beam(&self.cfg.geom, 0.0),
+            }
         };
         self.cfg.quantizer.quantize(&ideal)
     }
 
-    /// Runs beam training + constructive multi-beam establishment.
+    /// The best-known link direction for the wide-beam fallback: the
+    /// strongest still-active multi-beam component (or the reference beam
+    /// when everything is muted; broadside with no link history).
+    fn fallback_angle_deg(&self) -> f64 {
+        let Some(mb) = &self.mb else { return 0.0 };
+        mb.components()
+            .iter()
+            .filter(|c| c.amplitude > 0.0)
+            .max_by(|a, b| a.amplitude.total_cmp(&b.amplitude))
+            .map(|c| c.angle_deg)
+            .unwrap_or_else(|| mb.component(0).angle_deg)
+    }
+
+    /// Runs beam training + constructive multi-beam establishment and
+    /// reports the outcome to the lifecycle machine.
     /// Returns the actions taken (empty if no path was found).
     pub fn establish(&mut self, fe: &mut dyn LinkFrontEnd) -> Vec<ControllerAction> {
         let geom = self.cfg.geom;
-        let codebook = Codebook::uniform(&geom, self.cfg.training_beams, self.cfg.training_span_deg);
+        let codebook =
+            Codebook::uniform(&geom, self.cfg.training_beams, self.cfg.training_span_deg);
         let min_sep = 0.8 * hpbw_deg(&geom, 0.0);
         let training = beam_training(
             fe,
@@ -150,7 +219,15 @@ impl MmReliableController {
         );
         if training.viable.is_empty() {
             self.last_training = Some(training);
-            self.mb = None;
+            // A failed *re*-train keeps the previous multi-beam (best
+            // effort beats silence); a failed initial scan leaves none.
+            self.lifecycle.apply(
+                LinkSignal::EstablishResult {
+                    ok: false,
+                    snr_db: f64::NEG_INFINITY,
+                },
+                fe.now_s(),
+            );
             return Vec::new();
         }
         let reference = training.viable[0];
@@ -190,38 +267,79 @@ impl MmReliableController {
             .collect();
         self.detectors = (0..angles.len())
             .map(|_| {
-                BlockageDetector::new(
-                    self.cfg.blockage_rate_db,
-                    1.5,
-                    self.cfg.recovery_margin_db,
-                )
+                BlockageDetector::new(self.cfg.blockage_rate_db, 1.5, self.cfg.recovery_margin_db)
             })
             .collect();
         self.saved_amp = vec![0.0; angles.len()];
         self.rounds = 0;
-        self.established_snr_db = Some(obs.snr_db());
-        self.best_snr_db = self.best_snr_db.max(obs.snr_db());
-        self.degraded_rounds = 0;
+        let snr_db = obs.snr_db();
+        self.established_snr_db = Some(snr_db);
+        if snr_db > self.best_snr_db {
+            self.best_snr_db = snr_db;
+        } else if snr_db < self.best_snr_db - self.cfg.lifecycle.degraded_drop_db {
+            // Re-trainings keep landing well below the old best: the
+            // environment got genuinely worse. Decay the reference so the
+            // lifecycle converges instead of scheduling re-trains forever.
+            self.best_snr_db = snr_db.max(self.best_snr_db - 6.0);
+        }
+        // A scan that lands below the decode threshold did not recover the
+        // link: count it against the episode's retry budget (the fresh
+        // multi-beam stays — best effort — but the state machine keeps
+        // backing off).
+        let ok = snr_db >= self.cfg.outage_snr_db;
+        self.lifecycle
+            .apply(LinkSignal::EstablishResult { ok, snr_db }, fe.now_s());
         vec![ControllerAction::Established(angles)]
     }
 
-    /// One CSI-RS maintenance tick. Establishes first if needed.
+    /// One CSI-RS maintenance tick, dispatched on the lifecycle state:
+    /// acquisition scans are paced by backoff, the degraded fallback runs a
+    /// minimal keep-alive loop, and the normal maintenance path feeds its
+    /// measurement to the state machine which schedules bounded re-trains.
     pub fn maintenance_round(&mut self, fe: &mut dyn LinkFrontEnd) -> RoundReport {
         let probes_before = fe.probes_used();
-        if self.mb.is_none() {
-            let actions = self.establish(fe);
+        let log_before = self.lifecycle.log().len();
+
+        // --- Acquiring: no link yet; scans are paced by the backoff. ---
+        if !self.lifecycle.state().is_established() {
+            let actions = if self.lifecycle.should_scan(fe.now_s()) {
+                self.establish(fe)
+            } else {
+                Vec::new()
+            };
             let snr_db = if self.mb.is_some() {
                 fe.probe(&self.current_weights()).snr_db()
             } else {
                 -60.0
             };
-            return RoundReport {
-                snr_db,
-                per_beam_db: Vec::new(),
-                actions,
-                probes: fe.probes_used() - probes_before,
-            };
+            let probes = fe.probes_used() - probes_before;
+            return self.report(snr_db, Vec::new(), actions, probes, log_before);
         }
+
+        // --- Degraded wide-beam fallback: keep-alive probing only; the
+        // multi-beam machinery is stale by definition. A marked SNR
+        // improvement (or the safety-net heartbeat) re-trains.
+        if self.lifecycle.fallback_active() {
+            self.rounds += 1;
+            let mut actions = Vec::new();
+            let snr_db = fe.probe(&self.current_weights()).snr_db();
+            self.lifecycle.apply(
+                LinkSignal::SnrReport {
+                    snr_db,
+                    ref_db: self.best_snr_db,
+                    unexplained_drop: false,
+                },
+                fe.now_s(),
+            );
+            if matches!(self.lifecycle.state(), LinkState::Recovering { .. }) {
+                actions.push(ControllerAction::Retrained);
+                let mut est_actions = self.establish(fe);
+                actions.append(&mut est_actions);
+            }
+            let probes = fe.probes_used() - probes_before;
+            return self.report(snr_db, Vec::new(), actions, probes, log_before);
+        }
+
         self.rounds += 1;
         let mut actions = Vec::new();
 
@@ -237,11 +355,11 @@ impl MmReliableController {
         // 2. Classify each active beam.
         let k_total = per_beam_db.len();
         let mut realign: Vec<(usize, f64)> = Vec::new();
-        for k in 0..k_total {
+        for (k, &beam_db) in per_beam_db.iter().enumerate() {
             if self.detectors[k].is_blocked() {
                 continue; // handled by the recovery path below
             }
-            let upd = self.trackers[k].update(&self.cfg.geom, per_beam_db[k]);
+            let upd = self.trackers[k].update(&self.cfg.geom, beam_db);
             match self.detectors[k].classify(upd.delta_db, upd.drop_db) {
                 BeamEvent::Blocked => {
                     let mb = self.mb.as_mut().expect("established");
@@ -280,9 +398,12 @@ impl MmReliableController {
         // 3. Mobility: hypothesis probe resolves the ± ambiguity jointly.
         // Skip in rounds with blockage transitions: the per-beam powers are
         // mid-ramp and would mislead the pattern inversion.
-        let blockage_transition = actions
-            .iter()
-            .any(|a| matches!(a, ControllerAction::BeamBlocked(_) | ControllerAction::BeamRecovered(_)));
+        let blockage_transition = actions.iter().any(|a| {
+            matches!(
+                a,
+                ControllerAction::BeamBlocked(_) | ControllerAction::BeamRecovered(_)
+            )
+        });
         if blockage_transition {
             realign.clear();
         }
@@ -311,7 +432,11 @@ impl MmReliableController {
             for &(k, _) in &realign {
                 let from = mb.component(k).angle_deg;
                 let to = chosen.component(k).angle_deg;
-                actions.push(ControllerAction::Realigned { idx: k, from_deg: from, to_deg: to });
+                actions.push(ControllerAction::Realigned {
+                    idx: k,
+                    from_deg: from,
+                    to_deg: to,
+                });
             }
             self.mb = Some(chosen);
             // Refresh constructive parameters and re-baseline.
@@ -328,7 +453,12 @@ impl MmReliableController {
                 .filter(|&k| self.detectors[k].is_blocked())
                 .collect();
             for k in blocked {
-                let stale = self.mb.as_ref().expect("established").component(k).angle_deg;
+                let stale = self
+                    .mb
+                    .as_ref()
+                    .expect("established")
+                    .component(k)
+                    .angle_deg;
                 let mut best: Option<(f64, f64)> = None; // (power_db, angle)
                 let offsets: &[f64] = if self.cfg.enable_tracking {
                     &[-3.0, 0.0, 3.0]
@@ -367,48 +497,70 @@ impl MmReliableController {
             }
         }
 
-        // 5. Unexplained deep degradation → full re-training. Two triggers
-        // (§8 "tracking re-calibration"):
-        //  (a) acute: in outage with an unexplained deep per-beam drop;
-        //  (b) chronic: stuck well below the post-establishment SNR for
-        //      many rounds (accumulated tracking error / stale multi-beam
-        //      after a blockage storm).
-        let worst_drop = self
-            .trackers
-            .iter()
-            .enumerate()
-            .filter(|(k, _)| !self.detectors[*k].is_blocked())
-            .map(|(_, t)| t.baseline_db)
-            .zip(per_beam_db.iter())
-            .map(|(base, &now)| base - now)
-            .fold(0.0f64, f64::max);
-        let acute = snr_db < self.cfg.outage_snr_db && worst_drop > self.cfg.retrain_loss_db;
-        // (Stuck-blocked beams count too: §4.1 — "in case of a complete
-        // outage, the radio can initiate a new beam training phase".)
-        let chronically_degraded =
-            self.best_snr_db.is_finite() && snr_db < self.best_snr_db - 8.0;
-        if chronically_degraded {
-            self.degraded_rounds += 1;
-        } else {
-            self.degraded_rounds = 0;
-        }
-        let chronic = self.degraded_rounds >= 30 && self.cfg.retrain_loss_db.is_finite();
-        if acute || chronic {
-            if chronic {
-                // Back the reference off so a genuinely-degraded
-                // environment converges instead of re-training forever.
-                self.best_snr_db -= 6.0;
+        // 5. Lifecycle verdict. The state machine detects outages and
+        // persistent degradation and schedules full re-trainings with
+        // bounded attempts and exponential backoff (§8 "tracking
+        // re-calibration"; §4.1 — "in case of a complete outage, the radio
+        // can initiate a new beam training phase"). The `without_tracking`
+        // ablation freezes re-training entirely (infinite retrain
+        // threshold), so the measurement is withheld from the machine.
+        if self.cfg.retrain_loss_db.is_finite() {
+            // Evidence that maintenance lost the link: an active beam's
+            // power sits far below its baseline with no blockage/mobility
+            // explanation. An outage entered with this evidence gets its
+            // first re-train immediately instead of waiting out a backoff.
+            let worst_drop = self
+                .trackers
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| !self.detectors[*k].is_blocked())
+                .map(|(_, t)| t.baseline_db)
+                .zip(per_beam_db.iter())
+                .map(|(base, &now)| base - now)
+                .fold(0.0f64, f64::max);
+            // A probe that reads the bare noise floor is indistinguishable
+            // from a *lost* probe (front-end erasure). A measured collapse
+            // — real signal, just far below baseline — earns the urgent
+            // same-round re-train; an erasure instead takes the outage
+            // path, which confirms on the next round before spending a
+            // 32 ms scan on what may be a single bad probe.
+            let measured = snr_db > ERASURE_FLOOR_DB;
+            self.lifecycle.apply(
+                LinkSignal::SnrReport {
+                    snr_db,
+                    ref_db: self.best_snr_db,
+                    unexplained_drop: measured && worst_drop > self.cfg.retrain_loss_db,
+                },
+                fe.now_s(),
+            );
+            if matches!(self.lifecycle.state(), LinkState::Recovering { .. }) {
+                actions.push(ControllerAction::Retrained);
+                let mut est_actions = self.establish(fe);
+                actions.append(&mut est_actions);
             }
-            actions.push(ControllerAction::Retrained);
-            let mut est_actions = self.establish(fe);
-            actions.append(&mut est_actions);
         }
 
+        let probes = fe.probes_used() - probes_before;
+        self.report(snr_db, per_beam_db, actions, probes, log_before)
+    }
+
+    /// Assembles a [`RoundReport`], attaching the lifecycle transitions
+    /// that fired since `log_before`.
+    fn report(
+        &self,
+        snr_db: f64,
+        per_beam_db: Vec<f64>,
+        actions: Vec<ControllerAction>,
+        probes: usize,
+        log_before: usize,
+    ) -> RoundReport {
         RoundReport {
             snr_db,
             per_beam_db,
             actions,
-            probes: fe.probes_used() - probes_before,
+            probes,
+            state: self.lifecycle.state(),
+            transitions: self.lifecycle.log()[log_before..].to_vec(),
         }
     }
 
@@ -573,7 +725,9 @@ mod tests {
         fe.channel.paths[0].blockage_db = 30.0;
         let r = ctl.maintenance_round(&mut fe);
         assert!(
-            r.actions.iter().any(|a| matches!(a, ControllerAction::BeamBlocked(0))),
+            r.actions
+                .iter()
+                .any(|a| matches!(a, ControllerAction::BeamBlocked(0))),
             "expected LOS beam blocked, got {:?}",
             r.actions
         );
@@ -628,7 +782,12 @@ mod tests {
         for _ in 0..8 {
             let r = ctl.maintenance_round(&mut fe);
             for a in &r.actions {
-                if let ControllerAction::Realigned { idx: 0, from_deg, to_deg } = a {
+                if let ControllerAction::Realigned {
+                    idx: 0,
+                    from_deg,
+                    to_deg,
+                } = a
+                {
                     realigned = true;
                     assert!(
                         to_deg > from_deg,

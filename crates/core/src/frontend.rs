@@ -58,6 +58,11 @@ pub trait LinkFrontEnd {
     /// advances; no data flows. Default: no-op for frozen front ends.
     fn wait(&mut self, _dur_s: f64) {}
 
+    /// The front end's clock, seconds. Simulators report simulated time;
+    /// frozen front ends report accumulated probe airtime — any monotonic
+    /// clock works for the controller's retry/backoff scheduling.
+    fn now_s(&self) -> f64;
+
     /// Total probes issued so far (for overhead accounting).
     fn probes_used(&self) -> usize;
 }
@@ -88,7 +93,15 @@ impl SnapshotFrontEnd {
         rx: UeReceiver,
         rng: Rng64,
     ) -> Self {
-        Self { channel, sounder, geom, rx, rng, probes: 0, airtime_s: 0.0 }
+        Self {
+            channel,
+            sounder,
+            geom,
+            rx,
+            rng,
+            probes: 0,
+            airtime_s: 0.0,
+        }
     }
 
     /// Total probe airtime consumed, seconds.
@@ -111,6 +124,10 @@ impl LinkFrontEnd for SnapshotFrontEnd {
 
     fn wait(&mut self, dur_s: f64) {
         self.airtime_s += dur_s.max(0.0);
+    }
+
+    fn now_s(&self) -> f64 {
+        self.airtime_s
     }
 
     fn probes_used(&self) -> usize {

@@ -20,16 +20,18 @@
 //!    ambiguity with one extra probe.
 //! 6. [`blockage`] — per-beam blockage detection (rate-of-change) and
 //!    power re-purposing.
-//! 7. [`controller`] — the beam-maintenance state machine tying it all
+//! 7. [`linkstate`] — the explicit link lifecycle state machine (single
+//!    transition point, bounded-retry recovery, degraded-mode fallback).
+//! 8. [`controller`] — the beam-maintenance controller tying it all
 //!    together over an abstract [`frontend::LinkFrontEnd`].
-//! 8. [`ue`] — extension to directional (multi-beam) UEs (§4.4).
-
+//! 9. [`ue`] — extension to directional (multi-beam) UEs (§4.4).
 
 #![warn(missing_docs)]
 pub mod blockage;
 pub mod config;
 pub mod controller;
 pub mod frontend;
+pub mod linkstate;
 pub mod multibeam;
 pub mod probing;
 pub mod superres;
@@ -40,3 +42,4 @@ pub mod ue;
 pub use config::MmReliableConfig;
 pub use controller::MmReliableController;
 pub use frontend::{LinkFrontEnd, ProbeKind};
+pub use linkstate::{LinkState, LinkStateKind, Transition, TransitionCause};

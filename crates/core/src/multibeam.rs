@@ -106,7 +106,10 @@ mod tests {
         let mb = genie_multibeam(&ch, 2).unwrap();
         let genie = gain_over_single_beam_db(&ch, &g, &mb, &UeReceiver::Omni);
         let oracle = oracle_gain_db(&ch, &g, &UeReceiver::Omni);
-        assert!((genie - oracle).abs() < 0.05, "genie {genie} oracle {oracle}");
+        assert!(
+            (genie - oracle).abs() < 0.05,
+            "genie {genie} oracle {oracle}"
+        );
     }
 
     #[test]
@@ -129,13 +132,13 @@ mod tests {
         let delta = amp_from_db(-3.0);
         let sigma = (-40.0f64).to_radians();
         let ch = two_path(delta, sigma);
-        for err_deg in [-75.0, -40.0, 0.0, 40.0, 75.0] {
+        for err_deg in [-75.0f64, -40.0, 0.0, 40.0, 75.0] {
             let gain = sensitivity_gain_db(
                 &ch,
                 &g,
                 &UeReceiver::Omni,
                 delta,
-                sigma + (err_deg as f64).to_radians(),
+                sigma + err_deg.to_radians(),
             );
             assert!(gain > 0.0, "phase error {err_deg}°: gain {gain} dB");
         }

@@ -95,10 +95,16 @@ pub fn relative_from_powers(
         weight += p1[i];
     }
     if weight <= 0.0 {
-        return RelativeChannel { delta: 0.0, sigma_rad: 0.0 };
+        return RelativeChannel {
+            delta: 0.0,
+            sigma_rad: 0.0,
+        };
     }
     let joint = acc / weight;
-    RelativeChannel { delta: joint.abs(), sigma_rad: joint.arg() }
+    RelativeChannel {
+        delta: joint.abs(),
+        sigma_rad: joint.arg(),
+    }
 }
 
 /// Runs the two extra probes of the two-probe method for beam `phi_k`
@@ -221,7 +227,11 @@ mod tests {
             let mut fe = frontend(0.6, 0.9, seed);
             assert!(fe.sounder.cfo_impairment);
             let (rel, _, _) = full_relative(&mut fe, 0.0, 30.0, 5.0);
-            assert!((rel.delta - 0.6).abs() < 0.08, "seed {seed}: δ {}", rel.delta);
+            assert!(
+                (rel.delta - 0.6).abs() < 0.08,
+                "seed {seed}: δ {}",
+                rel.delta
+            );
             assert!(
                 wrap_rad(rel.sigma_rad - 0.9).abs() < 0.25,
                 "seed {seed}: σ {}",
@@ -234,7 +244,10 @@ mod tests {
             }
             prev = Some(rel.sigma_rad);
         }
-        assert!(any_phase_differs, "estimates should vary slightly with noise");
+        assert!(
+            any_phase_differs,
+            "estimates should vary slightly with noise"
+        );
     }
 
     #[test]

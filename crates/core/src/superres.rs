@@ -195,7 +195,11 @@ mod tests {
                 cfo * acc + rng.awgn(noise_pow)
             })
             .collect();
-        ProbeObservation { csi, freqs_hz: freqs, noise_power_mw: noise_pow.max(1e-18) }
+        ProbeObservation {
+            csi,
+            freqs_hz: freqs,
+            noise_power_mw: noise_pow.max(1e-18),
+        }
     }
 
     #[test]
@@ -204,8 +208,16 @@ mod tests {
         let rel = [0.0, 10.0]; // 10 ns apart (4 taps at 2.6 ns)
         let obs = synth_probe(&[(1.0, 0.3), (0.5, -1.0)], &rel, 25.0, 1e-6, &mut rng);
         let est = estimate_per_beam(&obs, &rel, &SuperResConfig::default());
-        assert!((est.powers_mw[0] - 1.0).abs() < 0.05, "p0 {}", est.powers_mw[0]);
-        assert!((est.powers_mw[1] - 0.25).abs() < 0.03, "p1 {}", est.powers_mw[1]);
+        assert!(
+            (est.powers_mw[0] - 1.0).abs() < 0.05,
+            "p0 {}",
+            est.powers_mw[0]
+        );
+        assert!(
+            (est.powers_mw[1] - 0.25).abs() < 0.03,
+            "p1 {}",
+            est.powers_mw[1]
+        );
         assert!((est.tau0_ns - 25.0).abs() < 0.5, "τ0 {}", est.tau0_ns);
     }
 
@@ -251,7 +263,11 @@ mod tests {
         let trained_rel = [0.0, 8.0];
         let obs = synth_probe(&[(1.0, 0.0), (0.7, -0.5)], &true_rel, 22.0, 1e-6, &mut rng);
         let est = estimate_per_beam(&obs, &trained_rel, &SuperResConfig::default());
-        assert!((est.rel_delays_ns[1] - 8.4).abs() < 0.21, "refined to {}", est.rel_delays_ns[1]);
+        assert!(
+            (est.rel_delays_ns[1] - 8.4).abs() < 0.21,
+            "refined to {}",
+            est.rel_delays_ns[1]
+        );
         assert!((est.powers_mw[1] - 0.49).abs() < 0.06);
     }
 

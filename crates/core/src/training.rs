@@ -80,7 +80,11 @@ pub fn beam_training(
         min_separation_deg,
         noise_floor_mw,
     );
-    TrainingResult { profile, viable, probes_used: fe.probes_used() - before }
+    TrainingResult {
+        profile,
+        viable,
+        probes_used: fe.probes_used() - before,
+    }
 }
 
 /// Coarse path-delay estimate from one probe: magnitude peak of the
@@ -131,8 +135,8 @@ fn find_viable(
     if peak_power <= noise_floor_mw {
         return Vec::new();
     }
-    let floor = (peak_power * mmwave_dsp::units::pow_from_db(-viable_window_db))
-        .max(noise_floor_mw);
+    let floor =
+        (peak_power * mmwave_dsp::units::pow_from_db(-viable_window_db)).max(noise_floor_mw);
     // Candidate local maxima (strictly above both neighbors, or edge max).
     let mut candidates: Vec<usize> = (0..profile.len())
         .filter(|&i| {
@@ -201,7 +205,11 @@ mod tests {
         assert_eq!(r.probes_used, 64);
         let best = r.strongest().expect("a path");
         // LOS is at 0° (UE straight ahead); codebook granularity ≈ 1.9°.
-        assert!(best.angle_deg.abs() < 3.0, "strongest at {}", best.angle_deg);
+        assert!(
+            best.angle_deg.abs() < 3.0,
+            "strongest at {}",
+            best.angle_deg
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl TranslationCorrection {
     /// Builds the paired correction for a given misalignment and sign.
     pub fn paired(dev_deg: f64, positive: bool) -> Self {
         let s = if positive { 1.0 } else { -1.0 };
-        Self { gnb_delta_deg: s * dev_deg, ue_delta_deg: -s * dev_deg }
+        Self {
+            gnb_delta_deg: s * dev_deg,
+            ue_delta_deg: -s * dev_deg,
+        }
     }
 }
 
@@ -171,8 +174,7 @@ mod tests {
         let ue = ArrayGeometry::ula(4);
         for dev in [1.0, 3.0, 6.0] {
             let drop = two_sided_loss_db(&gnb, 10.0, &ue, -20.0, dev);
-            let est =
-                estimate_translation_misalign_deg(&gnb, 10.0, &ue, -20.0, drop).unwrap();
+            let est = estimate_translation_misalign_deg(&gnb, 10.0, &ue, -20.0, drop).unwrap();
             assert!((est - dev).abs() < 0.1, "dev {dev} est {est} (drop {drop})");
         }
     }

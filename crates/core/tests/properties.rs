@@ -40,7 +40,11 @@ fn synth_probe(
             cfo * acc + rng.awgn(1e-6)
         })
         .collect();
-    ProbeObservation { csi, freqs_hz: freqs, noise_power_mw: 1e-6 }
+    ProbeObservation {
+        csi,
+        freqs_hz: freqs,
+        noise_power_mw: 1e-6,
+    }
 }
 
 proptest! {

@@ -399,7 +399,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64(1.0, 1.0); 10];
+        let v = [c64(1.0, 1.0); 10];
         let s: Complex64 = v.iter().sum();
         assert!(close(s.re, 10.0) && close(s.im, 10.0));
     }

@@ -99,7 +99,10 @@ fn transform_any(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
 
 fn radix2(x: &mut [Complex64], dir: Direction) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT requires power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT requires power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }

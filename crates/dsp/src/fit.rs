@@ -16,7 +16,10 @@ pub struct Polynomial {
 impl Polynomial {
     /// Builds a polynomial from ascending-degree coefficients.
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Self { coeffs }
     }
 
@@ -94,18 +97,21 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Option<Polynomial> {
 fn solve_real(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        let pivot_row = (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
+        let pivot_row =
+            (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
         if a[pivot_row][col].abs() < 1e-12 {
             return None;
         }
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
-        for r in col + 1..n {
-            let f = a[r][col] / a[col][col];
-            for j in col..n {
-                a[r][j] -= f * a[col][j];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let prow = &pivot_rows[col];
+        for (off, row) in rest.iter_mut().enumerate() {
+            let f = row[col] / prow[col];
+            for (x, &p) in row[col..n].iter_mut().zip(&prow[col..n]) {
+                *x -= f * p;
             }
-            b[r] -= f * b[col];
+            b[col + 1 + off] -= f * b[col];
         }
     }
     let mut x = vec![0.0; n];
@@ -209,8 +215,15 @@ mod tests {
             .map(|(i, &x)| truth.eval(x) + if i % 2 == 0 { 0.5 } else { -0.5 })
             .collect();
         let fit = polyfit(&xs, &ys, 2).unwrap();
-        let fit_err: f64 = xs.iter().map(|&x| (fit.eval(x) - truth.eval(x)).abs()).sum();
-        let raw_err: f64 = ys.iter().zip(&xs).map(|(&y, &x)| (y - truth.eval(x)).abs()).sum();
+        let fit_err: f64 = xs
+            .iter()
+            .map(|&x| (fit.eval(x) - truth.eval(x)).abs())
+            .sum();
+        let raw_err: f64 = ys
+            .iter()
+            .zip(&xs)
+            .map(|(&y, &x)| (y - truth.eval(x)).abs())
+            .sum();
         assert!(fit_err < raw_err / 3.0, "fit {fit_err} raw {raw_err}");
     }
 }

@@ -17,7 +17,6 @@
 //!
 //! Everything is deterministic given a seed; no global state, no I/O.
 
-
 #![warn(missing_docs)]
 pub mod complex;
 pub mod fft;

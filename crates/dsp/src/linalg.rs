@@ -371,7 +371,11 @@ mod tests {
 
     #[test]
     fn hermitian_transpose() {
-        let a = CMatrix::from_rows(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -4.0)]);
+        let a = CMatrix::from_rows(
+            2,
+            2,
+            vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -4.0)],
+        );
         let h = a.hermitian();
         assert_close(h[(0, 0)], c64(1.0, -1.0), 1e-15);
         assert_close(h[(0, 1)], c64(0.0, -3.0), 1e-15);
@@ -413,7 +417,10 @@ mod tests {
         let mut m = CMatrix::identity(2);
         m[(1, 1)] = c64(-1.0, 0.0);
         let b = vec![Complex64::ONE; 2];
-        assert_eq!(cholesky_solve(&m, &b), Err(LinalgError::NotPositiveDefinite));
+        assert_eq!(
+            cholesky_solve(&m, &b),
+            Err(LinalgError::NotPositiveDefinite)
+        );
     }
 
     #[test]

@@ -1,40 +1,75 @@
 //! Seeded random sampling helpers.
 //!
-//! Wraps `rand::StdRng` with the distributions the simulator needs
-//! (standard normal via Box–Muller, circularly-symmetric complex Gaussian)
-//! so that no extra distribution crate is required. Every stochastic
-//! component in the workspace takes one of these explicitly — there is no
-//! global RNG, keeping simulations exactly reproducible.
+//! A self-contained xoshiro256++ generator (seeded through SplitMix64) with
+//! the distributions the simulator needs (standard normal via Box–Muller,
+//! circularly-symmetric complex Gaussian), so that no external randomness
+//! crate is required. Every stochastic component in the workspace takes one
+//! of these explicitly — there is no global RNG, keeping simulations exactly
+//! reproducible.
 
 use crate::complex::{c64, Complex64};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
 
 /// A seeded random source with DSP-oriented sampling methods.
+///
+/// The core generator is xoshiro256++ (Blackman & Vigna), whose 256-bit
+/// state is expanded from the 64-bit seed with SplitMix64 — the standard
+/// seeding recipe, which guarantees distinct, well-mixed states even for
+/// adjacent seeds.
 #[derive(Clone, Debug)]
 pub struct Rng64 {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Rng64 {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; useful for giving each
     /// experiment run or each subsystem its own stream.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s: u64 = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s: u64 = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::seed(s)
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 top bits → the standard [0,1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -44,7 +79,10 @@ impl Rng64 {
 
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "index() needs a non-empty range");
+        // Multiply-shift bounded sampling (Lemire); the tiny modulo bias of
+        // the plain widening multiply is irrelevant at simulation scale.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
     /// Bernoulli trial with probability `p`.
@@ -151,6 +189,18 @@ mod tests {
             let x = rng.uniform_in(-3.0, 5.0);
             assert!((-3.0..5.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn index_in_bounds_and_covers() {
+        let mut rng = Rng64::seed(13);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let i = rng.index(8);
+            assert!(i < 8);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
     }
 
     #[test]

@@ -38,12 +38,7 @@ pub fn sinc_pulse(n: usize, bw_hz: f64, ts_s: f64, tau_s: f64) -> Vec<f64> {
 
 /// Complex pulse train: `Σ_k α_k · sinc(bw·(i·Ts − τ_k))`.
 /// This is the forward model the super-resolution step inverts.
-pub fn pulse_train(
-    n: usize,
-    bw_hz: f64,
-    ts_s: f64,
-    taps: &[(Complex64, f64)],
-) -> Vec<Complex64> {
+pub fn pulse_train(n: usize, bw_hz: f64, ts_s: f64, taps: &[(Complex64, f64)]) -> Vec<Complex64> {
     let mut out = vec![Complex64::ZERO; n];
     for &(alpha, tau) in taps {
         for (i, o) in out.iter_mut().enumerate() {

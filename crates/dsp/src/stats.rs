@@ -53,12 +53,16 @@ pub fn median(x: &[f64]) -> f64 {
 
 /// Minimum of a slice, NaN-safe. Returns NaN on empty input.
 pub fn min(x: &[f64]) -> f64 {
-    x.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() || b < a { b } else { a })
+    x.iter()
+        .copied()
+        .fold(f64::NAN, |a, b| if a.is_nan() || b < a { b } else { a })
 }
 
 /// Maximum of a slice, NaN-safe. Returns NaN on empty input.
 pub fn max(x: &[f64]) -> f64 {
-    x.iter().copied().fold(f64::NAN, |a, b| if a.is_nan() || b > a { b } else { a })
+    x.iter()
+        .copied()
+        .fold(f64::NAN, |a, b| if a.is_nan() || b > a { b } else { a })
 }
 
 /// Mean squared error between two equal-length slices.
@@ -67,11 +71,7 @@ pub fn mse(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() {
         return f64::NAN;
     }
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        / a.len() as f64
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
 }
 
 /// Root-mean-square error.
@@ -161,7 +161,10 @@ impl SlidingWindow {
     /// Creates a window holding at most `cap` samples. Panics if `cap == 0`.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "window capacity must be positive");
-        Self { cap, buf: Vec::with_capacity(cap) }
+        Self {
+            cap,
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Pushes a sample, evicting the oldest when full.

@@ -41,8 +41,7 @@ impl ProbeObservation {
         if self.csi.is_empty() {
             return 0.0;
         }
-        let raw: f64 =
-            self.csi.iter().map(|v| v.norm_sqr()).sum::<f64>() / self.csi.len() as f64;
+        let raw: f64 = self.csi.iter().map(|v| v.norm_sqr()).sum::<f64>() / self.csi.len() as f64;
         (raw - self.noise_power_mw).max(0.0)
     }
 
@@ -152,7 +151,11 @@ impl ChannelSounder {
             .into_iter()
             .map(|h| common * h.scale(per_sc_amp * atmo) + rng.awgn(noise_mw))
             .collect();
-        ProbeObservation { csi, freqs_hz: freqs, noise_power_mw: noise_mw }
+        ProbeObservation {
+            csi,
+            freqs_hz: freqs,
+            noise_power_mw: noise_mw,
+        }
     }
 }
 
@@ -210,7 +213,11 @@ mod tests {
         let ch = los_channel(7.0);
         let mut rng = Rng64::seed(2);
         let snrs: Vec<f64> = (0..20)
-            .map(|_| sounder.probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng).snr_db())
+            .map(|_| {
+                sounder
+                    .probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng)
+                    .snr_db()
+            })
             .collect();
         let spread = mmwave_dsp::stats::max(&snrs) - mmwave_dsp::stats::min(&snrs);
         assert!(spread < 1.0, "probe-to-probe spread {spread} dB");
@@ -278,7 +285,10 @@ mod tests {
             .0;
         let tap_s = 1.0 / (obs.comb_spacing_hz() * cir.len() as f64);
         let delay_ns = peak as f64 * tap_s * 1e9;
-        assert!((delay_ns - 23.35).abs() < 2.0 * tap_s * 1e9, "peak at {delay_ns} ns");
+        assert!(
+            (delay_ns - 23.35).abs() < 2.0 * tap_s * 1e9,
+            "peak at {delay_ns} ns"
+        );
     }
 
     #[test]
@@ -291,8 +301,12 @@ mod tests {
         let mut dirty = clean.clone();
         dirty.noise_boost = 100.0;
         let mut rng = Rng64::seed(7);
-        let s_clean = clean.probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng).snr_db();
-        let s_dirty = dirty.probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng).snr_db();
+        let s_clean = clean
+            .probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng)
+            .snr_db();
+        let s_dirty = dirty
+            .probe(&ch, &geom, &w, &UeReceiver::Omni, &mut rng)
+            .snr_db();
         assert!(s_clean - s_dirty > 15.0, "{s_clean} vs {s_dirty}");
     }
 }

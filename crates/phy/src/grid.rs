@@ -19,12 +19,18 @@ pub struct ResourceGrid {
 impl ResourceGrid {
     /// The paper's 400 MHz FR2 carrier: 264 RB × 12 = 3168 subcarriers.
     pub fn paper_400mhz() -> Self {
-        Self { numerology: Numerology::paper_mu3(), n_subcarriers: 264 * 12 }
+        Self {
+            numerology: Numerology::paper_mu3(),
+            n_subcarriers: 264 * 12,
+        }
     }
 
     /// The outdoor 100 MHz carrier: 66 RB × 12 = 792 subcarriers.
     pub fn paper_100mhz() -> Self {
-        Self { numerology: Numerology::paper_mu3(), n_subcarriers: 66 * 12 }
+        Self {
+            numerology: Numerology::paper_mu3(),
+            n_subcarriers: 66 * 12,
+        }
     }
 
     /// Occupied bandwidth, Hz.

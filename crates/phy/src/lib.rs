@@ -13,7 +13,6 @@
 //! mmReliable estimates multi-beam parameters from channel *magnitudes*
 //! only, §3.3).
 
-
 #![warn(missing_docs)]
 pub mod chanest;
 pub mod grid;

@@ -58,8 +58,7 @@ impl McsTable {
         // Shannon-shaped thresholds, shifted so the lowest MCS becomes
         // decodable exactly at the paper's 6 dB outage SNR. The resulting
         // implementation gap (≈6–9 dB) is realistic for FR2 hardware.
-        let shannon_db =
-            |se: f64| 10.0 * (2f64.powf(se) - 1.0).log10();
+        let shannon_db = |se: f64| 10.0 * (2f64.powf(se) - 1.0).log10();
         let min_raw = shannon_db(raw[0].0.bits_per_symbol() as f64 * raw[0].1 as f64 / 1024.0);
         let shift = 6.0 - min_raw;
         let entries: Vec<McsEntry> = raw
@@ -73,7 +72,10 @@ impl McsTable {
                 }
             })
             .collect();
-        Self { outage_snr_db: 6.0, entries }
+        Self {
+            outage_snr_db: 6.0,
+            entries,
+        }
     }
 
     /// Entries, lowest SE first.
@@ -88,10 +90,7 @@ impl McsTable {
 
     /// Selects the highest decodable entry for `snr_db`; `None` = outage.
     pub fn select(&self, snr_db: f64) -> Option<&McsEntry> {
-        self.entries
-            .iter()
-            .rev()
-            .find(|e| snr_db >= e.min_snr_db)
+        self.entries.iter().rev().find(|e| snr_db >= e.min_snr_db)
     }
 
     /// Spectral efficiency achieved at `snr_db` (0 in outage), bits/s/Hz.
@@ -148,7 +147,10 @@ mod tests {
         let t = McsTable::nr_table();
         for snr_db in [6.0, 10.0, 15.0, 20.0, 27.0, 35.0] {
             let se = t.spectral_efficiency(snr_db);
-            assert!(se < shannon_se_db(snr_db), "SE {se} ≥ Shannon at {snr_db} dB");
+            assert!(
+                se < shannon_se_db(snr_db),
+                "SE {se} ≥ Shannon at {snr_db} dB"
+            );
             assert!(se > 0.0);
         }
     }

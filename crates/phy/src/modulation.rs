@@ -45,7 +45,11 @@ impl Modulation {
     /// Maps `bits_per_symbol` bits (LSB-first within the slice) to a
     /// constellation point. Panics if `bits.len()` is wrong.
     pub fn map(self, bits: &[u8]) -> Complex64 {
-        assert_eq!(bits.len(), self.bits_per_symbol(), "bit-group size mismatch");
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "bit-group size mismatch"
+        );
         let half = self.bits_per_symbol() / 2;
         let i = gray_to_pam(&bits[..half]);
         let q = gray_to_pam(&bits[half..]);
@@ -63,7 +67,11 @@ impl Modulation {
 
     /// Maps a bit stream to symbols (stream length must divide evenly).
     pub fn map_stream(self, bits: &[u8]) -> Vec<Complex64> {
-        assert_eq!(bits.len() % self.bits_per_symbol(), 0, "stream length mismatch");
+        assert_eq!(
+            bits.len() % self.bits_per_symbol(),
+            0,
+            "stream length mismatch"
+        );
         bits.chunks(self.bits_per_symbol())
             .map(|c| self.map(c))
             .collect()
@@ -94,8 +102,8 @@ fn gray_to_pam(bits: &[u8]) -> f64 {
 
 /// PAM level → Gray-coded bits (LSB-first), nearest-neighbor decision.
 fn pam_to_gray(level: f64, side: usize, n_bits: usize) -> Vec<u8> {
-    let idx = (((level + (side as f64 - 1.0)) / 2.0).round() as i64)
-        .clamp(0, side as i64 - 1) as usize;
+    let idx =
+        (((level + (side as f64 - 1.0)) / 2.0).round() as i64).clamp(0, side as i64 - 1) as usize;
     let gray = idx ^ (idx >> 1);
     (0..n_bits).map(|i| ((gray >> i) & 1) as u8).collect()
 }

@@ -38,7 +38,10 @@ pub struct OfdmModem {
 impl OfdmModem {
     /// Modem on the given grid with NR-like 7% CP.
     pub fn new(grid: ResourceGrid) -> Self {
-        Self { grid, cp_fraction: 0.07 }
+        Self {
+            grid,
+            cp_fraction: 0.07,
+        }
     }
 
     /// CP length in samples.
@@ -128,7 +131,12 @@ pub fn apply_fir_channel(
                 acc += t * tx[i - d];
             }
         }
-        *o = acc + if noise_pow > 0.0 { rng.awgn(noise_pow) } else { Complex64::ZERO };
+        *o = acc
+            + if noise_pow > 0.0 {
+                rng.awgn(noise_pow)
+            } else {
+                Complex64::ZERO
+            };
     }
     out
 }
@@ -152,11 +160,16 @@ mod tests {
     use crate::numerology::Numerology;
 
     fn small_grid() -> ResourceGrid {
-        ResourceGrid { numerology: Numerology::paper_mu3(), n_subcarriers: 120 }
+        ResourceGrid {
+            numerology: Numerology::paper_mu3(),
+            n_subcarriers: 120,
+        }
     }
 
     fn random_qam(rng: &mut Rng64, n: usize, m: Modulation) -> (Vec<u8>, Vec<Complex64>) {
-        let bits: Vec<u8> = (0..n * m.bits_per_symbol()).map(|_| rng.chance(0.5) as u8).collect();
+        let bits: Vec<u8> = (0..n * m.bits_per_symbol())
+            .map(|_| rng.chance(0.5) as u8)
+            .collect();
         let syms = m.map_stream(&bits);
         (bits, syms)
     }
@@ -215,14 +228,9 @@ mod tests {
         let (bits, syms) = random_qam(&mut rng, 120, m);
         let frame = modem.modulate(&syms, 1);
         // SNR ≈ 20 dB per sample.
-        let sig_pow: f64 = frame.samples.iter().map(|v| v.norm_sqr()).sum::<f64>()
-            / frame.samples.len() as f64;
-        let rx = apply_fir_channel(
-            &frame.samples,
-            &[Complex64::ONE],
-            sig_pow / 100.0,
-            &mut rng,
-        );
+        let sig_pow: f64 =
+            frame.samples.iter().map(|v| v.norm_sqr()).sum::<f64>() / frame.samples.len() as f64;
+        let rx = apply_fir_channel(&frame.samples, &[Complex64::ONE], sig_pow / 100.0, &mut rng);
         let rx_points = modem.demodulate(&rx, 1);
         let e = evm(&syms, &rx_points);
         assert!(e > 0.01 && e < 0.3, "evm {e}");

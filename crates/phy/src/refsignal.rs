@@ -27,7 +27,10 @@ pub struct SsbConfig {
 
 impl Default for SsbConfig {
     fn default() -> Self {
-        Self { period_s: 20e-3, slots_per_ssb: 4 }
+        Self {
+            period_s: 20e-3,
+            slots_per_ssb: 4,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ pub struct CsiRsConfig {
 
 impl Default for CsiRsConfig {
     fn default() -> Self {
-        Self { period_s: 20e-3, slots_per_probe: 1 }
+        Self {
+            period_s: 20e-3,
+            slots_per_probe: 1,
+        }
     }
 }
 
@@ -69,7 +75,9 @@ pub struct ProbeBudget {
 impl ProbeBudget {
     /// Creates a budget at the paper's numerology.
     pub fn paper() -> Self {
-        Self { numerology: Numerology::paper_mu3() }
+        Self {
+            numerology: Numerology::paper_mu3(),
+        }
     }
 
     /// Slot duration, seconds.
@@ -183,9 +191,24 @@ mod tests {
 
     #[test]
     fn csi_rs_period_validation() {
-        assert!(CsiRsConfig { period_s: 20e-3, slots_per_probe: 1 }.validate().is_ok());
-        assert!(CsiRsConfig { period_s: 0.1e-3, slots_per_probe: 1 }.validate().is_err());
-        assert!(CsiRsConfig { period_s: 100e-3, slots_per_probe: 1 }.validate().is_err());
+        assert!(CsiRsConfig {
+            period_s: 20e-3,
+            slots_per_probe: 1
+        }
+        .validate()
+        .is_ok());
+        assert!(CsiRsConfig {
+            period_s: 0.1e-3,
+            slots_per_probe: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CsiRsConfig {
+            period_s: 100e-3,
+            slots_per_probe: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Fault injection over any [`LinkFrontEnd`].
+//!
+//! [`FaultInjector`] wraps a front end and corrupts its observable
+//! behaviour according to a seeded [`FaultSchedule`]: probes get lost,
+//! observations go stale, SNR estimates glitch, array elements fail or
+//! drift in gain, and the whole front end can go dark for windows of time.
+//! The wrapped front end never knows — the controller above sees exactly
+//! the failure modes a real mmWave radio exhibits, which is what the
+//! lifecycle state machine's bounded-retry recovery is built to survive.
+//!
+//! Two invariants make the wrapper usable in regression tests:
+//!
+//! - **Zero-fault transparency** — with [`FaultSchedule::none`] the wrapper
+//!   is bit-identical to the bare front end: no fault RNG is consulted and
+//!   every probe passes through untouched, so seeded runs reproduce
+//!   exactly.
+//! - **Separate fault randomness** — fault decisions draw from their own
+//!   [`Rng64`] stream (seeded by [`FaultSchedule::seed`]), never from the
+//!   channel/noise RNG, so enabling a fault category does not perturb the
+//!   underlying channel realization.
+//!
+//! Every injected fault is recorded as a typed [`FaultEvent`]; the run
+//! loop drains them into the per-run [`crate::metrics::RunResult`] event
+//! log next to the controller's lifecycle transitions.
+
+use crate::metrics::RunResult;
+use crate::simulator::{run_front_end, LinkSimulator, SimFrontEnd};
+use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::weights::BeamWeights;
+use mmwave_baselines::strategy::BeamStrategy;
+use mmwave_dsp::complex::Complex64;
+use mmwave_dsp::rng::Rng64;
+use mmwave_dsp::units::pow_from_db;
+use mmwave_phy::chanest::ProbeObservation;
+
+/// A time window during which probes are lost with some probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeLossWindow {
+    /// Window start, seconds (front-end clock).
+    pub start_s: f64,
+    /// Window end, seconds.
+    pub end_s: f64,
+    /// Per-probe loss probability inside the window, in `[0, 1]`.
+    pub loss_prob: f64,
+}
+
+impl ProbeLossWindow {
+    /// True when `t_s` falls inside the window.
+    pub fn contains(&self, t_s: f64) -> bool {
+        t_s >= self.start_s && t_s < self.end_s
+    }
+}
+
+/// Random multiplicative SNR error applied to probe observations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnrGlitch {
+    /// Per-probe glitch probability, in `[0, 1]`.
+    pub prob: f64,
+    /// Maximum glitch magnitude, dB. Each glitch draws an offset uniformly
+    /// in `[-mag_db, +mag_db]`.
+    pub mag_db: f64,
+}
+
+/// What the fault layer does to the radio, and when. The default schedule
+/// injects nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed for the dedicated fault RNG (independent of the channel RNG).
+    pub seed: u64,
+    /// Windows of probabilistic probe loss (erasure: the controller sees a
+    /// noise-floor observation, the airtime is still spent).
+    pub probe_loss: Vec<ProbeLossWindow>,
+    /// Per-probe probability of returning the *previous* observation
+    /// instead of the fresh one (stale CSI). `0` disables.
+    pub stale_prob: f64,
+    /// Random per-probe SNR glitches. `None` disables.
+    pub snr_glitch: Option<SnrGlitch>,
+    /// Array elements whose phase shifter / PA has failed: their weight is
+    /// forced to zero in every radiated beam (probing *and* data).
+    pub failed_elements: Vec<usize>,
+    /// Peak per-element gain drift, dB. Each element oscillates with its
+    /// own random phase over [`FaultSchedule::gain_drift_period_s`].
+    /// `0` disables.
+    pub gain_drift_db: f64,
+    /// Gain-drift oscillation period, seconds.
+    pub gain_drift_period_s: f64,
+    /// Absolute `(start_s, end_s)` windows during which the front end is
+    /// unavailable: every probe comes back as an erasure.
+    pub unavailable: Vec<(f64, f64)>,
+}
+
+impl FaultSchedule {
+    /// The inert schedule: injects nothing, draws no randomness.
+    pub fn none() -> Self {
+        Self {
+            gain_drift_period_s: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// True when the schedule can never alter behaviour.
+    pub fn is_inert(&self) -> bool {
+        self.probe_loss.is_empty()
+            && self.stale_prob == 0.0
+            && self.snr_glitch.is_none()
+            && self.failed_elements.is_empty()
+            && self.gain_drift_db == 0.0
+            && self.unavailable.is_empty()
+    }
+
+    /// Validates probabilities and windows.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in &self.probe_loss {
+            if !(0.0..=1.0).contains(&w.loss_prob) {
+                return Err(format!("loss_prob {} outside [0,1]", w.loss_prob));
+            }
+            if !w.end_s.is_finite() || !w.start_s.is_finite() || w.end_s <= w.start_s {
+                return Err(format!(
+                    "probe-loss window [{}, {}) is empty",
+                    w.start_s, w.end_s
+                ));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.stale_prob) {
+            return Err(format!("stale_prob {} outside [0,1]", self.stale_prob));
+        }
+        if let Some(g) = &self.snr_glitch {
+            if !(0.0..=1.0).contains(&g.prob) {
+                return Err(format!("glitch prob {} outside [0,1]", g.prob));
+            }
+            if g.mag_db < 0.0 {
+                return Err(format!("glitch magnitude {} negative", g.mag_db));
+            }
+        }
+        if self.gain_drift_db < 0.0 {
+            return Err(format!("gain_drift_db {} negative", self.gain_drift_db));
+        }
+        if self.gain_drift_db > 0.0
+            && (!self.gain_drift_period_s.is_finite() || self.gain_drift_period_s <= 0.0)
+        {
+            return Err("gain drift requires a positive period".into());
+        }
+        for (a, b) in &self.unavailable {
+            if !b.is_finite() || !a.is_finite() || b <= a {
+                return Err(format!("unavailable window [{a}, {b}) is empty"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One injected fault, typed and timestamped.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault hit, seconds (front-end clock).
+    pub t_s: f64,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// The kinds of fault the injector can produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// A probe was erased; the controller saw only the noise floor.
+    ProbeLost,
+    /// A probe returned the previous observation instead of a fresh one.
+    StaleObservation,
+    /// A probe's CSI was scaled by `offset_db`.
+    SnrGlitch {
+        /// Applied SNR offset, dB.
+        offset_db: f64,
+    },
+    /// The front end was inside an unavailability window.
+    FrontEndUnavailable,
+    /// Element `index` radiates nothing for the whole run (logged once, at
+    /// the first probe).
+    ElementFailed {
+        /// Failed element index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::ProbeLost => write!(f, "probe-lost"),
+            FaultKind::StaleObservation => write!(f, "stale-observation"),
+            FaultKind::SnrGlitch { offset_db } => {
+                write!(f, "snr-glitch({offset_db:+.1}dB)")
+            }
+            FaultKind::FrontEndUnavailable => write!(f, "front-end-unavailable"),
+            FaultKind::ElementFailed { index } => write!(f, "element-failed({index})"),
+        }
+    }
+}
+
+/// A [`LinkFrontEnd`] decorator that injects the faults of a
+/// [`FaultSchedule`] between the radio and the beam-management layer.
+pub struct FaultInjector<F> {
+    inner: F,
+    schedule: FaultSchedule,
+    rng: Rng64,
+    last_obs: Option<ProbeObservation>,
+    drift_phase: Vec<f64>,
+    events: Vec<FaultEvent>,
+    static_faults_logged: bool,
+}
+
+impl<F: LinkFrontEnd> FaultInjector<F> {
+    /// Wraps `inner` under `schedule`. Panics on an invalid schedule (use
+    /// [`FaultSchedule::validate`] to check first).
+    pub fn new(inner: F, schedule: FaultSchedule) -> Self {
+        schedule.validate().expect("invalid fault schedule");
+        let mut rng = Rng64::seed(schedule.seed ^ 0xFA17_FA17_FA17_FA17);
+        let n = inner.geometry().num_elements();
+        let drift_phase = if schedule.gain_drift_db > 0.0 {
+            (0..n)
+                .map(|_| rng.uniform_in(0.0, std::f64::consts::TAU))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            inner,
+            schedule,
+            rng,
+            last_obs: None,
+            drift_phase,
+            events: Vec::new(),
+            static_faults_logged: false,
+        }
+    }
+
+    /// The wrapped front end.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// The wrapped front end, mutably.
+    pub fn inner_mut(&mut self) -> &mut F {
+        &mut self.inner
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Faults injected so far (drained by the run loop; also drainable
+    /// directly in unit tests).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Takes and clears the recorded fault events.
+    pub fn take_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The weights actually radiated under the element faults: failed
+    /// elements are zeroed (their power is simply not transmitted — no
+    /// re-normalization), drifting elements get their time-varying gain.
+    /// Applies to probing *and* data-plane transmissions.
+    pub fn faulted_weights(&self, w: &BeamWeights) -> BeamWeights {
+        if self.schedule.failed_elements.is_empty() && self.schedule.gain_drift_db == 0.0 {
+            return w.clone();
+        }
+        let mut v = w.as_slice().to_vec();
+        if self.schedule.gain_drift_db > 0.0 {
+            let t = self.inner.now_s();
+            let omega = std::f64::consts::TAU / self.schedule.gain_drift_period_s;
+            for (i, x) in v.iter_mut().enumerate() {
+                let phase = self.drift_phase.get(i).copied().unwrap_or(0.0);
+                let g_db = self.schedule.gain_drift_db * (omega * t + phase).sin();
+                *x = x.scale(pow_from_db(g_db).sqrt());
+            }
+        }
+        for &i in &self.schedule.failed_elements {
+            if i < v.len() {
+                v[i] = Complex64::ZERO;
+            }
+        }
+        BeamWeights::from_vec(v)
+    }
+
+    fn log_static_faults(&mut self, t_s: f64) {
+        if self.static_faults_logged {
+            return;
+        }
+        self.static_faults_logged = true;
+        for &i in &self.schedule.failed_elements {
+            self.events.push(FaultEvent {
+                t_s,
+                kind: FaultKind::ElementFailed { index: i },
+            });
+        }
+    }
+
+    fn unavailable_at(&self, t_s: f64) -> bool {
+        self.schedule
+            .unavailable
+            .iter()
+            .any(|&(a, b)| t_s >= a && t_s < b)
+    }
+
+    /// Erasure: the controller sees only the noise floor, on the same comb.
+    fn erase(obs: &ProbeObservation) -> ProbeObservation {
+        ProbeObservation {
+            csi: vec![Complex64::ZERO; obs.csi.len()],
+            freqs_hz: obs.freqs_hz.clone(),
+            noise_power_mw: obs.noise_power_mw,
+        }
+    }
+
+    fn corrupt(&mut self, mut obs: ProbeObservation, t_s: f64) -> ProbeObservation {
+        if self.unavailable_at(t_s) {
+            self.events.push(FaultEvent {
+                t_s,
+                kind: FaultKind::FrontEndUnavailable,
+            });
+            return Self::erase(&obs);
+        }
+        if let Some(w) = self.schedule.probe_loss.iter().find(|w| w.contains(t_s)) {
+            let p = w.loss_prob;
+            if self.rng.chance(p) {
+                self.events.push(FaultEvent {
+                    t_s,
+                    kind: FaultKind::ProbeLost,
+                });
+                return Self::erase(&obs);
+            }
+        }
+        if self.schedule.stale_prob > 0.0 && self.rng.chance(self.schedule.stale_prob) {
+            if let Some(prev) = &self.last_obs {
+                self.events.push(FaultEvent {
+                    t_s,
+                    kind: FaultKind::StaleObservation,
+                });
+                return prev.clone();
+            }
+        }
+        if let Some(g) = self.schedule.snr_glitch {
+            if self.rng.chance(g.prob) {
+                let offset_db = self.rng.uniform_in(-g.mag_db, g.mag_db);
+                let k = pow_from_db(offset_db).sqrt();
+                for x in &mut obs.csi {
+                    *x = x.scale(k);
+                }
+                self.events.push(FaultEvent {
+                    t_s,
+                    kind: FaultKind::SnrGlitch { offset_db },
+                });
+            }
+        }
+        self.last_obs = Some(obs.clone());
+        obs
+    }
+}
+
+impl<F: LinkFrontEnd> LinkFrontEnd for FaultInjector<F> {
+    fn geometry(&self) -> &ArrayGeometry {
+        self.inner.geometry()
+    }
+
+    fn probe_kind(&mut self, weights: &BeamWeights, kind: ProbeKind) -> ProbeObservation {
+        let t_s = self.inner.now_s();
+        self.log_static_faults(t_s);
+        let radiated = self.faulted_weights(weights);
+        let obs = self.inner.probe_kind(&radiated, kind);
+        self.corrupt(obs, t_s)
+    }
+
+    fn wait(&mut self, dur_s: f64) {
+        self.inner.wait(dur_s);
+    }
+
+    fn now_s(&self) -> f64 {
+        self.inner.now_s()
+    }
+
+    fn probes_used(&self) -> usize {
+        self.inner.probes_used()
+    }
+}
+
+impl<F: SimFrontEnd> SimFrontEnd for FaultInjector<F> {
+    fn sim(&self) -> &LinkSimulator {
+        self.inner.sim()
+    }
+
+    fn sim_mut(&mut self) -> &mut LinkSimulator {
+        self.inner.sim_mut()
+    }
+
+    fn radiated_weights(&self, w: &BeamWeights) -> BeamWeights {
+        // Element faults hit the data plane too; compose with any faults
+        // the inner stack applies.
+        self.inner.radiated_weights(&self.faulted_weights(w))
+    }
+
+    fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        let mut evs = self.inner.drain_fault_events();
+        evs.extend(self.take_events());
+        evs
+    }
+}
+
+impl<F: SimFrontEnd> FaultInjector<F> {
+    /// Plays `strategy` through the faulted stack — the fault-layer
+    /// counterpart of [`LinkSimulator::run`].
+    pub fn run(
+        &mut self,
+        strategy: &mut dyn BeamStrategy,
+        duration_s: f64,
+        tick_period_s: f64,
+        scenario_name: &str,
+    ) -> RunResult {
+        run_front_end(
+            self,
+            strategy,
+            duration_s,
+            tick_period_s,
+            scenario_name,
+            0.0,
+        )
+    }
+
+    /// Faulted counterpart of [`LinkSimulator::run_with_warmup`].
+    pub fn run_with_warmup(
+        &mut self,
+        strategy: &mut dyn BeamStrategy,
+        duration_s: f64,
+        tick_period_s: f64,
+        scenario_name: &str,
+        warmup_s: f64,
+    ) -> RunResult {
+        run_front_end(
+            self,
+            strategy,
+            duration_s,
+            tick_period_s,
+            scenario_name,
+            warmup_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmreliable::frontend::SnapshotFrontEnd;
+    use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+    use mmwave_channel::environment::Scene;
+    use mmwave_channel::geom2d::v2;
+    use mmwave_dsp::units::FC_28GHZ;
+    use mmwave_phy::chanest::ChannelSounder;
+
+    fn frozen_fe(seed: u64) -> SnapshotFrontEnd {
+        let scene = Scene::conference_room(FC_28GHZ);
+        let paths = scene.paths_to(v2(0.9, 7.0), 180.0);
+        SnapshotFrontEnd::new(
+            GeometricChannel::new(paths, FC_28GHZ),
+            ChannelSounder::paper_indoor(),
+            ArrayGeometry::paper_8x8(),
+            UeReceiver::Omni,
+            Rng64::seed(seed),
+        )
+    }
+
+    fn boresight(fe: &impl LinkFrontEnd) -> BeamWeights {
+        mmwave_array::steering::single_beam(fe.geometry(), 0.0)
+    }
+
+    #[test]
+    fn inert_schedule_is_bit_identical() {
+        let mut plain = frozen_fe(7);
+        let w = boresight(&plain);
+        let direct: Vec<ProbeObservation> = (0..16).map(|_| plain.probe(&w)).collect();
+        let mut wrapped = FaultInjector::new(frozen_fe(7), FaultSchedule::none());
+        for d in &direct {
+            let o = wrapped.probe(&w);
+            assert_eq!(o.csi, d.csi, "zero-fault wrapper must be transparent");
+        }
+        assert!(wrapped.events().is_empty());
+        assert!(FaultSchedule::none().is_inert());
+    }
+
+    #[test]
+    fn probe_loss_erases_within_window() {
+        let mut sched = FaultSchedule::none();
+        sched.probe_loss = vec![ProbeLossWindow {
+            start_s: 0.0,
+            end_s: 1.0,
+            loss_prob: 1.0,
+        }];
+        let mut fe = FaultInjector::new(frozen_fe(1), sched);
+        let w = boresight(&fe);
+        let obs = fe.probe(&w);
+        assert_eq!(obs.snr_db(), -60.0, "lost probe must read as noise floor");
+        assert!(matches!(fe.events()[0].kind, FaultKind::ProbeLost));
+        // Airtime was still spent.
+        assert_eq!(fe.probes_used(), 1);
+    }
+
+    #[test]
+    fn stale_returns_previous_observation() {
+        let mut sched = FaultSchedule::none();
+        sched.stale_prob = 1.0;
+        let mut fe = FaultInjector::new(frozen_fe(2), sched);
+        let w = boresight(&fe);
+        let first = fe.probe(&w); // nothing cached yet: passes through
+        let second = fe.probe(&w);
+        assert_eq!(first.csi, second.csi, "second probe must replay the first");
+        assert!(fe
+            .events()
+            .iter()
+            .any(|e| e.kind == FaultKind::StaleObservation));
+    }
+
+    #[test]
+    fn glitch_scales_snr_and_logs_offset() {
+        let mut sched = FaultSchedule::none();
+        sched.snr_glitch = Some(SnrGlitch {
+            prob: 1.0,
+            mag_db: 6.0,
+        });
+        let mut fe = FaultInjector::new(frozen_fe(3), sched);
+        let mut clean = frozen_fe(3);
+        let w = boresight(&fe);
+        let glitched = fe.probe(&w);
+        let baseline = clean.probe(&w);
+        let logged = match fe.events()[0].kind {
+            FaultKind::SnrGlitch { offset_db } => offset_db,
+            k => panic!("expected glitch event, got {k:?}"),
+        };
+        assert!(logged.abs() <= 6.0);
+        let delta = glitched.snr_db() - baseline.snr_db();
+        // High-SNR link: the noise de-bias shifts the dB delta slightly.
+        assert!(
+            (delta - logged).abs() < 0.5,
+            "delta {delta} vs logged {logged}"
+        );
+    }
+
+    #[test]
+    fn failed_elements_radiate_nothing() {
+        let mut sched = FaultSchedule::none();
+        sched.failed_elements = vec![0, 9];
+        let fe = FaultInjector::new(frozen_fe(4), sched);
+        let w = boresight(&fe);
+        let fw = fe.faulted_weights(&w);
+        assert_eq!(fw.as_slice()[0], Complex64::ZERO);
+        assert_eq!(fw.as_slice()[9], Complex64::ZERO);
+        assert_ne!(fw.as_slice()[1], Complex64::ZERO);
+        // TRP drops by exactly the failed elements' share.
+        let trp: f64 = fw.as_slice().iter().map(|x| x.norm_sqr()).sum();
+        let full: f64 = w.as_slice().iter().map(|x| x.norm_sqr()).sum();
+        assert!(trp < full);
+    }
+
+    #[test]
+    fn unavailable_window_blacks_out_probes() {
+        let mut sched = FaultSchedule::none();
+        sched.unavailable = vec![(0.0, 10.0)];
+        let mut fe = FaultInjector::new(frozen_fe(5), sched);
+        let w = boresight(&fe);
+        let obs = fe.probe(&w);
+        assert_eq!(obs.snr_db(), -60.0);
+        assert!(matches!(
+            fe.events()[0].kind,
+            FaultKind::FrontEndUnavailable
+        ));
+    }
+
+    #[test]
+    fn gain_drift_perturbs_weights_boundedly() {
+        let mut sched = FaultSchedule::none();
+        sched.gain_drift_db = 2.0;
+        sched.gain_drift_period_s = 0.5;
+        let mut fe = FaultInjector::new(frozen_fe(6), sched);
+        let w = boresight(&fe);
+        let fw = fe.faulted_weights(&w);
+        let max_ratio = pow_from_db(2.0).sqrt();
+        for (a, b) in w.as_slice().iter().zip(fw.as_slice()) {
+            let r = b.abs() / a.abs();
+            assert!(
+                r >= 1.0 / max_ratio - 1e-9 && r <= max_ratio + 1e-9,
+                "ratio {r}"
+            );
+        }
+        // Drift is time-varying: advance the clock and the gains move.
+        fe.probe(&w);
+        fe.inner_mut().wait(0.1);
+        let fw2 = fe.faulted_weights(&w);
+        assert_ne!(fw.as_slice()[0], fw2.as_slice()[0]);
+    }
+
+    #[test]
+    fn schedule_validation_rejects_bad_inputs() {
+        let mut s = FaultSchedule::none();
+        s.stale_prob = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = FaultSchedule::none();
+        s.probe_loss = vec![ProbeLossWindow {
+            start_s: 1.0,
+            end_s: 1.0,
+            loss_prob: 0.5,
+        }];
+        assert!(s.validate().is_err());
+        let mut s = FaultSchedule::none();
+        s.gain_drift_db = 1.0;
+        s.gain_drift_period_s = 0.0;
+        assert!(s.validate().is_err());
+        assert!(FaultSchedule::none().validate().is_ok());
+    }
+}

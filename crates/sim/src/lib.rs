@@ -16,17 +16,21 @@
 //!   walking blocker (Fig. 16/18a), mobile link with mid-run blockage
 //!   (Fig. 18b/c), gantry rotation (Fig. 17a/b), 1-s translation
 //!   (Fig. 17c), outdoor long links, and Appendix B's 28-vs-60 GHz scene.
+//! - [`faults`] — seeded fault injection over any front end: probe loss,
+//!   stale CSI, SNR glitches, element failures, gain drift, and
+//!   unavailability windows, each logged as a typed event.
 //! - [`runner`] — seeded multi-run sweeps across OS threads with
 //!   aggregation.
 
-
 #![warn(missing_docs)]
+pub mod faults;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod simulator;
 
-pub use metrics::{RunResult, Sample};
-pub use runner::{run_many, Aggregate};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
+pub use metrics::{RunEvent, RunResult, Sample};
+pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
 pub use scenario::Scenario;
-pub use simulator::LinkSimulator;
+pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd};

@@ -10,7 +10,30 @@
 //! - **Throughput-reliability product** — the paper's combined headline
 //!   metric (mmReliable improves it 2.3× over the best reactive baseline).
 
+use crate::faults::FaultEvent;
+use mmreliable::linkstate::{LinkStateKind, Transition};
 use mmwave_phy::mcs::McsTable;
+
+/// One typed entry in a run's event log: either a lifecycle transition of
+/// the strategy's link state machine, or a fault the injection layer hit
+/// the front end with.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RunEvent {
+    /// A link lifecycle transition.
+    Transition(Transition),
+    /// An injected front-end fault.
+    Fault(FaultEvent),
+}
+
+impl RunEvent {
+    /// Event timestamp, seconds.
+    pub fn t_s(&self) -> f64 {
+        match self {
+            RunEvent::Transition(tr) => tr.t_s,
+            RunEvent::Fault(f) => f.t_s,
+        }
+    }
+}
 
 /// One recorded interval of a run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -46,6 +69,9 @@ pub struct RunResult {
     /// every scheme performs its initial beam training, per the paper's
     /// protocol).
     pub measure_from_s: f64,
+    /// Typed event log: every lifecycle transition the strategy reported
+    /// and every fault the injection layer produced, in time order.
+    pub events: Vec<RunEvent>,
 }
 
 impl RunResult {
@@ -134,6 +160,49 @@ impl RunResult {
             .collect()
     }
 
+    /// Lifecycle transitions recorded during the run, in time order.
+    pub fn transitions(&self) -> impl Iterator<Item = &Transition> {
+        self.events.iter().filter_map(|e| match e {
+            RunEvent::Transition(tr) => Some(tr),
+            RunEvent::Fault(_) => None,
+        })
+    }
+
+    /// Injected faults recorded during the run, in time order.
+    pub fn faults(&self) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter_map(|e| match e {
+            RunEvent::Fault(f) => Some(f),
+            RunEvent::Transition(_) => None,
+        })
+    }
+
+    /// Number of re-training attempts the strategy launched after the
+    /// measurement window opened (entries into the `Recovering` state) —
+    /// the quantity the bounded-retry guarantees cap.
+    pub fn retrain_attempts(&self) -> usize {
+        self.transitions()
+            .filter(|tr| tr.t_s >= self.measure_from_s && tr.to.kind() == LinkStateKind::Recovering)
+            .count()
+    }
+
+    /// Serializes the event log as CSV (`t_s,class,detail`).
+    pub fn events_csv(&self) -> String {
+        let mut out = String::from("t_s,class,detail\n");
+        for e in &self.events {
+            match e {
+                RunEvent::Transition(tr) => out.push_str(&format!(
+                    "{:.6},transition,{}->{} ({:?})\n",
+                    tr.t_s,
+                    tr.from.kind(),
+                    tr.to.kind(),
+                    tr.cause
+                )),
+                RunEvent::Fault(f) => out.push_str(&format!("{:.6},fault,{}\n", f.t_s, f.kind)),
+            }
+        }
+        out
+    }
+
     /// Serializes the per-interval record as CSV
     /// (`t_s,dur_s,snr_db,probing`).
     pub fn to_csv(&self) -> String {
@@ -162,19 +231,25 @@ mod tests {
             probes: 0,
             probe_airtime_s: 0.0,
             measure_from_s: 0.0,
+            events: Vec::new(),
         }
     }
 
     fn s(t: f64, dur: f64, snr: f64, probing: bool) -> Sample {
-        Sample { t_s: t, dur_s: dur, snr_db: snr, probing }
+        Sample {
+            t_s: t,
+            dur_s: dur,
+            snr_db: snr,
+            probing,
+        }
     }
 
     #[test]
     fn reliability_counts_outage_and_probing() {
         let r = mk(vec![
-            s(0.0, 0.25, 20.0, false),  // up
-            s(0.25, 0.25, 3.0, false),  // outage
-            s(0.5, 0.25, 20.0, false),  // up
+            s(0.0, 0.25, 20.0, false),     // up
+            s(0.25, 0.25, 3.0, false),     // outage
+            s(0.5, 0.25, 20.0, false),     // up
             s(0.75, 0.25, f64::NAN, true), // probing
         ]);
         assert!((r.reliability() - 0.5).abs() < 1e-12);
@@ -191,8 +266,8 @@ mod tests {
     fn throughput_zero_in_outage_and_probing() {
         let mcs = McsTable::nr_table();
         let r = mk(vec![
-            s(0.0, 0.5, 3.0, false),       // outage → 0 rate
-            s(0.5, 0.5, f64::NAN, true),   // probing → excluded
+            s(0.0, 0.5, 3.0, false),     // outage → 0 rate
+            s(0.5, 0.5, f64::NAN, true), // probing → excluded
         ]);
         assert_eq!(r.mean_throughput_bps(&mcs), 0.0);
     }
@@ -201,10 +276,7 @@ mod tests {
     fn throughput_averages_over_total_time() {
         let mcs = McsTable::nr_table();
         // Half the time at 20 dB, half probing: mean = rate(20 dB)/2.
-        let r = mk(vec![
-            s(0.0, 0.5, 20.0, false),
-            s(0.5, 0.5, f64::NAN, true),
-        ]);
+        let r = mk(vec![s(0.0, 0.5, 20.0, false), s(0.5, 0.5, f64::NAN, true)]);
         let full = mcs.throughput_bps(20.0, 400e6, 0.0);
         assert!((r.mean_throughput_bps(&mcs) - full / 2.0).abs() < 1e-6);
     }
@@ -212,10 +284,7 @@ mod tests {
     #[test]
     fn product_combines_both() {
         let mcs = McsTable::nr_table();
-        let r = mk(vec![
-            s(0.0, 0.5, 20.0, false),
-            s(0.5, 0.5, 3.0, false),
-        ]);
+        let r = mk(vec![s(0.0, 0.5, 20.0, false), s(0.5, 0.5, 3.0, false)]);
         let expect = 0.5 * r.mean_throughput_bps(&mcs);
         assert!((r.throughput_reliability_product(&mcs) - expect).abs() < 1e-6);
     }

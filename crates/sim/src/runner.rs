@@ -85,11 +85,103 @@ impl Aggregate {
     }
 }
 
+/// One run of a sweep that did not complete: the seed that was being
+/// played and the panic payload, so a 100-run overnight sweep reports
+/// *which* configuration died instead of tearing the whole batch down
+/// with an opaque join error.
+#[derive(Clone, Debug)]
+pub struct FailedRun {
+    /// Index of the run within the sweep.
+    pub run_idx: usize,
+    /// Seed the failed run was instantiated with.
+    pub seed: u64,
+    /// Panic message (or a placeholder for non-string payloads).
+    pub panic_msg: String,
+}
+
+impl std::fmt::Display for FailedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run {} (seed {}) panicked: {}",
+            self.run_idx, self.seed, self.panic_msg
+        )
+    }
+}
+
+impl std::error::Error for FailedRun {}
+
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`run_many`], but a run that panics becomes an `Err(`[`FailedRun`]`)`
+/// in its slot instead of killing the sweep: the other runs (including
+/// those sharing the panicking run's thread) still complete.
+pub fn try_run_many<S, F>(
+    n_runs: usize,
+    base_seed: u64,
+    threads: usize,
+    scenario_fn: S,
+    strategy_fn: F,
+) -> Vec<Result<RunResult, FailedRun>>
+where
+    S: Fn(u64) -> Scenario + Sync,
+    F: Fn() -> Box<dyn BeamStrategy + Send> + Sync,
+{
+    assert!(threads > 0);
+    let mut results: Vec<Option<Result<RunResult, FailedRun>>> = Vec::new();
+    results.resize_with(n_runs, || None);
+    let chunk = n_runs.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ti, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let scenario_fn = &scenario_fn;
+            let strategy_fn = &strategy_fn;
+            scope.spawn(move || {
+                for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                    let run_idx = ti * chunk + i;
+                    let seed = base_seed.wrapping_add(run_idx as u64);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let sc = scenario_fn(seed);
+                        let mut sim = sc.simulator(seed);
+                        let mut strategy = strategy_fn();
+                        sim.run_with_warmup(
+                            strategy.as_mut(),
+                            sc.duration_s,
+                            sc.tick_period_s,
+                            sc.name,
+                            sc.warmup_s,
+                        )
+                    }));
+                    *slot = Some(outcome.map_err(|payload| FailedRun {
+                        run_idx,
+                        seed,
+                        panic_msg: panic_msg(payload),
+                    }));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot visited"))
+        .collect()
+}
+
 /// Runs `n_runs` seeded instances of a scenario family against a strategy
 /// family, spread across `threads` OS threads. Returns all run records.
 ///
 /// `scenario_fn(seed)` builds the (possibly seed-dependent) scenario;
 /// `strategy_fn()` builds a fresh strategy per run.
+///
+/// Panics if any run panics, naming the failed runs (see [`try_run_many`]
+/// for the non-panicking variant).
 pub fn run_many<S, F>(
     n_runs: usize,
     base_seed: u64,
@@ -101,34 +193,20 @@ where
     S: Fn(u64) -> Scenario + Sync,
     F: Fn() -> Box<dyn BeamStrategy + Send> + Sync,
 {
-    assert!(threads > 0);
-    let mut results: Vec<Option<RunResult>> = Vec::new();
-    results.resize_with(n_runs, || None);
-    let chunk = n_runs.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (ti, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let scenario_fn = &scenario_fn;
-            let strategy_fn = &strategy_fn;
-            scope.spawn(move || {
-                for (i, slot) in slot_chunk.iter_mut().enumerate() {
-                    let run_idx = ti * chunk + i;
-                    let seed = base_seed.wrapping_add(run_idx as u64);
-                    let sc = scenario_fn(seed);
-                    let mut sim = sc.simulator(seed);
-                    let mut strategy = strategy_fn();
-                    let r = sim.run_with_warmup(
-                        strategy.as_mut(),
-                        sc.duration_s,
-                        sc.tick_period_s,
-                        sc.name,
-                        sc.warmup_s,
-                    );
-                    *slot = Some(r);
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("run completed")).collect()
+    let outcomes = try_run_many(n_runs, base_seed, threads, scenario_fn, strategy_fn);
+    let failures: Vec<String> = outcomes
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(|f| f.to_string()))
+        .collect();
+    if !failures.is_empty() {
+        panic!(
+            "{} of {} runs failed: {}",
+            failures.len(),
+            n_runs,
+            failures.join("; ")
+        );
+    }
+    outcomes.into_iter().map(|r| r.unwrap()).collect()
 }
 
 #[cfg(test)]
@@ -139,13 +217,9 @@ mod tests {
 
     #[test]
     fn run_many_produces_all_runs() {
-        let runs = run_many(
-            4,
-            100,
-            2,
-            |seed| scenario::mobile_blockage(seed),
-            || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
-        );
+        let runs = run_many(4, 100, 2, scenario::mobile_blockage, || {
+            Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+        });
         assert_eq!(runs.len(), 4);
         for r in &runs {
             assert!((r.duration_s() - 1.0).abs() < 5e-3);
@@ -156,13 +230,9 @@ mod tests {
     #[test]
     fn aggregate_statistics() {
         let mcs = McsTable::nr_table();
-        let runs = run_many(
-            3,
-            7,
-            3,
-            |seed| scenario::mobile_blockage(seed),
-            || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
-        );
+        let runs = run_many(3, 7, 3, scenario::mobile_blockage, || {
+            Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+        });
         let agg = Aggregate::from_runs(&runs, &mcs);
         assert_eq!(agg.reliability.len(), 3);
         assert!(agg.mean_reliability() >= 0.0 && agg.mean_reliability() <= 1.0);
@@ -170,15 +240,49 @@ mod tests {
     }
 
     #[test]
+    fn panicking_run_is_marked_not_fatal() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct PanicOnTick;
+        impl BeamStrategy for PanicOnTick {
+            fn name(&self) -> &'static str {
+                "panic-on-tick"
+            }
+            fn on_tick(&mut self, _fe: &mut dyn mmreliable::frontend::LinkFrontEnd, _t_s: f64) {
+                panic!("injected test panic");
+            }
+            fn weights(&self) -> mmwave_array::weights::BeamWeights {
+                mmwave_array::weights::BeamWeights::muted(64)
+            }
+        }
+
+        let built = AtomicUsize::new(0);
+        let outcomes = try_run_many(3, 50, 1, scenario::mobile_blockage, || {
+            if built.fetch_add(1, Ordering::SeqCst) == 1 {
+                Box::new(PanicOnTick)
+            } else {
+                Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+            }
+        });
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok());
+        assert!(
+            outcomes[2].is_ok(),
+            "runs after the panic must still complete"
+        );
+        let failed = outcomes[1].as_ref().unwrap_err();
+        assert_eq!(failed.run_idx, 1);
+        assert_eq!(failed.seed, 51);
+        assert!(failed.panic_msg.contains("injected test panic"));
+        assert!(failed.to_string().contains("seed 51"));
+    }
+
+    #[test]
     fn deterministic_across_thread_counts() {
         let go = |threads| {
-            let runs = run_many(
-                4,
-                55,
-                threads,
-                |seed| scenario::mobile_blockage(seed),
-                || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
-            );
+            let runs = run_many(4, 55, threads, scenario::mobile_blockage, || {
+                Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+            });
             runs.iter().map(|r| r.reliability()).collect::<Vec<_>>()
         };
         assert_eq!(go(1), go(4));

@@ -64,7 +64,10 @@ pub const DEFAULT_WARMUP_S: f64 = 0.06;
 /// Standard off-center indoor UE position (avoids the degenerate symmetric
 /// geometry where both wall bounces share one delay).
 fn indoor_ue() -> Pose {
-    Pose { pos: v2(0.9, 7.0), facing_deg: 180.0 }
+    Pose {
+        pos: v2(0.9, 7.0),
+        facing_deg: 180.0,
+    }
 }
 
 /// Fig. 16 / Fig. 18a: static indoor link; a walker crosses the whole link,
@@ -199,7 +202,10 @@ pub fn outdoor(dist_m: f64, seed: u64) -> Scenario {
         dynamic: DynamicChannel::new(
             Scene::outdoor_street(FC_28GHZ),
             Trajectory::Static {
-                pose: Pose { pos: v2(0.0, dist_m), facing_deg: 180.0 },
+                pose: Pose {
+                    pos: v2(0.0, dist_m),
+                    facing_deg: 180.0,
+                },
             },
             blockage,
         ),
@@ -223,19 +229,45 @@ pub fn natural_motion(seed: u64) -> Scenario {
     let mut scene = Scene::conference_room(FC_28GHZ);
     scene.max_bounces = 2;
     let knots = vec![
-        (0.0, Pose { pos: p2(0.6, 6.5), facing_deg: 180.0 }),
-        (0.4, Pose { pos: p2(1.2, 6.8), facing_deg: 184.0 }),
-        (0.7, Pose { pos: p2(1.2, 6.8), facing_deg: 176.0 }), // pause + turn
-        (1.0, Pose { pos: p2(0.7, 7.4), facing_deg: 180.0 }),
-        (1.5, Pose { pos: p2(-0.2, 7.2), facing_deg: 186.0 }),
+        (
+            0.0,
+            Pose {
+                pos: p2(0.6, 6.5),
+                facing_deg: 180.0,
+            },
+        ),
+        (
+            0.4,
+            Pose {
+                pos: p2(1.2, 6.8),
+                facing_deg: 184.0,
+            },
+        ),
+        (
+            0.7,
+            Pose {
+                pos: p2(1.2, 6.8),
+                facing_deg: 176.0,
+            },
+        ), // pause + turn
+        (
+            1.0,
+            Pose {
+                pos: p2(0.7, 7.4),
+                facing_deg: 180.0,
+            },
+        ),
+        (
+            1.5,
+            Pose {
+                pos: p2(-0.2, 7.2),
+                facing_deg: 186.0,
+            },
+        ),
     ];
     Scenario {
         name: "natural-motion",
-        dynamic: DynamicChannel::new(
-            scene,
-            Trajectory::Waypoints { knots },
-            blockage,
-        ),
+        dynamic: DynamicChannel::new(scene, Trajectory::Waypoints { knots }, blockage),
         sounder: ChannelSounder::paper_indoor(),
         rx: UeReceiver::Omni,
         duration_s: 1.5,
@@ -253,15 +285,20 @@ pub fn appendix_b(sixty_ghz: bool) -> Scenario {
         sounder.budget = mmwave_channel::linkbudget::LinkBudget::sixty_ghz_400mhz();
     }
     // 10% blockage: one 100 ms full block per 1 s run.
-    let blockage = BlockageProcess::from_events(vec![BlockageEvent::nominal(
-        0, 0.45, 25.0, 0.1,
-    )]);
+    let blockage = BlockageProcess::from_events(vec![BlockageEvent::nominal(0, 0.45, 25.0, 0.1)]);
     Scenario {
-        name: if sixty_ghz { "appendix-b-60ghz" } else { "appendix-b-28ghz" },
+        name: if sixty_ghz {
+            "appendix-b-60ghz"
+        } else {
+            "appendix-b-28ghz"
+        },
         dynamic: DynamicChannel::new(
             Scene::appendix_b(fc),
             Trajectory::Static {
-                pose: Pose { pos: v2(0.0, 10.0), facing_deg: 180.0 },
+                pose: Pose {
+                    pos: v2(0.0, 10.0),
+                    facing_deg: 180.0,
+                },
             },
             blockage,
         ),
@@ -289,11 +326,7 @@ mod tests {
             appendix_b(true),
         ] {
             let paths = sc.dynamic.reference_paths();
-            assert!(
-                !paths.is_empty(),
-                "{}: no paths at t=0",
-                sc.name
-            );
+            assert!(!paths.is_empty(), "{}: no paths at t=0", sc.name);
             assert!(sc.duration_s > 0.0);
         }
     }
@@ -302,7 +335,11 @@ mod tests {
     fn natural_motion_runs_and_has_rich_channel() {
         let sc = natural_motion(1);
         let paths = sc.dynamic.reference_paths();
-        assert!(paths.len() > 4, "double bounces expected, got {}", paths.len());
+        assert!(
+            paths.len() > 4,
+            "double bounces expected, got {}",
+            paths.len()
+        );
         // Pose actually moves and turns over the run.
         let a = sc.dynamic.pose_at(sc.warmup_s + 0.4);
         let b = sc.dynamic.pose_at(sc.warmup_s + 0.7);
@@ -327,14 +364,8 @@ mod tests {
         let a = mobile_blockage(3);
         let b = mobile_blockage(3);
         let c = mobile_blockage(4);
-        assert_eq!(
-            a.dynamic.blockage.events(),
-            b.dynamic.blockage.events()
-        );
-        assert_ne!(
-            a.dynamic.blockage.events(),
-            c.dynamic.blockage.events()
-        );
+        assert_eq!(a.dynamic.blockage.events(), b.dynamic.blockage.events());
+        assert_ne!(a.dynamic.blockage.events(), c.dynamic.blockage.events());
     }
 
     #[test]

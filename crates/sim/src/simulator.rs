@@ -8,7 +8,8 @@
 //! moving and no data flows. Reliability and throughput then fall out of a
 //! single per-slot record with no separate bookkeeping.
 
-use crate::metrics::{RunResult, Sample};
+use crate::faults::FaultEvent;
+use crate::metrics::{RunEvent, RunResult, Sample};
 use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_array::weights::BeamWeights;
@@ -86,8 +87,7 @@ impl LinkSimulator {
             .map(|i| -half + 2.0 * half * i as f64 / 32.0)
             .collect();
         let csi = ch.csi(&self.geom, weights, &self.rx, &freqs);
-        let mean_pow: f64 =
-            csi.iter().map(|v| v.norm_sqr()).sum::<f64>() / csi.len() as f64;
+        let mean_pow: f64 = csi.iter().map(|v| v.norm_sqr()).sum::<f64>() / csi.len() as f64;
         // Same scaling as the sounder: TX power spread across subcarriers
         // against per-subcarrier noise, with atmospheric absorption.
         let tx_mw = mw_from_dbm(self.sounder.budget.tx_power_dbm);
@@ -99,9 +99,8 @@ impl LinkSimulator {
             .fold(f64::INFINITY, f64::min)
             * 1e-9
             * SPEED_OF_LIGHT;
-        let atmo = mmwave_dsp::units::pow_from_db(
-            -self.sounder.budget.atmospheric_absorption_db(dist_m),
-        );
+        let atmo =
+            mmwave_dsp::units::pow_from_db(-self.sounder.budget.atmospheric_absorption_db(dist_m));
         let noise = self.sounder.noise_power_mw();
         db_from_pow((mean_pow * per_sc * atmo / noise).max(1e-6)).max(-60.0)
     }
@@ -130,49 +129,131 @@ impl LinkSimulator {
         scenario_name: &str,
         warmup_s: f64,
     ) -> RunResult {
-        assert!(duration_s > 0.0 && tick_period_s > 0.0 && warmup_s >= 0.0);
-        let duration_s = warmup_s + duration_s;
-        let mut samples = Vec::with_capacity((duration_s / self.slot_s) as usize + 8);
-        let mut next_tick = 0.0f64;
-        while self.t_s < duration_s {
-            // Maintenance tick: the strategy may probe (advancing time).
-            if self.t_s >= next_tick {
-                strategy.observe_truth(&self.dynamic.channel_at(self.t_s));
-                let t0 = self.t_s;
-                strategy.on_tick(self, t0);
-                if self.t_s > t0 {
-                    samples.push(Sample {
-                        t_s: t0,
-                        dur_s: self.t_s - t0,
-                        snr_db: f64::NAN,
-                        probing: true,
-                    });
-                }
-                while next_tick <= self.t_s {
-                    next_tick += tick_period_s;
-                }
+        run_front_end(
+            self,
+            strategy,
+            duration_s,
+            tick_period_s,
+            scenario_name,
+            warmup_s,
+        )
+    }
+}
+
+/// A front-end stack the run loop can drive: the bare simulator, or any
+/// chain of decorators (e.g. [`crate::faults::FaultInjector`]) bottoming
+/// out in one. Decorators forward [`SimFrontEnd::sim`] and may transform
+/// the data-plane weights and contribute fault events.
+pub trait SimFrontEnd: LinkFrontEnd {
+    /// The simulator at the bottom of the stack.
+    fn sim(&self) -> &LinkSimulator;
+
+    /// The simulator at the bottom of the stack, mutably.
+    fn sim_mut(&mut self) -> &mut LinkSimulator;
+
+    /// The weights the array actually radiates in *data* slots — fault
+    /// layers apply element failures / gain drift here so hardware faults
+    /// hit the data plane exactly as they hit probing.
+    fn radiated_weights(&self, w: &BeamWeights) -> BeamWeights {
+        w.clone()
+    }
+
+    /// Takes the fault events accumulated since the last drain.
+    fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        Vec::new()
+    }
+}
+
+impl SimFrontEnd for LinkSimulator {
+    fn sim(&self) -> &LinkSimulator {
+        self
+    }
+
+    fn sim_mut(&mut self) -> &mut LinkSimulator {
+        self
+    }
+}
+
+/// The run loop, generic over the front-end stack: plays `strategy` for
+/// `warmup_s + duration_s`, ticking it every `tick_period_s`, recording
+/// per-slot samples plus every lifecycle transition and injected fault
+/// into the returned [`RunResult`].
+pub fn run_front_end<H: SimFrontEnd>(
+    h: &mut H,
+    strategy: &mut dyn BeamStrategy,
+    duration_s: f64,
+    tick_period_s: f64,
+    scenario_name: &str,
+    warmup_s: f64,
+) -> RunResult {
+    assert!(duration_s > 0.0 && tick_period_s > 0.0 && warmup_s >= 0.0);
+    let duration_s = warmup_s + duration_s;
+    let slot_s = h.sim().slot_s;
+    let mut samples = Vec::with_capacity((duration_s / slot_s) as usize + 8);
+    let mut events: Vec<RunEvent> = Vec::new();
+    let mut next_tick = 0.0f64;
+    while h.sim().t_s < duration_s {
+        // Maintenance tick: the strategy may probe (advancing time).
+        if h.sim().t_s >= next_tick {
+            let ch = h.sim().dynamic.channel_at(h.sim().t_s);
+            strategy.observe_truth(&ch);
+            let t0 = h.sim().t_s;
+            strategy.on_tick(h, t0);
+            events.extend(
+                strategy
+                    .drain_transitions()
+                    .into_iter()
+                    .map(RunEvent::Transition),
+            );
+            events.extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
+            if h.sim().t_s > t0 {
+                samples.push(Sample {
+                    t_s: t0,
+                    dur_s: h.sim().t_s - t0,
+                    snr_db: f64::NAN,
+                    probing: true,
+                });
             }
-            // Data slot under the strategy's current weights.
-            strategy.observe_truth(&self.dynamic.channel_at(self.t_s));
-            let w = strategy.weights();
-            let snr = self.true_snr_db(&w);
-            let dur = self
-                .slot_s
-                .min(duration_s - self.t_s)
-                .min((next_tick - self.t_s).max(1e-9));
-            samples.push(Sample { t_s: self.t_s, dur_s: dur, snr_db: snr, probing: false });
-            self.t_s += dur;
+            while next_tick <= h.sim().t_s {
+                next_tick += tick_period_s;
+            }
         }
-        RunResult {
-            strategy: strategy.name().to_string(),
-            scenario: scenario_name.to_string(),
-            samples,
-            bandwidth_hz: self.sounder.grid.occupied_bw_hz(),
-            outage_snr_db: self.outage_snr_db,
-            probes: self.probes,
-            probe_airtime_s: self.probe_airtime_s,
-            measure_from_s: warmup_s,
-        }
+        // Data slot under the strategy's current weights (as actually
+        // radiated by the possibly-faulted hardware).
+        let ch = h.sim().dynamic.channel_at(h.sim().t_s);
+        strategy.observe_truth(&ch);
+        let w = h.radiated_weights(&strategy.weights());
+        let snr = h.sim().true_snr_db(&w);
+        let t_s = h.sim().t_s;
+        let dur = slot_s
+            .min(duration_s - t_s)
+            .min((next_tick - t_s).max(1e-9));
+        samples.push(Sample {
+            t_s,
+            dur_s: dur,
+            snr_db: snr,
+            probing: false,
+        });
+        h.sim_mut().t_s += dur;
+    }
+    events.extend(
+        strategy
+            .drain_transitions()
+            .into_iter()
+            .map(RunEvent::Transition),
+    );
+    events.extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
+    let sim = h.sim();
+    RunResult {
+        strategy: strategy.name().to_string(),
+        scenario: scenario_name.to_string(),
+        samples,
+        bandwidth_hz: sim.sounder.grid.occupied_bw_hz(),
+        outage_snr_db: sim.outage_snr_db,
+        probes: sim.probes,
+        probe_airtime_s: sim.probe_airtime_s,
+        measure_from_s: warmup_s,
+        events,
     }
 }
 
@@ -198,6 +279,10 @@ impl LinkFrontEnd for LinkSimulator {
         self.probe_airtime_s += d;
     }
 
+    fn now_s(&self) -> f64 {
+        self.t_s
+    }
+
     fn probes_used(&self) -> usize {
         self.probes
     }
@@ -220,7 +305,10 @@ mod tests {
         let dynamic = DynamicChannel::new(
             Scene::conference_room(FC_28GHZ),
             Trajectory::Static {
-                pose: Pose { pos: v2(0.9, 7.0), facing_deg: 180.0 },
+                pose: Pose {
+                    pos: v2(0.9, 7.0),
+                    facing_deg: 180.0,
+                },
             },
             BlockageProcess::none(),
         );
@@ -248,9 +336,8 @@ mod tests {
     #[test]
     fn static_run_with_mmreliable_is_reliable() {
         let mut sim = static_sim(2);
-        let mut s = MmReliableStrategy::new(MmReliableController::new(
-            MmReliableConfig::paper_default(),
-        ));
+        let mut s =
+            MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
         let r = sim.run(&mut s, 0.3, 20e-3, "static");
         // Establishment costs ~33 ms of the 300 ms run; everything after
         // must be up.
@@ -264,7 +351,11 @@ mod tests {
         let mut sim = static_sim(3);
         let mut s = SingleBeamReactive::new(Default::default());
         let r = sim.run(&mut s, 0.2, 20e-3, "static");
-        assert!((r.duration_s() - 0.2).abs() < 2e-3, "dur {}", r.duration_s());
+        assert!(
+            (r.duration_s() - 0.2).abs() < 2e-3,
+            "dur {}",
+            r.duration_s()
+        );
         // Probing samples exist (initial scan).
         assert!(r.samples.iter().any(|s| s.probing));
         assert!(r.probing_overhead() > 0.0);

@@ -4,8 +4,11 @@
 
 use mmreliable::config::MmReliableConfig;
 use mmreliable::controller::MmReliableController;
+use mmreliable::linkstate::is_legal_transition;
 use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
 use mmwave_channel::blockage::{BlockageEvent, BlockageProcess};
+use mmwave_sim::faults::{FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
+use mmwave_sim::metrics::RunResult;
 use mmwave_sim::scenario::{self, Scenario};
 
 fn mmreliable() -> Box<dyn BeamStrategy> {
@@ -14,10 +17,28 @@ fn mmreliable() -> Box<dyn BeamStrategy> {
     )))
 }
 
-fn run(sc: &Scenario, seed: u64) -> mmwave_sim::metrics::RunResult {
+fn run(sc: &Scenario, seed: u64) -> RunResult {
     let mut sim = sc.simulator(seed);
     let mut s = mmreliable();
-    sim.run_with_warmup(s.as_mut(), sc.duration_s, sc.tick_period_s, sc.name, sc.warmup_s)
+    sim.run_with_warmup(
+        s.as_mut(),
+        sc.duration_s,
+        sc.tick_period_s,
+        sc.name,
+        sc.warmup_s,
+    )
+}
+
+fn run_faulted(sc: &Scenario, seed: u64, sched: FaultSchedule) -> RunResult {
+    let mut fe = FaultInjector::new(sc.simulator(seed), sched);
+    let mut s = mmreliable();
+    fe.run_with_warmup(
+        s.as_mut(),
+        sc.duration_s,
+        sc.tick_period_s,
+        sc.name,
+        sc.warmup_s,
+    )
 }
 
 #[test]
@@ -104,7 +125,10 @@ fn total_blockage_causes_outage_then_recovery() {
         .map(|(_, s)| *s)
         .collect();
     let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
-    assert!(tail_mean > 14.0, "link should recover, tail mean {tail_mean} dB");
+    assert!(
+        tail_mean > 14.0,
+        "link should recover, tail mean {tail_mean} dB"
+    );
 }
 
 #[test]
@@ -144,13 +168,128 @@ fn repeated_blockage_events_each_handled() {
 }
 
 #[test]
+fn zero_fault_wrapper_is_bit_identical() {
+    // Regression guard for the fault layer: wrapping the simulator in an
+    // inert schedule must not perturb a single sample or event.
+    let sc = scenario::static_walker();
+    let plain = run(&sc, 11);
+    let wrapped = run_faulted(&sc, 11, FaultSchedule::none());
+    assert_eq!(plain.samples.len(), wrapped.samples.len());
+    for (a, b) in plain.samples.iter().zip(&wrapped.samples) {
+        assert_eq!(a.t_s, b.t_s);
+        assert_eq!(a.dur_s, b.dur_s);
+        assert_eq!(a.probing, b.probing);
+        // NaN marks probing slots, so compare bits, not values.
+        assert_eq!(a.snr_db.to_bits(), b.snr_db.to_bits());
+    }
+    assert_eq!(plain.probes, wrapped.probes);
+    assert_eq!(
+        plain.events, wrapped.events,
+        "no fault events, same transitions"
+    );
+    assert_eq!(wrapped.faults().count(), 0);
+}
+
+#[test]
+fn probe_loss_storm_degrades_gracefully() {
+    // Every other probe lost for the entire run: maintenance quality halves
+    // but the lifecycle's bounded retries must keep the link mostly up.
+    let sc = scenario::static_walker();
+    let mut sched = FaultSchedule::none();
+    sched.seed = 77;
+    sched.probe_loss = vec![ProbeLossWindow {
+        start_s: 0.1,
+        end_s: 10.0,
+        loss_prob: 0.5,
+    }];
+    let r = run_faulted(&sc, 11, sched);
+    assert!(
+        r.reliability() > 0.7,
+        "probe-loss storm: reliability {}",
+        r.reliability()
+    );
+    assert!(r.faults().any(|f| f.kind == FaultKind::ProbeLost));
+}
+
+#[test]
+fn two_failed_elements_cost_under_one_db() {
+    // 2 of 64 elements dead: the paper-scale array must shrug it off.
+    let mut sc = scenario::static_walker();
+    sc.dynamic.blockage = BlockageProcess::none();
+    let clean = run(&sc, 13);
+    let mut sched = FaultSchedule::none();
+    sched.failed_elements = vec![3, 17];
+    let faulted = run_faulted(&sc, 13, sched);
+    let loss = clean.mean_snr_db() - faulted.mean_snr_db();
+    assert!(
+        loss < 1.0,
+        "2/64 element failure must cost < 1 dB, got {loss:.2} dB"
+    );
+    assert!(faulted.reliability() > 0.95);
+    assert!(faulted
+        .faults()
+        .any(|f| matches!(f.kind, FaultKind::ElementFailed { .. })));
+}
+
+#[test]
+fn faulted_static_walker_stays_reliable_with_bounded_retrains() {
+    // The acceptance scenario: probe loss plus element failures on top of
+    // the walker's double blockage. The link must stay > 0.8 reliable, the
+    // event log must show the faults and every lifecycle transition, and
+    // re-training must be bounded — not a hot loop of SSB scans.
+    let sc = scenario::static_walker();
+    let mut sched = FaultSchedule::none();
+    sched.seed = 99;
+    sched.probe_loss = vec![ProbeLossWindow {
+        start_s: 0.1,
+        end_s: 10.0,
+        loss_prob: 0.25,
+    }];
+    sched.failed_elements = vec![5, 40];
+    let r = run_faulted(&sc, 17, sched);
+    assert!(
+        r.reliability() > 0.8,
+        "faulted static-walker: reliability {}",
+        r.reliability()
+    );
+    assert!(r.faults().count() > 0, "faults must be logged");
+    let transitions: Vec<_> = r.transitions().collect();
+    assert!(
+        !transitions.is_empty(),
+        "lifecycle transitions must be logged"
+    );
+    for tr in &transitions {
+        assert!(
+            is_legal_transition(tr.from.kind(), tr.to.kind()),
+            "illegal logged transition {:?} -> {:?}",
+            tr.from,
+            tr.to
+        );
+    }
+    // Bounded recovery: the lifecycle caps retries per episode and paces
+    // them with backoff. Two blockage hits + constant probe loss must not
+    // produce more than a handful of full re-training scans.
+    let retrains = r.retrain_attempts();
+    assert!(
+        retrains <= 12,
+        "re-training must be bounded, got {retrains} attempts"
+    );
+}
+
+#[test]
 fn quantizer_failure_mode_two_bit_hardware_still_works() {
     let mut cfg = MmReliableConfig::paper_default();
     cfg.quantizer = mmwave_array::quantize::Quantizer::commercial_80211ad();
     let sc = scenario::static_walker();
     let mut sim = sc.simulator(55);
     let mut s = MmReliableStrategy::new(MmReliableController::new(cfg));
-    let r = sim.run_with_warmup(&mut s, sc.duration_s, sc.tick_period_s, sc.name, sc.warmup_s);
+    let r = sim.run_with_warmup(
+        &mut s,
+        sc.duration_s,
+        sc.tick_period_s,
+        sc.name,
+        sc.warmup_s,
+    );
     assert!(
         r.reliability() > 0.85,
         "2-bit hardware: reliability {}",

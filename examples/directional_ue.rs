@@ -33,7 +33,10 @@ fn main() {
     let dynamic = DynamicChannel::new(
         Scene::outdoor_street(FC_28GHZ),
         Trajectory::Rotation {
-            start: Pose { pos: v2(0.0, 30.0), facing_deg: 180.0 },
+            start: Pose {
+                pos: v2(0.0, 30.0),
+                facing_deg: 180.0,
+            },
             rate_deg_s: 24.0,
         },
         BlockageProcess::none(),
@@ -45,7 +48,10 @@ fn main() {
         dynamic,
         ChannelSounder::paper_outdoor(),
         ArrayGeometry::paper_8x8(),
-        UeReceiver::Array { geom: ue_geom, weights: single_beam(&ue_geom, 0.0) },
+        UeReceiver::Array {
+            geom: ue_geom,
+            weights: single_beam(&ue_geom, 0.0),
+        },
         Rng64::seed(2718),
     );
 
@@ -55,7 +61,10 @@ fn main() {
     let w = ctl.current_weights();
     let baseline_db = db_from_pow(sim.probe(&w).mean_power_mw().max(1e-20));
 
-    println!("{:>6}  {:>10}  {:>10}  {:>9}  {:>8}", "t", "true AoA", "UE beam", "misalign", "SNR");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>9}  {:>8}",
+        "t", "true AoA", "UE beam", "misalign", "SNR"
+    );
     let mut worst_misalign = 0.0f64;
     for step in 1..=40 {
         // Advance 25 ms of rotation by idling the link.

@@ -17,7 +17,10 @@ use mmwave_phy::numerology::Numerology;
 use mmwave_phy::ofdm::{apply_fir_channel, evm, OfdmModem};
 
 fn main() {
-    let grid = ResourceGrid { numerology: Numerology::paper_mu3(), n_subcarriers: 600 };
+    let grid = ResourceGrid {
+        numerology: Numerology::paper_mu3(),
+        n_subcarriers: 600,
+    };
     let modem = OfdmModem::new(grid);
     let mut rng = Rng64::seed(2024);
 
@@ -40,7 +43,10 @@ fn main() {
         })
         .collect();
 
-    println!("{:>8}  {:>9}  {:>12}  {:>10}", "mod", "EVM", "bit errors", "bits");
+    println!(
+        "{:>8}  {:>9}  {:>12}  {:>10}",
+        "mod", "EVM", "bit errors", "bits"
+    );
     for (m, snr_db) in [
         (Modulation::Qpsk, 12.0),
         (Modulation::Qam16, 18.0),
@@ -52,8 +58,8 @@ fn main() {
         let bits: Vec<u8> = (0..n_bits).map(|_| rng.chance(0.5) as u8).collect();
         let syms = m.map_stream(&bits);
         let frame = modem.modulate(&syms, n_symbols);
-        let sig_pow: f64 = frame.samples.iter().map(|v| v.norm_sqr()).sum::<f64>()
-            / frame.samples.len() as f64;
+        let sig_pow: f64 =
+            frame.samples.iter().map(|v| v.norm_sqr()).sum::<f64>() / frame.samples.len() as f64;
         let noise = sig_pow / 10f64.powf(snr_db / 10.0);
         let rx_samples = apply_fir_channel(&frame.samples, &taps, noise, &mut rng);
         let rx_points = modem.demodulate(&rx_samples, n_symbols);
@@ -68,5 +74,7 @@ fn main() {
             n_bits
         );
     }
-    println!("\n(two-tap multipath, one-tap equalization from perfect CSI; CP absorbs the delay spread)");
+    println!(
+        "\n(two-tap multipath, one-tap equalization from perfect CSI; CP absorbs the delay spread)"
+    );
 }

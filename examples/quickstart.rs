@@ -52,7 +52,10 @@ fn main() {
     let mut ctl = MmReliableController::new(MmReliableConfig::paper_default());
     let actions = ctl.establish(&mut fe);
     println!("\nestablishment: {actions:?}");
-    println!("probes used: {} (64 training + 2 per extra beam + 1 baseline)", fe.probes_used());
+    println!(
+        "probes used: {} (64 training + 2 per extra beam + 1 baseline)",
+        fe.probes_used()
+    );
 
     let mb = ctl.multibeam().expect("established");
     println!("\nconstructive multi-beam:");
@@ -73,7 +76,10 @@ fn main() {
     println!("\nreceived power (relative to single beam):");
     println!("  single beam : 0.00 dB");
     println!("  multi-beam  : {:+.2} dB", db_from_pow(p_multi / p_single));
-    println!("  oracle MRT  : {:+.2} dB", db_from_pow(p_oracle / p_single));
+    println!(
+        "  oracle MRT  : {:+.2} dB",
+        db_from_pow(p_oracle / p_single)
+    );
     println!(
         "\nmulti-beam reaches {:.0}% of the oracle with {} probes instead of per-element sounding",
         100.0 * p_multi / p_oracle,

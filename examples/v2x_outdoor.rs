@@ -22,7 +22,10 @@ use mmwave_sim::scenario;
 fn main() {
     let mcs = McsTable::nr_table();
     let runs = 6;
-    println!("{:>6}  {:>12}  {:>11}  {:>11}", "dist", "strategy", "reliability", "throughput");
+    println!(
+        "{:>6}  {:>12}  {:>11}  {:>11}",
+        "dist", "strategy", "reliability", "throughput"
+    );
     for dist in [30.0, 50.0, 80.0] {
         for which in ["mmReliable", "reactive"] {
             let factory: Box<dyn Fn() -> Box<dyn BeamStrategy + Send> + Sync> = match which {

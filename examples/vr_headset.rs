@@ -41,10 +41,9 @@ fn main() {
         let series = r.snr_series();
         let mut strip = String::new();
         for chunk in series.chunks(160) {
-            let mean: f64 =
-                chunk.iter().map(|s| s.1).sum::<f64>() / chunk.len() as f64;
+            let mean: f64 = chunk.iter().map(|s| s.1).sum::<f64>() / chunk.len() as f64;
             strip.push(match mean {
-                m if m < 6.0 => 'x',   // outage
+                m if m < 6.0 => 'x', // outage
                 m if m < 15.0 => '.',
                 m if m < 22.0 => '-',
                 _ => '=',
@@ -60,7 +59,10 @@ fn main() {
     }
     println!("\n{:>11}  reliability  throughput  probing", "");
     for (name, rel, tput, ovh) in report {
-        println!("{name:>11}:   {rel:>8.3}   {tput:>6.0} Mbps   {:>5.1}%", 100.0 * ovh);
+        println!(
+            "{name:>11}:   {rel:>8.3}   {tput:>6.0} Mbps   {:>5.1}%",
+            100.0 * ovh
+        );
     }
     println!("\n('x' = outage, '=' = full-rate; the blocker hits mid-run while the headset keeps rotating)");
 }

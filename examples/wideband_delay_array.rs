@@ -19,17 +19,28 @@ use mmwave_dsp::units::db_from_pow;
 
 fn main() {
     let geom = ArrayGeometry::ula(16);
-    let p1 = WidebandPath { aod_deg: 0.0, gain: c64(1.0, 0.0), tau_s: 20e-9 };
-    let p2 = WidebandPath { aod_deg: 30.0, gain: c64(0.9, 0.0), tau_s: 25e-9 }; // Δτ = 5 ns
+    let p1 = WidebandPath {
+        aod_deg: 0.0,
+        gain: c64(1.0, 0.0),
+        tau_s: 20e-9,
+    };
+    let p2 = WidebandPath {
+        aod_deg: 30.0,
+        gain: c64(0.9, 0.0),
+        tau_s: 25e-9,
+    }; // Δτ = 5 ns
     let freqs: Vec<f64> = (0..41).map(|i| -200e6 + 10e6 * i as f64).collect();
 
     let single = single_beam_response(&geom, 0.0, &[p1, p2], &freqs);
     let comb = phase_only_multibeam_response(&geom, &p1, &p2, &freqs);
-    let flat = DelayPhasedArray::two_beam_compensated(geom, &p1, &p2)
-        .power_response(&[p1, p2], &freqs);
+    let flat =
+        DelayPhasedArray::two_beam_compensated(geom, &p1, &p2).power_response(&[p1, p2], &freqs);
 
     println!("two-path channel, Δτ = 5 ns over 400 MHz (relative power, dB):\n");
-    println!("{:>8}  {:>12} {:>12} {:>12}", "freq", "single-beam", "phase-only", "delay-comp");
+    println!(
+        "{:>8}  {:>12} {:>12} {:>12}",
+        "freq", "single-beam", "phase-only", "delay-comp"
+    );
     let reference = single[freqs.len() / 2];
     for (i, f) in freqs.iter().enumerate() {
         let bar = |p: f64| {

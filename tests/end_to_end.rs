@@ -55,7 +55,10 @@ fn oracle_upper_bounds_everyone() {
     let oracle = run(
         &sc,
         11,
-        Box::new(OracleMrt::ideal(ArrayGeometry::paper_8x8(), UeReceiver::Omni)),
+        Box::new(OracleMrt::ideal(
+            ArrayGeometry::paper_8x8(),
+            UeReceiver::Omni,
+        )),
     );
     let mm = run(&sc, 11, mmreliable());
     assert!(oracle.reliability() >= mm.reliability() - 1e-9);
@@ -121,7 +124,10 @@ fn run_record_is_internally_consistent() {
     let r = run(&sc, 41, mmreliable());
     // Samples tile the full (warmup + measurement) window.
     let total: f64 = r.samples.iter().map(|s| s.dur_s).sum();
-    assert!((total - sc.warmup_s - sc.duration_s).abs() < 5e-3, "total {total}");
+    assert!(
+        (total - sc.warmup_s - sc.duration_s).abs() < 5e-3,
+        "total {total}"
+    );
     // Measured window matches the scenario duration.
     assert!((r.duration_s() - sc.duration_s).abs() < 5e-3);
     // Reliability is a fraction.

@@ -55,7 +55,9 @@ fn one_plus_delta_squared_law_through_the_stack() {
         let (ctl, fe) = establish(two_path(delta, 1.1), 77);
         let geom = ctl.config().geom;
         let rx = UeReceiver::Omni;
-        let p_multi = fe.channel.received_power(&geom, &ctl.current_weights(), &rx);
+        let p_multi = fe
+            .channel
+            .received_power(&geom, &ctl.current_weights(), &rx);
         let p_single = fe
             .channel
             .received_power(&geom, &single_beam(&geom, 0.0), &rx);
@@ -82,10 +84,14 @@ fn multibeam_never_loses_to_single_beam() {
         // Single-beam reference at the controller's own trained angle (the
         // codebook grid is 1.9° — both schemes share that granularity).
         let ref_angle = ctl.multibeam().unwrap().component(0).angle_deg;
-        let p_multi = fe.channel.received_power(&geom, &ctl.current_weights(), &rx);
-        let p_single = fe
+        let p_multi = fe
             .channel
-            .received_power(&geom, &quantizer.quantize(&single_beam(&geom, ref_angle)), &rx);
+            .received_power(&geom, &ctl.current_weights(), &rx);
+        let p_single = fe.channel.received_power(
+            &geom,
+            &quantizer.quantize(&single_beam(&geom, ref_angle)),
+            &rx,
+        );
         // δ = 0.2 sits below the viability window (−14 dB < −11 dB), so
         // the controller correctly degenerates to a single beam there.
         assert!(
@@ -106,7 +112,9 @@ fn estimated_multibeam_close_to_oracle() {
     let (ctl, fe) = establish(two_path(0.6, -1.4), 9);
     let geom = ctl.config().geom;
     let rx = UeReceiver::Omni;
-    let p_multi = fe.channel.received_power(&geom, &ctl.current_weights(), &rx);
+    let p_multi = fe
+        .channel
+        .received_power(&geom, &ctl.current_weights(), &rx);
     let p_oracle = fe.channel.optimal_power(&geom, &rx);
     assert!(
         p_multi > 0.85 * p_oracle,

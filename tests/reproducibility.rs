@@ -16,9 +16,8 @@ fn identical_seeds_identical_runs() {
     let go = |seed: u64| {
         let sc = scenario::mobile_blockage(seed);
         let mut sim = sc.simulator(seed);
-        let mut s = MmReliableStrategy::new(MmReliableController::new(
-            MmReliableConfig::paper_default(),
-        ));
+        let mut s =
+            MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
         let r = sim.run_with_warmup(&mut s, 0.3, sc.tick_period_s, sc.name, sc.warmup_s);
         (
             r.reliability().to_bits(),
@@ -77,9 +76,8 @@ fn strategy_state_does_not_leak_between_runs() {
     let sc = scenario::static_walker();
     let go = || {
         let mut sim = sc.simulator(77);
-        let mut s = MmReliableStrategy::new(MmReliableController::new(
-            MmReliableConfig::paper_default(),
-        ));
+        let mut s =
+            MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
         let r = sim.run_with_warmup(&mut s, 0.3, sc.tick_period_s, sc.name, sc.warmup_s);
         (r.reliability().to_bits(), r.probes)
     };

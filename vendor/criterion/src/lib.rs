@@ -1,0 +1,207 @@
+//! A minimal, offline drop-in subset of the [criterion](https://docs.rs/criterion)
+//! benchmarking API covering what this workspace's benches use:
+//! `Criterion::bench_function`, `benchmark_group`/`bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement model: each benchmark closure is warmed up once, then timed
+//! over a fixed batch of iterations and reported as mean ns/iter on stdout.
+//! Under `cargo test` (which passes `--test` to harness-less bench binaries)
+//! every benchmark runs a single iteration as a smoke test, keeping the
+//! tier-1 suite fast.
+
+use std::fmt;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Mean ns/iter of the last `iter` call (consumed by the runner).
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, and the only iteration in smoke mode
+        if self.iters <= 1 {
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_ns_per_iter = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// The benchmark runner handle.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // treat that (or an explicit env toggle) as smoke mode.
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Self { smoke }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: if self.smoke { 1 } else { 50 },
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("bench {id}: ok (smoke)");
+        } else {
+            println!("bench {id}: {:.0} ns/iter", b.last_ns_per_iter);
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` as `group/id` with an input handed through.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; reports are emitted eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut c = Criterion { smoke: true };
+        let mut ran = 0;
+        c.bench_function("unit", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * x));
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}
