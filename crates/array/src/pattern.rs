@@ -32,10 +32,26 @@ pub fn power_gain_db(geom: &ArrayGeometry, w: &BeamWeights, theta_deg: f64) -> f
 
 /// Samples the power pattern (linear) across `angles_deg`.
 pub fn pattern_cut(geom: &ArrayGeometry, w: &BeamWeights, angles_deg: &[f64]) -> Vec<f64> {
-    angles_deg
-        .iter()
-        .map(|&t| array_factor(geom, w, t).norm_sqr())
-        .collect()
+    let mut out = Vec::with_capacity(angles_deg.len());
+    pattern_cut_into(geom, w, angles_deg, &mut out);
+    out
+}
+
+/// Write-into variant of [`pattern_cut`]: clears `out` and fills it with
+/// one power sample per angle. One steering scratch is reused across all
+/// angles (one allocation per cut instead of one per angle).
+pub fn pattern_cut_into(
+    geom: &ArrayGeometry,
+    w: &BeamWeights,
+    angles_deg: &[f64],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let mut a: Vec<Complex64> = Vec::with_capacity(geom.num_elements());
+    out.extend(angles_deg.iter().map(|&t| {
+        crate::steering::steering_vector_into(geom, t, &mut a);
+        w.apply(&a).norm_sqr()
+    }));
 }
 
 /// Normalized ULA amplitude pattern (Dirichlet kernel) for an `n`-element

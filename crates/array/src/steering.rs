@@ -17,17 +17,35 @@ pub fn steering_vector(geom: &ArrayGeometry, aod_deg: f64) -> Vec<Complex64> {
     steering_vector_az_el(geom, aod_deg, 0.0)
 }
 
+/// Write-into variant of [`steering_vector`]: clears `out` and fills it,
+/// reusing its allocation. This is the hot-path kernel — one call per path
+/// per slot in the simulator.
+pub fn steering_vector_into(geom: &ArrayGeometry, aod_deg: f64, out: &mut Vec<Complex64>) {
+    steering_vector_az_el_into(geom, aod_deg, 0.0, out);
+}
+
 /// Steering vector with explicit azimuth and elevation departure angles.
 pub fn steering_vector_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> Vec<Complex64> {
+    let mut out = Vec::with_capacity(geom.num_elements());
+    steering_vector_az_el_into(geom, az_deg, el_deg, &mut out);
+    out
+}
+
+/// Write-into variant of [`steering_vector_az_el`].
+pub fn steering_vector_az_el_into(
+    geom: &ArrayGeometry,
+    az_deg: f64,
+    el_deg: f64,
+    out: &mut Vec<Complex64>,
+) {
     let su = az_deg.to_radians().sin();
     let sv = el_deg.to_radians().sin();
-    (0..geom.num_elements())
-        .map(|i| {
-            let phase =
-                -2.0 * PI * (geom.azimuth_position_wl(i) * su + geom.elevation_position_wl(i) * sv);
-            Complex64::cis(phase)
-        })
-        .collect()
+    out.clear();
+    out.extend((0..geom.num_elements()).map(|i| {
+        let phase =
+            -2.0 * PI * (geom.azimuth_position_wl(i) * su + geom.elevation_position_wl(i) * sv);
+        Complex64::cis(phase)
+    }));
 }
 
 /// Conjugate (maximum-ratio) single-beam weights toward `aod_deg`
@@ -36,6 +54,23 @@ pub fn single_beam(geom: &ArrayGeometry, aod_deg: f64) -> BeamWeights {
     let a = steering_vector(geom, aod_deg);
     let n = (a.len() as f64).sqrt();
     BeamWeights::from_vec(a.into_iter().map(|v| v.conj() / n).collect())
+}
+
+/// Write-into variant of [`single_beam`]: overwrites `out` without
+/// allocating (when its capacity suffices).
+pub fn single_beam_into(geom: &ArrayGeometry, aod_deg: f64, out: &mut BeamWeights) {
+    // Bit-identical to `single_beam`: same phase expression (elevation term
+    // kept, multiplied by sin 0 = 0) and the same conj/scale per element.
+    let su = aod_deg.to_radians().sin();
+    let sv = 0.0f64;
+    let n = (geom.num_elements() as f64).sqrt();
+    let v = out.vec_mut();
+    v.clear();
+    v.extend((0..geom.num_elements()).map(|i| {
+        let phase =
+            -2.0 * PI * (geom.azimuth_position_wl(i) * su + geom.elevation_position_wl(i) * sv);
+        Complex64::cis(phase).conj() / n
+    }));
 }
 
 /// Single-beam weights with explicit azimuth and elevation.

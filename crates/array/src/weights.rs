@@ -50,6 +50,42 @@ impl BeamWeights {
         &self.w
     }
 
+    /// Mutable weight slice, for in-place transforms that preserve length
+    /// (e.g. fault layers applying per-element gain masks).
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.w
+    }
+
+    /// Overwrites this vector with `other`'s contents, reusing the existing
+    /// allocation when capacity suffices. The hot-path alternative to
+    /// `*self = other.clone()`.
+    pub fn copy_from(&mut self, other: &BeamWeights) {
+        self.w.clear();
+        self.w.extend_from_slice(&other.w);
+    }
+
+    /// Overwrites this vector with the given slice, reusing the allocation.
+    /// Panics on empty input (the no-empty-weights invariant).
+    pub fn copy_from_slice(&mut self, s: &[Complex64]) {
+        assert!(!s.is_empty(), "weight vector cannot be empty");
+        self.w.clear();
+        self.w.extend_from_slice(s);
+    }
+
+    /// In-crate access to the backing vector for write-into kernels
+    /// (steering, patterns) that rebuild the weights wholesale.
+    pub(crate) fn vec_mut(&mut self) -> &mut Vec<Complex64> {
+        &mut self.w
+    }
+
+    /// Overwrites with all-zero weights (radio muted) for an `n`-element
+    /// array, reusing the allocation — the write-into [`BeamWeights::muted`].
+    pub fn set_muted(&mut self, n: usize) {
+        assert!(n > 0);
+        self.w.clear();
+        self.w.resize(n, Complex64::ZERO);
+    }
+
     /// Consumes into the raw vector.
     pub fn into_vec(self) -> Vec<Complex64> {
         self.w

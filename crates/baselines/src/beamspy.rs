@@ -146,6 +146,13 @@ impl BeamStrategy for BeamSpy {
             None => BeamWeights::muted(64),
         }
     }
+
+    fn weights_into(&self, out: &mut BeamWeights) {
+        match &self.weights {
+            Some(w) => out.copy_from(w),
+            None => out.set_muted(64),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,13 @@ impl BeamStrategy for NrPeriodic {
             None => BeamWeights::muted(64),
         }
     }
+
+    fn weights_into(&self, out: &mut BeamWeights) {
+        match &self.weights {
+            Some(w) => out.copy_from(w),
+            None => out.set_muted(64),
+        }
+    }
 }
 
 #[cfg(test)]

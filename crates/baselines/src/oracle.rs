@@ -62,6 +62,13 @@ impl BeamStrategy for OracleMrt {
         }
     }
 
+    fn weights_into(&self, out: &mut BeamWeights) {
+        match &self.weights {
+            Some(w) => out.copy_from(w),
+            None => out.set_muted(self.geom.num_elements()),
+        }
+    }
+
     fn observe_truth(&mut self, ch: &GeometricChannel) {
         if ch.paths.is_empty() {
             self.weights = None;

@@ -26,6 +26,14 @@ pub trait BeamStrategy {
     /// Weights currently used for data transmission.
     fn weights(&self) -> BeamWeights;
 
+    /// Write-into variant of [`BeamStrategy::weights`]: overwrites `out`
+    /// with the current data weights, reusing its allocation. The run
+    /// loop's per-slot entry point — implementations should avoid heap
+    /// allocation here (the default falls back to the allocating getter).
+    fn weights_into(&self, out: &mut BeamWeights) {
+        out.copy_from(&self.weights());
+    }
+
     /// Genie hook: called each slot with the true channel. Only the oracle
     /// baseline uses it; real schemes must ignore it.
     fn observe_truth(&mut self, _ch: &GeometricChannel) {}
@@ -39,15 +47,31 @@ pub trait BeamStrategy {
 }
 
 /// [`BeamStrategy`] adapter for the mmReliable controller.
+///
+/// The controller's beam state only changes inside a maintenance round, so
+/// the adapter materializes `current_weights()` (multi-beam synthesis +
+/// hardware quantization) once per tick and serves every intervening data
+/// slot from the cache — the synthesis would otherwise run thousands of
+/// times per second for an answer that changes a hundred times per second.
 pub struct MmReliableStrategy {
     /// The wrapped controller.
     pub controller: MmReliableController,
+    /// Data weights materialized at the end of the last tick.
+    cached: BeamWeights,
 }
 
 impl MmReliableStrategy {
     /// Wraps a controller.
     pub fn new(controller: MmReliableController) -> Self {
-        Self { controller }
+        let cached = controller.current_weights();
+        Self { controller, cached }
+    }
+
+    /// Re-materializes the cached data weights from the controller. Called
+    /// automatically after each tick; call manually only after driving the
+    /// controller directly (outside the [`BeamStrategy`] interface).
+    pub fn refresh_weights(&mut self) {
+        self.cached = self.controller.current_weights();
     }
 }
 
@@ -58,10 +82,15 @@ impl BeamStrategy for MmReliableStrategy {
 
     fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, _t_s: f64) {
         self.controller.maintenance_round(fe);
+        self.refresh_weights();
     }
 
     fn weights(&self) -> BeamWeights {
-        self.controller.current_weights()
+        self.cached.clone()
+    }
+
+    fn weights_into(&self, out: &mut BeamWeights) {
+        out.copy_from(&self.cached);
     }
 
     fn drain_transitions(&mut self) -> Vec<Transition> {

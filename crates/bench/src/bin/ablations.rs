@@ -51,7 +51,7 @@ fn quantizer_study(runs: usize, mcs: &McsTable) {
             scenario::mixed_mobility_blockage,
             mm_with(cfg),
         );
-        let agg = Aggregate::from_runs(&results, mcs);
+        let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
             "{name},{:.4},{:.1},{:.1}\n",
             agg.mean_reliability(),
@@ -81,7 +81,7 @@ fn beams_study(runs: usize, mcs: &McsTable) {
             scenario::mixed_mobility_blockage,
             mm_with(cfg),
         );
-        let agg = Aggregate::from_runs(&results, mcs);
+        let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
             "{k},{:.4},{:.1},{:.1}\n",
             agg.mean_reliability(),
@@ -114,7 +114,7 @@ fn cadence_study(runs: usize, mcs: &McsTable) {
             },
             mm_with(MmReliableConfig::paper_default()),
         );
-        let agg = Aggregate::from_runs(&results, mcs);
+        let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
             "{tick_ms},{:.4},{:.1},{:.4}\n",
             agg.mean_reliability(),
@@ -144,7 +144,7 @@ fn latency_study(runs: usize, mcs: &McsTable) {
             Box::new(SingleBeamReactive::new(cfg))
         };
         let results = run_many(runs, 9400, 8, scenario::mixed_mobility_blockage, factory);
-        let agg = Aggregate::from_runs(&results, mcs);
+        let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
             "{rec_ms},{:.4},{:.1}\n",
             agg.mean_reliability(),

@@ -62,7 +62,7 @@ fn main() {
     println!("strategy,scenario,rel_mean,rel_median,tput_mbps,product_mbps,overhead");
     for (name, factory) in &factories {
         let runs = run_many(n_runs, 1000, 8, scenario::mobile_blockage, factory.as_ref());
-        let agg = Aggregate::from_runs(&runs, &mcs);
+        let agg = Aggregate::from_runs(&runs, &mcs).expect("non-empty batch");
         println!("{}", agg.csv_row());
         let _ = name;
     }

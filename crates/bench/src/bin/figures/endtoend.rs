@@ -260,7 +260,7 @@ pub fn fig18a(runs: usize) {
             |_| scenario::static_walker(),
             factory.as_ref(),
         );
-        let agg = Aggregate::from_runs(&blocked, &mcs);
+        let agg = Aggregate::from_runs(&blocked, &mcs).expect("non-empty batch");
         let unblocked = run_many(
             4,
             1801,
@@ -272,7 +272,9 @@ pub fn fig18a(runs: usize) {
             },
             factory.as_ref(),
         );
-        let unblocked_tput = Aggregate::from_runs(&unblocked, &mcs).mean_throughput_bps();
+        let unblocked_tput = Aggregate::from_runs(&unblocked, &mcs)
+            .expect("non-empty batch")
+            .mean_throughput_bps();
         if name == &"mmReliable" {
             reference = unblocked_tput;
         }
@@ -310,7 +312,7 @@ pub fn fig18b(runs: usize) {
             scenario::mixed_mobility_blockage,
             factory.as_ref(),
         );
-        let agg = Aggregate::from_runs(&results, &mcs);
+        let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty batch");
         for (i, r) in agg.reliability.iter().enumerate() {
             csv.push_str(&format!("{name},{i},{r:.4}\n"));
         }
@@ -344,7 +346,7 @@ pub fn fig18c(runs: usize) {
             scenario::mixed_mobility_blockage,
             factory.as_ref(),
         );
-        let agg = Aggregate::from_runs(&results, &mcs);
+        let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty batch");
         csv.push_str(&format!(
             "{name},{:.4},{:.4},{:.1},{:.1},{:.1}\n",
             agg.mean_reliability(),
@@ -418,7 +420,7 @@ pub fn fig19(runs: usize) {
                 |_| scenario::appendix_b(sixty),
                 factory.as_ref(),
             );
-            let agg = Aggregate::from_runs(&results, &mcs);
+            let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty batch");
             csv.push_str(&format!(
                 "{band},{name},{:.1},{:.4}\n",
                 agg.mean_throughput_bps() / 1e6,

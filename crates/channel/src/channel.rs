@@ -12,10 +12,10 @@
 
 use crate::path::Path;
 use mmwave_array::geometry::ArrayGeometry;
-use mmwave_array::steering::steering_vector;
+use mmwave_array::steering::steering_vector_into;
 use mmwave_array::weights::BeamWeights;
 use mmwave_dsp::complex::Complex64;
-use mmwave_dsp::sinc::pulse_train;
+use mmwave_dsp::sinc::pulse_train_into;
 use std::f64::consts::PI;
 
 /// The receive side of the link.
@@ -36,14 +36,35 @@ impl UeReceiver {
     /// Complex receive gain toward an arrival angle (degrees from the UE's
     /// boresight).
     pub fn gain_toward(&self, aoa_deg: f64) -> Complex64 {
+        let mut scratch = Vec::new();
+        self.gain_toward_with(aoa_deg, &mut scratch)
+    }
+
+    /// Allocation-free variant of [`UeReceiver::gain_toward`]: `steer` is a
+    /// caller-owned scratch buffer reused for the UE steering vector (unused
+    /// for an omni UE).
+    pub fn gain_toward_with(&self, aoa_deg: f64, steer: &mut Vec<Complex64>) -> Complex64 {
         match self {
             UeReceiver::Omni => Complex64::ONE,
             UeReceiver::Array { geom, weights } => {
-                let a = steering_vector(geom, aoa_deg);
-                weights.apply(&a)
+                steering_vector_into(geom, aoa_deg, steer);
+                weights.apply(steer)
             }
         }
     }
+}
+
+/// Caller-owned scratch buffers for the allocation-free
+/// [`GeometricChannel`] kernels. One instance serves any number of calls;
+/// buffers grow to a high-water mark on first use and are then reused.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelScratch {
+    /// gNB-side steering vector (one path at a time).
+    pub steer: Vec<Complex64>,
+    /// UE-side steering vector (directional receivers only).
+    pub ue_steer: Vec<Complex64>,
+    /// Per-path compound coefficients `(α_l, τ_l)`.
+    pub alphas: Vec<(Complex64, f64)>,
 }
 
 /// A frozen snapshot of the multipath channel at one instant.
@@ -70,15 +91,33 @@ impl GeometricChannel {
         w: &BeamWeights,
         rx: &UeReceiver,
     ) -> Vec<(Complex64, f64)> {
-        self.paths
-            .iter()
-            .map(|p| {
-                let a = steering_vector(geom, p.aod_deg);
-                let af = w.apply(&a);
-                let alpha = p.effective_gain() * rx.gain_toward(p.aoa_deg) * af;
-                (alpha, p.tof_ns * 1e-9)
-            })
-            .collect()
+        let mut steer = Vec::new();
+        let mut ue_steer = Vec::new();
+        let mut out = Vec::with_capacity(self.paths.len());
+        self.path_alphas_into(geom, w, rx, &mut steer, &mut ue_steer, &mut out);
+        out
+    }
+
+    /// Write-into variant of [`GeometricChannel::path_alphas`]: clears `out`
+    /// and fills it, reusing `out` plus the gNB-side (`steer`) and UE-side
+    /// (`ue_steer`) steering scratch buffers. Bit-identical to the
+    /// allocating version (same per-path expression and association order).
+    pub fn path_alphas_into(
+        &self,
+        geom: &ArrayGeometry,
+        w: &BeamWeights,
+        rx: &UeReceiver,
+        steer: &mut Vec<Complex64>,
+        ue_steer: &mut Vec<Complex64>,
+        out: &mut Vec<(Complex64, f64)>,
+    ) {
+        out.clear();
+        for p in &self.paths {
+            steering_vector_into(geom, p.aod_deg, steer);
+            let af = w.apply(steer);
+            let alpha = p.effective_gain() * rx.gain_toward_with(p.aoa_deg, ue_steer) * af;
+            out.push((alpha, p.tof_ns * 1e-9));
+        }
     }
 
     /// Effective scalar channel at baseband frequency offset `freq_hz`
@@ -105,16 +144,48 @@ impl GeometricChannel {
         rx: &UeReceiver,
         freqs_hz: &[f64],
     ) -> Vec<Complex64> {
-        let alphas = self.path_alphas(geom, w, rx);
-        freqs_hz
-            .iter()
-            .map(|&f| {
-                alphas
-                    .iter()
-                    .map(|&(alpha, tau)| alpha * Complex64::cis(-2.0 * PI * f * tau))
-                    .sum()
-            })
-            .collect()
+        let mut scratch = ChannelScratch::default();
+        let mut out = Vec::with_capacity(freqs_hz.len());
+        self.csi_into(geom, w, rx, freqs_hz, &mut scratch, &mut out);
+        out
+    }
+
+    /// Write-into variant of [`GeometricChannel::csi`]: clears `out` and
+    /// fills it with one response per frequency, reusing `out` and the
+    /// `scratch` buffers. Bit-identical to the allocating version.
+    pub fn csi_into(
+        &self,
+        geom: &ArrayGeometry,
+        w: &BeamWeights,
+        rx: &UeReceiver,
+        freqs_hz: &[f64],
+        scratch: &mut ChannelScratch,
+        out: &mut Vec<Complex64>,
+    ) {
+        let ChannelScratch {
+            steer,
+            ue_steer,
+            alphas,
+        } = scratch;
+        self.path_alphas_into(geom, w, rx, steer, ue_steer, alphas);
+        Self::csi_from_alphas(alphas, freqs_hz, out);
+    }
+
+    /// CSI across `freqs_hz` from precomputed per-path `(α_l, τ_l)` pairs —
+    /// the frequency-sweep core shared by [`GeometricChannel::csi_into`] and
+    /// the per-slot [`crate::snapshot::ChannelSnapshot`].
+    pub fn csi_from_alphas(
+        alphas: &[(Complex64, f64)],
+        freqs_hz: &[f64],
+        out: &mut Vec<Complex64>,
+    ) {
+        out.clear();
+        out.extend(freqs_hz.iter().map(|&f| {
+            alphas
+                .iter()
+                .map(|&(alpha, tau)| alpha * Complex64::cis(-2.0 * PI * f * tau))
+                .sum::<Complex64>()
+        }));
     }
 
     /// Band-limited sampled channel impulse response (paper Eq. 22):
@@ -130,17 +201,43 @@ impl GeometricChannel {
         n_taps: usize,
         guard_s: f64,
     ) -> Vec<Complex64> {
-        let alphas = self.path_alphas(geom, w, rx);
+        let mut scratch = ChannelScratch::default();
+        let mut out = Vec::with_capacity(n_taps);
+        self.cir_into(geom, w, rx, bw_hz, n_taps, guard_s, &mut scratch, &mut out);
+        out
+    }
+
+    /// Write-into variant of [`GeometricChannel::cir`]: clears `out` and
+    /// fills it with `n_taps` samples, reusing `out` and the `scratch`
+    /// buffers (the delay re-referencing happens in place on
+    /// `scratch.alphas`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn cir_into(
+        &self,
+        geom: &ArrayGeometry,
+        w: &BeamWeights,
+        rx: &UeReceiver,
+        bw_hz: f64,
+        n_taps: usize,
+        guard_s: f64,
+        scratch: &mut ChannelScratch,
+        out: &mut Vec<Complex64>,
+    ) {
+        let ChannelScratch {
+            steer,
+            ue_steer,
+            alphas,
+        } = scratch;
+        self.path_alphas_into(geom, w, rx, steer, ue_steer, alphas);
         let t0 = alphas
             .iter()
             .map(|&(_, tau)| tau)
             .fold(f64::INFINITY, f64::min);
         let ts = 1.0 / bw_hz;
-        let taps: Vec<(Complex64, f64)> = alphas
-            .into_iter()
-            .map(|(alpha, tau)| (alpha, tau - t0 + guard_s))
-            .collect();
-        pulse_train(n_taps, bw_hz, ts, &taps)
+        for tap in alphas.iter_mut() {
+            tap.1 = tap.1 - t0 + guard_s;
+        }
+        pulse_train_into(n_taps, bw_hz, ts, alphas, out);
     }
 
     /// Per-element narrowband channel vector `h[n]` at band center
@@ -157,18 +254,36 @@ impl GeometricChannel {
         rx: &UeReceiver,
         freq_hz: f64,
     ) -> Vec<Complex64> {
+        let mut scratch = ChannelScratch::default();
+        let mut h = Vec::with_capacity(geom.num_elements());
+        self.element_response_at_into(geom, rx, freq_hz, &mut scratch, &mut h);
+        h
+    }
+
+    /// Write-into variant of [`GeometricChannel::element_response_at`]:
+    /// clears `out` and fills it with one entry per gNB element, reusing
+    /// `out` and the `scratch` buffers. Bit-identical to the allocating
+    /// version.
+    pub fn element_response_at_into(
+        &self,
+        geom: &ArrayGeometry,
+        rx: &UeReceiver,
+        freq_hz: f64,
+        scratch: &mut ChannelScratch,
+        out: &mut Vec<Complex64>,
+    ) {
         let n = geom.num_elements();
-        let mut h = vec![Complex64::ZERO; n];
+        out.clear();
+        out.resize(n, Complex64::ZERO);
         for p in &self.paths {
-            let a = steering_vector(geom, p.aod_deg);
+            steering_vector_into(geom, p.aod_deg, &mut scratch.steer);
             let coeff = p.effective_gain()
-                * rx.gain_toward(p.aoa_deg)
+                * rx.gain_toward_with(p.aoa_deg, &mut scratch.ue_steer)
                 * Complex64::cis(-2.0 * PI * freq_hz * p.tof_ns * 1e-9);
-            for (hi, ai) in h.iter_mut().zip(&a) {
+            for (hi, ai) in out.iter_mut().zip(&scratch.steer) {
                 *hi += coeff * *ai;
             }
         }
-        h
     }
 
     /// The best *fixed* (frequency-flat) unit-norm transmit weights for

@@ -78,10 +78,29 @@ impl DynamicChannel {
     /// position: the blockage process indexes the path list of the
     /// *initial* pose.
     pub fn paths_at(&self, t_s: f64) -> Vec<Path> {
-        let te = self.env_time(t_s);
+        let mut out = Vec::new();
+        self.paths_at_into(t_s, &self.reference_paths(), &mut out);
+        out
+    }
+
+    /// Write-into variant of [`DynamicChannel::paths_at`]: clears `out` and
+    /// fills it, reusing the allocation. `reference` must be the (time-
+    /// invariant) list from [`DynamicChannel::reference_paths`]; passing it
+    /// in lets per-slot callers cache it instead of re-tracing the t = 0
+    /// scene on every query.
+    pub fn paths_at_into(&self, t_s: f64, reference: &[Path], out: &mut Vec<Path>) {
         let pose = self.pose_at(t_s);
-        let mut paths = self.scene.paths_to(pose.pos, pose.facing_deg);
-        let reference = self.reference_paths();
+        self.scene.paths_to_into(pose.pos, pose.facing_deg, out);
+        self.apply_time_effects(t_s, reference, out);
+    }
+
+    /// Applies the time-varying effects — blockage attenuation and gNB
+    /// gantry rotation — to a *pristine* scene trace for time `t_s` (the
+    /// output of [`Scene::paths_to_into`] at the pose of `t_s`). Split out
+    /// so per-slot callers that know the pose hasn't moved (static
+    /// trajectories) can cache the trace and re-apply only these effects.
+    pub fn apply_time_effects(&self, t_s: f64, reference: &[Path], paths: &mut [Path]) {
+        let te = self.env_time(t_s);
         for p in paths.iter_mut() {
             if let Some(ref_idx) = reference.iter().position(|r| r.kind == p.kind) {
                 p.blockage_db = self.blockage.attenuation_db(ref_idx, te);
@@ -89,14 +108,21 @@ impl DynamicChannel {
             // gNB gantry rotation shifts every AoD in the array frame.
             p.aod_deg -= self.gnb_rotation_deg_s * te;
         }
-        paths
     }
 
     /// The path list at t = 0, used as the index space for blockage events
     /// and as "which beams exist" ground truth.
     pub fn reference_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        self.reference_paths_into(&mut out);
+        out
+    }
+
+    /// Write-into variant of [`DynamicChannel::reference_paths`]. The result
+    /// is time-invariant, so hot-path callers compute it once and cache it.
+    pub fn reference_paths_into(&self, out: &mut Vec<Path>) {
         let pose = self.pose_at(0.0);
-        self.scene.paths_to(pose.pos, pose.facing_deg)
+        self.scene.paths_to_into(pose.pos, pose.facing_deg, out);
     }
 
     /// Frozen channel snapshot at time `t_s`.

@@ -207,6 +207,15 @@ impl Scene {
     /// introduce human blockers on specific paths.
     pub fn paths_to(&self, ue: Vec2, ue_facing_deg: f64) -> Vec<Path> {
         let mut out = Vec::with_capacity(1 + self.walls.len());
+        self.paths_to_into(ue, ue_facing_deg, &mut out);
+        out
+    }
+
+    /// Write-into variant of [`Scene::paths_to`]: clears `out` and fills it,
+    /// reusing its allocation. The hot-path kernel behind
+    /// [`crate::dynamics::DynamicChannel`]'s per-slot snapshot rebuild.
+    pub fn paths_to_into(&self, ue: Vec2, ue_facing_deg: f64, out: &mut Vec<Path>) {
+        out.clear();
         // LOS.
         let d = self.gnb.dist(ue);
         let los_aod = (ue - self.gnb).bearing_deg();
@@ -250,9 +259,8 @@ impl Scene {
         }
         // Second-order reflections (image-of-image construction).
         if self.max_bounces >= 2 {
-            self.push_double_bounces(ue, ue_facing_deg, &mut out);
+            self.push_double_bounces(ue, ue_facing_deg, out);
         }
-        out
     }
 
     /// Appends valid wall-pair double bounces: gNB → wall `i` → wall `j`

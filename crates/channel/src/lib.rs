@@ -18,6 +18,9 @@
 //! - [`mobility`] — UE trajectories (rotation at VR-headset rates,
 //!   translation at walking speed) with exact ground truth,
 //! - [`dynamics`] — the time-varying composition of all of the above,
+//! - [`snapshot`] — the per-slot [`ChannelSnapshot`]: evaluate the dynamic
+//!   channel once per time step, read the cached per-path quantities many
+//!   times without reallocating (the hot-path contract of DESIGN.md §8),
 //! - [`linkbudget`] — transmit/noise/path-loss budgets for 28 and 60 GHz,
 //! - [`sampling`] — stochastic reflector-strength sampling for the
 //!   measurement-study reproduction (Fig. 4a).
@@ -32,7 +35,9 @@ pub mod linkbudget;
 pub mod mobility;
 pub mod path;
 pub mod sampling;
+pub mod snapshot;
 
-pub use channel::{GeometricChannel, UeReceiver};
+pub use channel::{ChannelScratch, GeometricChannel, UeReceiver};
 pub use dynamics::DynamicChannel;
 pub use path::{Path, PathKind};
+pub use snapshot::ChannelSnapshot;

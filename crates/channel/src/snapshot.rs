@@ -1,0 +1,417 @@
+//! Per-slot channel snapshot: evaluate the environment once, read it many
+//! times.
+//!
+//! The simulator's original per-slot dataflow re-derived everything from
+//! [`DynamicChannel`] at each consumer: the sounder, the strategy's truth
+//! observer, and the SNR metric each called
+//! [`DynamicChannel::channel_at`] (which itself traces the scene twice —
+//! once for the current pose, once for the t = 0 reference list) and then
+//! rebuilt per-path steering vectors from scratch. [`ChannelSnapshot`]
+//! hoists all of that into one `rebuild` per time step:
+//!
+//! - the frozen [`GeometricChannel`] (path list with blockage applied),
+//! - the cached t = 0 reference path list (time-invariant — traced once per
+//!   run, not once per query),
+//! - per-path gNB steering rows `a(φ_l)` (flat `n_paths × n_elements`),
+//! - per-path beam-independent coefficients `γ_l·g_rx(θ_l)`,
+//! - per-path delays `τ_l` (seconds),
+//! - the per-element response at band center (oracle baselines).
+//!
+//! Every reader then costs only inner products against the cached rows; no
+//! buffer is reallocated in steady state. **Invalidation rule (DESIGN.md
+//! §8): advancing simulation time invalidates the snapshot** — callers must
+//! `rebuild` before reading at a new `t_s`. [`ChannelSnapshot::is_valid_at`]
+//! makes the rule checkable.
+//!
+//! Bit-identity: all derived quantities use the same expressions and the
+//! same floating-point association order as the allocating
+//! [`GeometricChannel`] methods they replace, so fixed-seed runs are
+//! bit-identical whichever route computes them.
+
+use crate::channel::{GeometricChannel, UeReceiver};
+use crate::dynamics::DynamicChannel;
+use crate::path::Path;
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::steering::steering_vector_into;
+use mmwave_array::weights::BeamWeights;
+use mmwave_dsp::complex::Complex64;
+use std::f64::consts::PI;
+
+/// A reusable, per-slot view of the channel: path list plus every
+/// beam-independent per-path quantity, computed once per time step.
+#[derive(Clone, Debug)]
+pub struct ChannelSnapshot {
+    /// Simulation time this snapshot is valid for (`None` until the first
+    /// rebuild).
+    t_s: Option<f64>,
+    /// Frozen channel at `t_s` (paths rebuilt in place each slot).
+    channel: GeometricChannel,
+    /// Cached t = 0 reference path list (blockage index space).
+    reference: Vec<Path>,
+    reference_built: bool,
+    /// Cached pristine scene trace and the pose key
+    /// `(pos.x, pos.y, facing_deg)` bits it was traced for. Static
+    /// trajectories hit this cache on every slot, skipping the ray trace.
+    traced: Vec<Path>,
+    traced_pose: Option<(u64, u64, u64)>,
+    /// AoD list the steering rows were built for (bitwise): rows are
+    /// reused while no path's AoD moves.
+    row_aods: Vec<f64>,
+    /// Per-path gNB steering rows, flat `n_paths × n_elements`.
+    steer_rows: Vec<Complex64>,
+    /// Cached CSI phase table `cis(-2π·f·τ)`, flat `n_freqs × n_paths`,
+    /// keyed bitwise by the frequency comb and delay list it was built
+    /// for. Delays only move when the pose moves, so static slots and
+    /// repeated probes on the same comb skip all the `cis` calls.
+    phase_freqs: Vec<f64>,
+    phase_delays: Vec<f64>,
+    phase_table: Vec<Complex64>,
+    /// Per-path beam-independent coefficient `γ_l · g_rx(θ_l)`.
+    coeffs: Vec<Complex64>,
+    /// Per-path delay, seconds.
+    delays_s: Vec<f64>,
+    /// Per-element response at band center (what the oracle measures).
+    elem_response: Vec<Complex64>,
+    n_elements: usize,
+    /// Scratch: UE-side steering vector (directional receivers only).
+    ue_steer: Vec<Complex64>,
+    /// Scratch: per-path `(α_l, τ_l)` for a given transmit beam.
+    alphas: Vec<(Complex64, f64)>,
+}
+
+impl Default for ChannelSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChannelSnapshot {
+    /// Creates an empty snapshot; invalid until the first
+    /// [`ChannelSnapshot::rebuild`].
+    pub fn new() -> Self {
+        Self {
+            t_s: None,
+            channel: GeometricChannel::new(Vec::new(), 0.0),
+            reference: Vec::new(),
+            reference_built: false,
+            traced: Vec::new(),
+            traced_pose: None,
+            row_aods: Vec::new(),
+            steer_rows: Vec::new(),
+            phase_freqs: Vec::new(),
+            phase_delays: Vec::new(),
+            phase_table: Vec::new(),
+            coeffs: Vec::new(),
+            delays_s: Vec::new(),
+            elem_response: Vec::new(),
+            n_elements: 0,
+            ue_steer: Vec::new(),
+            alphas: Vec::new(),
+        }
+    }
+
+    /// Re-evaluates the environment at `t_s` and refreshes every cached
+    /// quantity, reusing all internal buffers. Call once per time step,
+    /// before any reader; `geom` and `rx` must be the same link-constant
+    /// values on every call (the cached rows are specific to them).
+    pub fn rebuild(
+        &mut self,
+        dynamic: &DynamicChannel,
+        geom: &ArrayGeometry,
+        rx: &UeReceiver,
+        t_s: f64,
+    ) {
+        if !self.reference_built {
+            dynamic.reference_paths_into(&mut self.reference);
+            self.reference_built = true;
+        }
+        // Trace the scene only when the pose actually moved (bitwise key):
+        // for static trajectories the trace is time-invariant and only the
+        // blockage/rotation effects vary.
+        let pose = dynamic.pose_at(t_s);
+        let pose_key = (
+            pose.pos.x.to_bits(),
+            pose.pos.y.to_bits(),
+            pose.facing_deg.to_bits(),
+        );
+        if self.traced_pose != Some(pose_key) {
+            dynamic
+                .scene
+                .paths_to_into(pose.pos, pose.facing_deg, &mut self.traced);
+            self.traced_pose = Some(pose_key);
+        }
+        self.channel.paths.clear();
+        self.channel.paths.extend_from_slice(&self.traced);
+        dynamic.apply_time_effects(t_s, &self.reference, &mut self.channel.paths);
+        self.channel.fc_hz = dynamic.scene.fc_hz;
+        self.n_elements = geom.num_elements();
+
+        // Steering rows depend only on the AoD list: reuse them while every
+        // AoD is bitwise-unchanged (blockage varies attenuation, not
+        // geometry), rebuild otherwise.
+        let rows_valid = self.row_aods.len() == self.channel.paths.len()
+            && self.steer_rows.len() == self.row_aods.len() * self.n_elements
+            && self
+                .row_aods
+                .iter()
+                .zip(&self.channel.paths)
+                .all(|(a, p)| a.to_bits() == p.aod_deg.to_bits());
+        if !rows_valid {
+            self.steer_rows.clear();
+            self.row_aods.clear();
+            for p in &self.channel.paths {
+                // `steering_vector_into` needs a whole Vec; build the row in
+                // the UE scratch and append, so rows stay one flat
+                // allocation.
+                steering_vector_into(geom, p.aod_deg, &mut self.ue_steer);
+                self.steer_rows.extend_from_slice(&self.ue_steer);
+                self.row_aods.push(p.aod_deg);
+            }
+        }
+
+        // Per-path beam-independent coefficient and delay (cheap; the
+        // coefficient carries the time-varying blockage attenuation).
+        self.coeffs.clear();
+        self.delays_s.clear();
+        for p in &self.channel.paths {
+            self.coeffs
+                .push(p.effective_gain() * rx.gain_toward_with(p.aoa_deg, &mut self.ue_steer));
+            self.delays_s.push(p.tof_ns * 1e-9);
+        }
+
+        // Band-center per-element response, identical expression to
+        // `GeometricChannel::element_response_at(…, 0.0)`.
+        self.elem_response.clear();
+        self.elem_response.resize(self.n_elements, Complex64::ZERO);
+        let chunk = self.n_elements.max(1);
+        for (i, row) in self.steer_rows.chunks_exact(chunk).enumerate() {
+            let coeff = self.coeffs[i] * Complex64::cis(-2.0 * PI * 0.0 * self.delays_s[i]);
+            for (hi, ai) in self.elem_response.iter_mut().zip(row) {
+                *hi += coeff * *ai;
+            }
+        }
+
+        self.t_s = Some(t_s);
+    }
+
+    /// True if the snapshot was last rebuilt at exactly `t_s` (bitwise
+    /// comparison — the simulator's clock is deterministic).
+    pub fn is_valid_at(&self, t_s: f64) -> bool {
+        self.t_s.map(f64::to_bits) == Some(t_s.to_bits())
+    }
+
+    /// Simulation time of the last rebuild.
+    pub fn time_s(&self) -> Option<f64> {
+        self.t_s
+    }
+
+    /// The frozen channel at the snapshot time. Panics if never rebuilt.
+    pub fn channel(&self) -> &GeometricChannel {
+        assert!(self.t_s.is_some(), "snapshot read before first rebuild");
+        &self.channel
+    }
+
+    /// Cached t = 0 reference path list.
+    pub fn reference_paths(&self) -> &[Path] {
+        &self.reference
+    }
+
+    /// Number of paths at the snapshot time.
+    pub fn num_paths(&self) -> usize {
+        self.channel.paths.len()
+    }
+
+    /// Per-path gNB steering rows.
+    fn rows(&self) -> impl Iterator<Item = &[Complex64]> {
+        self.steer_rows.chunks_exact(self.n_elements.max(1))
+    }
+
+    /// Per-element channel vector at band center — what
+    /// [`GeometricChannel::element_response`] computes, read from cache.
+    pub fn element_response(&self) -> &[Complex64] {
+        &self.elem_response
+    }
+
+    /// Per-path compound coefficients `(α_l, τ_l)` under transmit weights
+    /// `w`, written into `out` — the snapshot-backed equivalent of
+    /// [`GeometricChannel::path_alphas`], with the steering inner products
+    /// read from the cached rows.
+    pub fn path_alphas_into(&self, w: &BeamWeights, out: &mut Vec<(Complex64, f64)>) {
+        out.clear();
+        for (i, row) in self.rows().enumerate() {
+            let af = w.apply(row);
+            out.push((self.coeffs[i] * af, self.delays_s[i]));
+        }
+    }
+
+    /// CSI across `freqs_hz` under transmit weights `w`, written into
+    /// `out` — the snapshot-backed equivalent of
+    /// [`GeometricChannel::csi`]. Bit-identical to querying the frozen
+    /// channel directly.
+    pub fn csi_into(&mut self, w: &BeamWeights, freqs_hz: &[f64], out: &mut Vec<Complex64>) {
+        debug_assert!(self.t_s.is_some(), "snapshot read before first rebuild");
+        // Split-borrow: alphas is scratch, the rest is read-only.
+        let mut alphas = std::mem::take(&mut self.alphas);
+        self.path_alphas_into(w, &mut alphas);
+        self.ensure_phase_table(freqs_hz);
+        out.clear();
+        if alphas.is_empty() {
+            out.resize(freqs_hz.len(), Complex64::ZERO);
+        } else {
+            // Same association order as `GeometricChannel::csi_from_alphas`
+            // (fold from zero, paths in order), with the `cis` factors read
+            // from the cached phase table — bit-identical, `cis`-free.
+            out.extend(self.phase_table.chunks_exact(alphas.len()).map(|row| {
+                let mut acc = Complex64::ZERO;
+                for (&(alpha, _), &e) in alphas.iter().zip(row) {
+                    acc += alpha * e;
+                }
+                acc
+            }));
+        }
+        self.alphas = alphas;
+    }
+
+    /// Rebuilds the cached phase table unless it already matches
+    /// `freqs_hz` × current delays bitwise.
+    fn ensure_phase_table(&mut self, freqs_hz: &[f64]) {
+        let valid = self.phase_freqs.len() == freqs_hz.len()
+            && self.phase_delays.len() == self.delays_s.len()
+            && self
+                .phase_freqs
+                .iter()
+                .zip(freqs_hz)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self
+                .phase_delays
+                .iter()
+                .zip(&self.delays_s)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if valid {
+            return;
+        }
+        self.phase_freqs.clear();
+        self.phase_freqs.extend_from_slice(freqs_hz);
+        self.phase_delays.clear();
+        self.phase_delays.extend_from_slice(&self.delays_s);
+        self.phase_table.clear();
+        for &f in freqs_hz {
+            for &tau in &self.delays_s {
+                self.phase_table.push(Complex64::cis(-2.0 * PI * f * tau));
+            }
+        }
+    }
+
+    /// Received signal power (linear) at band center under `w` — the
+    /// snapshot-backed [`GeometricChannel::received_power`].
+    pub fn received_power(&self, w: &BeamWeights) -> f64 {
+        let mut y = Complex64::ZERO;
+        for (i, row) in self.rows().enumerate() {
+            let af = w.apply(row);
+            let alpha = self.coeffs[i] * af;
+            y += alpha * Complex64::cis(-2.0 * PI * 0.0 * self.delays_s[i]);
+        }
+        y.norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockage::BlockageProcess;
+    use crate::environment::Scene;
+    use crate::mobility::Trajectory;
+    use mmwave_array::steering::single_beam;
+    use mmwave_dsp::units::FC_28GHZ;
+
+    fn walker() -> DynamicChannel {
+        DynamicChannel::new(
+            Scene::conference_room(FC_28GHZ),
+            Trajectory::paper_translation(crate::geom2d::v2(0.0, 7.0)),
+            BlockageProcess::none(),
+        )
+    }
+
+    #[test]
+    fn snapshot_csi_matches_direct_query_bitwise() {
+        let dc = walker();
+        let geom = ArrayGeometry::paper_8x8();
+        let rx = UeReceiver::Omni;
+        let w = single_beam(&geom, 5.0);
+        let freqs: Vec<f64> = (0..33).map(|i| -200e6 + 12.5e6 * i as f64).collect();
+        let mut snap = ChannelSnapshot::new();
+        let mut got = Vec::new();
+        for t in [0.0, 0.13, 0.57] {
+            snap.rebuild(&dc, &geom, &rx, t);
+            snap.csi_into(&w, &freqs, &mut got);
+            let want = dc.channel_at(t).csi(&geom, &w, &rx, &freqs);
+            assert_eq!(got.len(), want.len());
+            for (g, e) in got.iter().zip(&want) {
+                assert_eq!(g.re.to_bits(), e.re.to_bits(), "t={t}");
+                assert_eq!(g.im.to_bits(), e.im.to_bits(), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_element_response_matches_direct() {
+        let dc = walker();
+        let geom = ArrayGeometry::paper_8x8();
+        let rx = UeReceiver::Omni;
+        let mut snap = ChannelSnapshot::new();
+        snap.rebuild(&dc, &geom, &rx, 0.25);
+        let want = dc.channel_at(0.25).element_response(&geom, &rx);
+        for (g, e) in snap.element_response().iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), e.re.to_bits());
+            assert_eq!(g.im.to_bits(), e.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_received_power_matches_direct() {
+        let dc = walker();
+        let geom = ArrayGeometry::paper_8x8();
+        let rx = UeReceiver::Omni;
+        let w = single_beam(&geom, 0.0);
+        let mut snap = ChannelSnapshot::new();
+        snap.rebuild(&dc, &geom, &rx, 0.4);
+        let want = dc.channel_at(0.4).received_power(&geom, &w, &rx);
+        let got = snap.received_power(&w);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn validity_follows_rebuild_time() {
+        let dc = walker();
+        let geom = ArrayGeometry::paper_8x8();
+        let mut snap = ChannelSnapshot::new();
+        assert!(!snap.is_valid_at(0.0));
+        snap.rebuild(&dc, &geom, &UeReceiver::Omni, 0.1);
+        assert!(snap.is_valid_at(0.1));
+        assert!(!snap.is_valid_at(0.2));
+        snap.rebuild(&dc, &geom, &UeReceiver::Omni, 0.2);
+        assert!(snap.is_valid_at(0.2));
+    }
+
+    #[test]
+    fn directional_ue_snapshot_matches_direct() {
+        let dc = walker();
+        let geom = ArrayGeometry::paper_8x8();
+        let ue_geom = ArrayGeometry::ula(4);
+        let rx = UeReceiver::Array {
+            geom: ue_geom,
+            weights: single_beam(&ue_geom, 0.0),
+        };
+        let w = single_beam(&geom, 10.0);
+        let freqs = [-100e6, 0.0, 100e6];
+        let mut snap = ChannelSnapshot::new();
+        snap.rebuild(&dc, &geom, &rx, 0.3);
+        let mut got = Vec::new();
+        snap.csi_into(&w, &freqs, &mut got);
+        let want = dc.channel_at(0.3).csi(&geom, &w, &rx, &freqs);
+        for (g, e) in got.iter().zip(&want) {
+            assert_eq!(g.re.to_bits(), e.re.to_bits());
+            assert_eq!(g.im.to_bits(), e.im.to_bits());
+        }
+    }
+}

@@ -74,6 +74,30 @@ impl PerBeamEstimate {
     }
 }
 
+/// Scratch buffers shared by every ridge fit of one decomposition. The
+/// grid search solves the same K-column system ~10²× per probe; building
+/// the dictionary in place and fusing the residual pass keeps the search
+/// out of the allocator (only the K-sized solver outputs still allocate).
+struct FitScratch {
+    /// `(-2π)·f` per sounded subcarrier — the phase is `cf·τ`, bitwise
+    /// identical to the original `-2π·f·τ` left-to-right evaluation.
+    cf: Vec<f64>,
+    /// Per-column absolute delays of the current candidate, seconds.
+    tau_s: Vec<f64>,
+    /// The M×K dictionary, rebuilt in place per candidate.
+    s: CMatrix,
+}
+
+impl FitScratch {
+    fn for_probe(obs: &ProbeObservation) -> Self {
+        Self {
+            cf: obs.freqs_hz.iter().map(|&f| -2.0 * PI * f).collect(),
+            tau_s: Vec::new(),
+            s: CMatrix::zeros(0, 0),
+        }
+    }
+}
+
 /// Decomposes one multi-beam probe into per-beam complex amplitudes, given
 /// the beams' relative delays (first entry is the reference, typically 0).
 pub fn estimate_per_beam(
@@ -86,6 +110,7 @@ pub fn estimate_per_beam(
         obs.csi.len() >= rel_delays_ns.len(),
         "underdetermined: fewer subcarriers than beams"
     );
+    let mut scratch = FitScratch::for_probe(obs);
     let tap_ns = 1.0 / (obs.comb_spacing_hz().max(1.0) * obs.csi.len() as f64) * 1e9;
     // The CIR magnitude peak belongs to whichever beam currently dominates —
     // not necessarily the reference (e.g. when the LOS beam is blocked the
@@ -99,7 +124,7 @@ pub fn estimate_per_beam(
         let mut t = -cfg.tau0_search_taps;
         while t <= cfg.tau0_search_taps {
             let tau0 = coarse_ns + t * tap_ns;
-            let fit = fit_at(obs, tau0, rel_delays_ns, cfg.lambda);
+            let fit = fit_at(obs, tau0, rel_delays_ns, cfg.lambda, &mut scratch);
             if best.as_ref().is_none_or(|b| fit.1 < b.1) {
                 best = Some(fit);
                 best_tau0 = tau0;
@@ -115,7 +140,7 @@ pub fn estimate_per_beam(
         for &j in &cfg.jitter_ns {
             let mut trial = rel.clone();
             trial[k] = nominal + j;
-            let fit = fit_at(obs, best_tau0, &trial, cfg.lambda);
+            let fit = fit_at(obs, best_tau0, &trial, cfg.lambda, &mut scratch);
             if fit.1 < best.1 {
                 best = fit;
                 rel[k] = nominal + j;
@@ -133,33 +158,45 @@ pub fn estimate_per_beam(
 }
 
 /// Solves the ridge LS fit for fixed delays; returns (α, residual).
+///
+/// The dictionary column `k` at subcarrier `i` is
+/// `cis(-2π·f_i·(τ₀+Δτ_k)·1e-9)` — evaluated here as `cis(cf_i·τ_s)` with
+/// `cf` precomputed per probe, which groups the products exactly as the
+/// textbook expression does, so every matrix entry (and hence the solve
+/// and the residual) is bit-identical to a scratch-free evaluation.
 fn fit_at(
     obs: &ProbeObservation,
     tau0_ns: f64,
     rel_delays_ns: &[f64],
     lambda: f64,
+    scratch: &mut FitScratch,
 ) -> (Vec<Complex64>, f64) {
-    let cols: Vec<Vec<Complex64>> = rel_delays_ns
-        .iter()
-        .map(|&dk| {
-            let tau_s = (tau0_ns + dk) * 1e-9;
-            obs.freqs_hz
-                .iter()
-                .map(|&f| Complex64::cis(-2.0 * PI * f * tau_s))
-                .collect()
-        })
-        .collect();
-    let s = CMatrix::from_columns(&cols);
+    let (rows, cols) = (obs.csi.len(), rel_delays_ns.len());
+    scratch.tau_s.clear();
+    scratch
+        .tau_s
+        .extend(rel_delays_ns.iter().map(|&dk| (tau0_ns + dk) * 1e-9));
+    let s = &mut scratch.s;
+    s.reset(rows, cols);
+    for (row, &cf) in s.as_mut_slice().chunks_exact_mut(cols).zip(&scratch.cf) {
+        for (slot, &tau) in row.iter_mut().zip(&scratch.tau_s) {
+            *slot = Complex64::cis(cf * tau);
+        }
+    }
     // Scale λ with the dictionary's column energy (M subcarriers).
-    let alphas = ridge_least_squares(&s, &obs.csi, lambda * obs.csi.len() as f64)
+    let alphas = ridge_least_squares(s, &obs.csi, lambda * obs.csi.len() as f64)
         .unwrap_or_else(|_| vec![Complex64::ZERO; rel_delays_ns.len()]);
-    let fitted = s.mul_vec(&alphas);
-    let residual: f64 = obs
-        .csi
-        .iter()
-        .zip(&fitted)
-        .map(|(y, m)| (*y - *m).norm_sqr())
-        .sum();
+    // Residual ‖y − S·α‖², fused with the fitted-model evaluation: the
+    // inner accumulation is `mul_vec`'s fold and the outer sum runs in
+    // subcarrier order from 0.0, matching the separate-pass bit pattern.
+    let mut residual = 0.0f64;
+    for (row, &y) in s.as_slice().chunks_exact(cols).zip(&obs.csi) {
+        let mut acc = Complex64::ZERO;
+        for (&sij, &a) in row.iter().zip(&alphas) {
+            acc += sij * a;
+        }
+        residual += (y - acc).norm_sqr();
+    }
     (alphas, residual)
 }
 

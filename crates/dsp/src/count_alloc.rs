@@ -1,0 +1,71 @@
+//! A counting global allocator for zero-allocation regression tests.
+//!
+//! The hot-path contract (DESIGN.md §8) is that steady-state simulation
+//! slots perform **zero** heap allocations. That property is only testable
+//! if something counts allocator calls; [`CountingAllocator`] wraps the
+//! system allocator and bumps a global counter on every `alloc`/`realloc`.
+//! Install it in a test or bench binary:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//!
+//! let before = allocation_count();
+//! hot_path();
+//! assert_eq!(allocation_count() - before, 0);
+//! ```
+//!
+//! The counter is process-global and monotonic; concurrent tests only ever
+//! over-count, so a zero delta is a sound (conservative) pass criterion.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of heap allocations (`alloc` + `realloc` calls) observed since
+/// process start, when [`CountingAllocator`] is installed as the global
+/// allocator. Always 0 otherwise.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts allocations.
+pub struct CountingAllocator;
+
+// SAFETY: pure forwarding to `System`, plus a relaxed atomic increment;
+// all GlobalAlloc contract obligations are inherited from `System`.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic() {
+        // Without the allocator installed the counter stays flat, but the
+        // API must still be callable and monotonic.
+        let a = allocation_count();
+        let b = allocation_count();
+        assert!(b >= a);
+    }
+}

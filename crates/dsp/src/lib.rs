@@ -13,12 +13,15 @@
 //! - [`fit`] — real polynomial least squares (tracking smoother, §6.1),
 //! - [`stats`] — summary statistics, CDFs, EWMA,
 //! - [`units`] — dB/linear conversions and RF constants,
-//! - [`rng`] — seeded Gaussian / complex-Gaussian sampling.
+//! - [`rng`] — seeded Gaussian / complex-Gaussian sampling,
+//! - [`count_alloc`] — a counting global allocator backing the
+//!   zero-allocation hot-path regression tests.
 //!
 //! Everything is deterministic given a seed; no global state, no I/O.
 
 #![warn(missing_docs)]
 pub mod complex;
+pub mod count_alloc;
 pub mod fft;
 pub mod fit;
 pub mod linalg;

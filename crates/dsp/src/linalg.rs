@@ -64,6 +64,26 @@ impl CMatrix {
         m
     }
 
+    /// Reshapes in place to a `rows × cols` zero matrix, reusing the
+    /// existing allocation when it is large enough (hot-path scratch reuse,
+    /// DESIGN.md §8).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex64::ZERO);
+    }
+
+    /// Read-only view of the row-major backing storage.
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing storage (hot-path fills).
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -118,33 +138,43 @@ impl CMatrix {
     }
 
     /// Gram matrix `AᴴA` (Hermitian positive semi-definite).
+    ///
+    /// Single pass over the rows with one accumulator per upper-triangle
+    /// entry: each dot product still sums in row order from zero, so the
+    /// result is bit-identical to computing the entries one at a time,
+    /// but `A` is read once instead of `K(K+1)/2` times.
     pub fn gram(&self) -> CMatrix {
         let mut g = CMatrix::zeros(self.cols, self.cols);
-        for i in 0..self.cols {
-            for j in i..self.cols {
-                let mut acc = Complex64::ZERO;
-                for r in 0..self.rows {
-                    acc += self[(r, i)].conj() * self[(r, j)];
+        for row in self.data.chunks_exact(self.cols) {
+            for i in 0..self.cols {
+                let ai = row[i].conj();
+                for j in i..self.cols {
+                    g[(i, j)] += ai * row[j];
                 }
-                g[(i, j)] = acc;
-                g[(j, i)] = acc.conj();
+            }
+        }
+        for i in 0..self.cols {
+            for j in i + 1..self.cols {
+                g[(j, i)] = g[(i, j)].conj();
             }
         }
         g
     }
 
     /// `Aᴴ·b`.
+    ///
+    /// Same single-pass layout as [`CMatrix::gram`]: one accumulator per
+    /// output entry, each summing in row order — bit-identical to the
+    /// column-at-a-time evaluation.
     pub fn hermitian_mul_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(b.len(), self.rows, "dimension mismatch");
-        (0..self.cols)
-            .map(|j| {
-                let mut acc = Complex64::ZERO;
-                for i in 0..self.rows {
-                    acc += self[(i, j)].conj() * b[i];
-                }
-                acc
-            })
-            .collect()
+        let mut acc = vec![Complex64::ZERO; self.cols];
+        for (row, &bi) in self.data.chunks_exact(self.cols).zip(b) {
+            for (a, &aij) in acc.iter_mut().zip(row) {
+                *a += aij.conj() * bi;
+            }
+        }
+        acc
     }
 
     /// Frobenius norm.

@@ -31,21 +31,42 @@ pub fn sinc(x: f64) -> f64 {
 ///
 /// `out[i] = sinc(bw · (i·Ts − τ))`
 pub fn sinc_pulse(n: usize, bw_hz: f64, ts_s: f64, tau_s: f64) -> Vec<f64> {
-    (0..n)
-        .map(|i| sinc(bw_hz * (i as f64 * ts_s - tau_s)))
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    sinc_pulse_into(n, bw_hz, ts_s, tau_s, &mut out);
+    out
+}
+
+/// Write-into variant of [`sinc_pulse`]: clears `out` and fills it with the
+/// `n` sampled taps, reusing its allocation.
+pub fn sinc_pulse_into(n: usize, bw_hz: f64, ts_s: f64, tau_s: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend((0..n).map(|i| sinc(bw_hz * (i as f64 * ts_s - tau_s))));
 }
 
 /// Complex pulse train: `Σ_k α_k · sinc(bw·(i·Ts − τ_k))`.
 /// This is the forward model the super-resolution step inverts.
 pub fn pulse_train(n: usize, bw_hz: f64, ts_s: f64, taps: &[(Complex64, f64)]) -> Vec<Complex64> {
-    let mut out = vec![Complex64::ZERO; n];
+    let mut out = Vec::with_capacity(n);
+    pulse_train_into(n, bw_hz, ts_s, taps, &mut out);
+    out
+}
+
+/// Write-into variant of [`pulse_train`]: clears `out`, then accumulates the
+/// sinc train into it without allocating (when capacity suffices).
+pub fn pulse_train_into(
+    n: usize,
+    bw_hz: f64,
+    ts_s: f64,
+    taps: &[(Complex64, f64)],
+    out: &mut Vec<Complex64>,
+) {
+    out.clear();
+    out.resize(n, Complex64::ZERO);
     for &(alpha, tau) in taps {
         for (i, o) in out.iter_mut().enumerate() {
             *o += alpha * sinc(bw_hz * (i as f64 * ts_s - tau));
         }
     }
-    out
 }
 
 /// Builds the sinc dictionary `S` of Eq. 23: column `k` is a unit sinc pulse

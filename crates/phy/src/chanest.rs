@@ -15,8 +15,9 @@
 use crate::grid::ResourceGrid;
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_array::weights::BeamWeights;
-use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+use mmwave_channel::channel::{ChannelScratch, GeometricChannel, UeReceiver};
 use mmwave_channel::linkbudget::LinkBudget;
+use mmwave_channel::snapshot::ChannelSnapshot;
 use mmwave_dsp::complex::Complex64;
 use mmwave_dsp::fft::ifft;
 use mmwave_dsp::rng::Rng64;
@@ -131,31 +132,77 @@ impl ChannelSounder {
         rx: &UeReceiver,
         rng: &mut Rng64,
     ) -> ProbeObservation {
-        let freqs = self.grid.sounding_freqs(self.decimation);
+        let mut scratch = ChannelScratch::default();
+        let mut obs = ProbeObservation {
+            csi: Vec::new(),
+            freqs_hz: Vec::new(),
+            noise_power_mw: 0.0,
+        };
+        self.probe_into(ch, geom, w, rx, rng, &mut scratch, &mut obs);
+        obs
+    }
+
+    /// Write-into variant of [`ChannelSounder::probe`]: refreshes `obs` in
+    /// place, reusing its buffers plus the channel `scratch`. Draws from
+    /// `rng` in the same order as the allocating version (common phasor
+    /// first, then one AWGN sample per sounded subcarrier), so fixed-seed
+    /// runs are bit-identical through either entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_into(
+        &self,
+        ch: &GeometricChannel,
+        geom: &ArrayGeometry,
+        w: &BeamWeights,
+        rx: &UeReceiver,
+        rng: &mut Rng64,
+        scratch: &mut ChannelScratch,
+        obs: &mut ProbeObservation,
+    ) {
+        self.grid
+            .sounding_freqs_into(self.decimation, &mut obs.freqs_hz);
+        ch.csi_into(geom, w, rx, &obs.freqs_hz, scratch, &mut obs.csi);
+        self.corrupt(link_distance_m(ch), rng, obs);
+    }
+
+    /// Snapshot-backed probe: reads the true CSI from a per-slot
+    /// [`ChannelSnapshot`] (already rebuilt at the probe instant) instead of
+    /// re-deriving per-path steering from the raw channel. Bit-identical to
+    /// [`ChannelSounder::probe`] on the snapshot's frozen channel.
+    pub fn probe_snapshot_into(
+        &self,
+        snap: &mut ChannelSnapshot,
+        w: &BeamWeights,
+        rng: &mut Rng64,
+        obs: &mut ProbeObservation,
+    ) {
+        self.grid
+            .sounding_freqs_into(self.decimation, &mut obs.freqs_hz);
+        snap.csi_into(w, &obs.freqs_hz, &mut obs.csi);
+        self.corrupt(link_distance_m(snap.channel()), rng, obs);
+    }
+
+    /// The impairment tail shared by every probe entry point: scales the
+    /// true CSI in `obs.csi` by the per-subcarrier transmit amplitude and
+    /// atmospheric absorption, applies the common CFO phasor, and adds
+    /// per-subcarrier AWGN.
+    fn corrupt(&self, link_distance_m: f64, rng: &mut Rng64, obs: &mut ProbeObservation) {
         // Per-subcarrier transmit amplitude: total power spread evenly.
         // Transmit power spread evenly over the occupied grid; per-subcarrier
         // SNR then equals the wideband budget SNR (noise scales the same way).
         let tx_mw = mw_from_dbm(self.budget.tx_power_dbm);
         let per_sc_amp = (tx_mw / self.grid.n_subcarriers as f64).sqrt();
-        let atmo = mmwave_dsp::units::amp_from_db(
-            -self.budget.atmospheric_absorption_db(link_distance_m(ch)),
-        );
+        let atmo =
+            mmwave_dsp::units::amp_from_db(-self.budget.atmospheric_absorption_db(link_distance_m));
         let common = if self.cfo_impairment {
             rng.random_phasor()
         } else {
             Complex64::ONE
         };
         let noise_mw = self.noise_power_mw();
-        let true_csi = ch.csi(geom, w, rx, &freqs);
-        let csi = true_csi
-            .into_iter()
-            .map(|h| common * h.scale(per_sc_amp * atmo) + rng.awgn(noise_mw))
-            .collect();
-        ProbeObservation {
-            csi,
-            freqs_hz: freqs,
-            noise_power_mw: noise_mw,
+        for h in obs.csi.iter_mut() {
+            *h = common * h.scale(per_sc_amp * atmo) + rng.awgn(noise_mw);
         }
+        obs.noise_power_mw = noise_mw;
     }
 }
 

@@ -55,11 +55,22 @@ impl ResourceGrid {
     /// Frequencies of every `decimation`-th subcarrier — the comb a
     /// reference signal actually sounds. Panics if `decimation == 0`.
     pub fn sounding_freqs(&self, decimation: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.sounding_freqs_into(decimation, &mut out);
+        out
+    }
+
+    /// Write-into variant of [`ResourceGrid::sounding_freqs`]: clears `out`
+    /// and fills it, reusing the allocation. The grid is immutable in a run,
+    /// so hot-path callers compute the comb once and keep it.
+    pub fn sounding_freqs_into(&self, decimation: usize, out: &mut Vec<f64>) {
         assert!(decimation > 0, "decimation must be ≥ 1");
-        (0..self.n_subcarriers)
-            .step_by(decimation)
-            .map(|k| self.subcarrier_freq_hz(k))
-            .collect()
+        out.clear();
+        out.extend(
+            (0..self.n_subcarriers)
+                .step_by(decimation)
+                .map(|k| self.subcarrier_freq_hz(k)),
+        );
     }
 
     /// FFT size that would carry this grid (next power of two).

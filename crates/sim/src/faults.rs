@@ -263,10 +263,19 @@ impl<F: LinkFrontEnd> FaultInjector<F> {
     /// re-normalization), drifting elements get their time-varying gain.
     /// Applies to probing *and* data-plane transmissions.
     pub fn faulted_weights(&self, w: &BeamWeights) -> BeamWeights {
+        let mut out = w.clone();
+        self.fault_weights_in_place(&mut out);
+        out
+    }
+
+    /// In-place core of [`FaultInjector::faulted_weights`]: applies gain
+    /// drift and element failures directly to `w`, allocating nothing.
+    /// With no element faults configured this is a no-op.
+    pub fn fault_weights_in_place(&self, w: &mut BeamWeights) {
         if self.schedule.failed_elements.is_empty() && self.schedule.gain_drift_db == 0.0 {
-            return w.clone();
+            return;
         }
-        let mut v = w.as_slice().to_vec();
+        let v = w.as_mut_slice();
         if self.schedule.gain_drift_db > 0.0 {
             let t = self.inner.now_s();
             let omega = std::f64::consts::TAU / self.schedule.gain_drift_period_s;
@@ -281,7 +290,6 @@ impl<F: LinkFrontEnd> FaultInjector<F> {
                 v[i] = Complex64::ZERO;
             }
         }
-        BeamWeights::from_vec(v)
     }
 
     fn log_static_faults(&mut self, t_s: f64) {
@@ -393,10 +401,11 @@ impl<F: SimFrontEnd> SimFrontEnd for FaultInjector<F> {
         self.inner.sim_mut()
     }
 
-    fn radiated_weights(&self, w: &BeamWeights) -> BeamWeights {
+    fn apply_radiated_faults(&self, w: &mut BeamWeights) {
         // Element faults hit the data plane too; compose with any faults
         // the inner stack applies.
-        self.inner.radiated_weights(&self.faulted_weights(w))
+        self.fault_weights_in_place(w);
+        self.inner.apply_radiated_faults(w);
     }
 
     fn drain_fault_events(&mut self) -> Vec<FaultEvent> {

@@ -21,6 +21,14 @@
 //!   unavailability windows, each logged as a typed event.
 //! - [`runner`] — seeded multi-run sweeps across OS threads with
 //!   aggregation.
+//!
+//! The per-slot compute path is allocation-free in steady state: the
+//! simulator owns a [`simulator::SlotWorkspace`] whose
+//! [`mmwave_channel::ChannelSnapshot`] is rebuilt at most once per
+//! simulated instant and read by every consumer (sounder, strategy truth
+//! observer, SNR metric). See DESIGN.md §8 for the dataflow and buffer
+//! ownership rules; enable the `perf-counters` feature to get per-run
+//! counters on [`metrics::RunResult::counters`].
 
 #![warn(missing_docs)]
 pub mod faults;
@@ -30,7 +38,7 @@ pub mod scenario;
 pub mod simulator;
 
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
-pub use metrics::{RunEvent, RunResult, Sample};
+pub use metrics::{RunCounters, RunEvent, RunResult, Sample};
 pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
 pub use scenario::Scenario;
-pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd};
+pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd, SlotWorkspace};

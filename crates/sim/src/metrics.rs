@@ -35,6 +35,28 @@ impl RunEvent {
     }
 }
 
+/// Hot-path execution counters for one run.
+///
+/// Populated only when the `perf-counters` feature is enabled; all-zero
+/// otherwise. Counting is pure observability — enabling the feature never
+/// changes simulation results. The interesting ratio is
+/// `snapshot_reuses : snapshot_rebuilds`: every reuse is a full channel
+/// re-evaluation (scene trace + per-path steering) that the pre-snapshot
+/// dataflow paid and the workspace dataflow does not.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Data slots simulated.
+    pub data_slots: u64,
+    /// Maintenance ticks delivered to the strategy.
+    pub ticks: u64,
+    /// Channel snapshot rebuilds (one per distinct simulated instant).
+    pub snapshot_rebuilds: u64,
+    /// Snapshot reads served from cache without re-evaluating the channel.
+    pub snapshot_reuses: u64,
+    /// Wideband true-SNR evaluations.
+    pub snr_evals: u64,
+}
+
 /// One recorded interval of a run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Sample {
@@ -72,6 +94,9 @@ pub struct RunResult {
     /// Typed event log: every lifecycle transition the strategy reported
     /// and every fault the injection layer produced, in time order.
     pub events: Vec<RunEvent>,
+    /// Hot-path execution counters (all-zero unless the `perf-counters`
+    /// feature is enabled).
+    pub counters: RunCounters,
 }
 
 impl RunResult {
@@ -232,6 +257,7 @@ mod tests {
             probe_airtime_s: 0.0,
             measure_from_s: 0.0,
             events: Vec::new(),
+            counters: RunCounters::default(),
         }
     }
 

@@ -29,12 +29,15 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
-    /// Builds the aggregate from raw run results.
-    pub fn from_runs(runs: &[RunResult], mcs: &McsTable) -> Self {
-        let first = runs.first();
-        Self {
-            strategy: first.map(|r| r.strategy.clone()).unwrap_or_default(),
-            scenario: first.map(|r| r.scenario.clone()).unwrap_or_default(),
+    /// Builds the aggregate from raw run results. Returns `None` for an
+    /// empty batch — the old behaviour silently produced an aggregate with
+    /// empty strategy/scenario names and NaN statistics, which then leaked
+    /// into CSV output as blank rows.
+    pub fn from_runs(runs: &[RunResult], mcs: &McsTable) -> Option<Self> {
+        let first = runs.first()?;
+        Some(Self {
+            strategy: first.strategy.clone(),
+            scenario: first.scenario.clone(),
             reliability: runs.iter().map(|r| r.reliability()).collect(),
             throughput_bps: runs.iter().map(|r| r.mean_throughput_bps(mcs)).collect(),
             product_bps: runs
@@ -42,7 +45,7 @@ impl Aggregate {
                 .map(|r| r.throughput_reliability_product(mcs))
                 .collect(),
             overhead: runs.iter().map(|r| r.probing_overhead()).collect(),
-        }
+        })
     }
 
     /// Median reliability.
@@ -124,6 +127,10 @@ fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Like [`run_many`], but a run that panics becomes an `Err(`[`FailedRun`]`)`
 /// in its slot instead of killing the sweep: the other runs (including
 /// those sharing the panicking run's thread) still complete.
+///
+/// `threads == 0` means "use every available core"
+/// (`std::thread::available_parallelism`). Seeds — and therefore results —
+/// do not depend on the thread count.
 pub fn try_run_many<S, F>(
     n_runs: usize,
     base_seed: u64,
@@ -135,7 +142,11 @@ where
     S: Fn(u64) -> Scenario + Sync,
     F: Fn() -> Box<dyn BeamStrategy + Send> + Sync,
 {
-    assert!(threads > 0);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
     let mut results: Vec<Option<Result<RunResult, FailedRun>>> = Vec::new();
     results.resize_with(n_runs, || None);
     let chunk = n_runs.div_ceil(threads);
@@ -175,7 +186,8 @@ where
 }
 
 /// Runs `n_runs` seeded instances of a scenario family against a strategy
-/// family, spread across `threads` OS threads. Returns all run records.
+/// family, spread across `threads` OS threads (`0` = every available
+/// core). Returns all run records.
 ///
 /// `scenario_fn(seed)` builds the (possibly seed-dependent) scenario;
 /// `strategy_fn()` builds a fresh strategy per run.
@@ -233,10 +245,30 @@ mod tests {
         let runs = run_many(3, 7, 3, scenario::mobile_blockage, || {
             Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
         });
-        let agg = Aggregate::from_runs(&runs, &mcs);
+        let agg = Aggregate::from_runs(&runs, &mcs).expect("non-empty batch");
         assert_eq!(agg.reliability.len(), 3);
         assert!(agg.mean_reliability() >= 0.0 && agg.mean_reliability() <= 1.0);
         assert!(agg.csv_row().contains("single-beam reactive"));
+    }
+
+    #[test]
+    fn empty_batch_aggregates_to_none() {
+        assert!(Aggregate::from_runs(&[], &McsTable::nr_table()).is_none());
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let go = |threads| {
+            let runs = run_many(2, 91, threads, scenario::mobile_blockage, || {
+                Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+            });
+            runs.iter()
+                .map(|r| r.reliability().to_bits())
+                .collect::<Vec<_>>()
+        };
+        // threads = 0 must run (auto-sized pool) and reproduce the
+        // single-thread results exactly.
+        assert_eq!(go(0), go(1));
     }
 
     #[test]

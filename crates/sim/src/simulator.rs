@@ -9,17 +9,38 @@
 //! single per-slot record with no separate bookkeeping.
 
 use crate::faults::FaultEvent;
-use crate::metrics::{RunEvent, RunResult, Sample};
+use crate::metrics::{RunCounters, RunEvent, RunResult, Sample};
 use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_array::weights::BeamWeights;
 use mmwave_baselines::strategy::BeamStrategy;
-use mmwave_channel::channel::UeReceiver;
+use mmwave_channel::channel::{GeometricChannel, UeReceiver};
 use mmwave_channel::dynamics::DynamicChannel;
+use mmwave_channel::snapshot::ChannelSnapshot;
+use mmwave_dsp::complex::Complex64;
 use mmwave_dsp::rng::Rng64;
 use mmwave_dsp::units::{db_from_pow, mw_from_dbm, SPEED_OF_LIGHT};
 use mmwave_phy::chanest::{ChannelSounder, ProbeObservation};
 use mmwave_phy::mcs::McsTable;
+
+/// Reusable per-slot scratch owned by [`LinkSimulator`] — the single home
+/// of every buffer the steady-state slot loop touches (DESIGN.md §8).
+///
+/// Holds the [`ChannelSnapshot`] (rebuilt at most once per simulated
+/// instant), the cached 33-point SNR evaluation comb, and the CSI scratch
+/// the SNR metric writes into. After the buffers reach their high-water
+/// mark during the first few slots, the data-plane slot loop performs no
+/// heap allocation at all.
+#[derive(Debug, Default)]
+pub struct SlotWorkspace {
+    /// The per-instant channel snapshot every reader shares.
+    snapshot: ChannelSnapshot,
+    /// Cached 33-point comb for [`LinkSimulator::true_snr_db`] (the grid
+    /// is link-constant, so it is built once on first use).
+    comb_freqs: Vec<f64>,
+    /// CSI scratch for the SNR metric.
+    csi: Vec<Complex64>,
+}
 
 /// The simulator: channel + radio + clock.
 pub struct LinkSimulator {
@@ -42,6 +63,8 @@ pub struct LinkSimulator {
     t_s: f64,
     probes: usize,
     probe_airtime_s: f64,
+    ws: SlotWorkspace,
+    counters: RunCounters,
 }
 
 impl LinkSimulator {
@@ -65,6 +88,8 @@ impl LinkSimulator {
             t_s: 0.0,
             probes: 0,
             probe_airtime_s: 0.0,
+            ws: SlotWorkspace::default(),
+            counters: RunCounters::default(),
         }
     }
 
@@ -73,26 +98,79 @@ impl LinkSimulator {
         self.t_s
     }
 
+    /// Hot-path counters accumulated so far (all-zero unless the
+    /// `perf-counters` feature is enabled). The run loop resets them at
+    /// the start of every run and copies them into the returned
+    /// [`RunResult`].
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// Ensures the workspace snapshot is valid at the current clock,
+    /// rebuilding it only when simulated time has advanced since the last
+    /// read (the invalidation rule of DESIGN.md §8). Every consumer of the
+    /// current channel — SNR metric, sounder, truth observer — goes
+    /// through here, so the environment is evaluated at most once per
+    /// simulated instant.
+    pub fn refresh_snapshot(&mut self) {
+        if self.ws.snapshot.is_valid_at(self.t_s) {
+            #[cfg(feature = "perf-counters")]
+            {
+                self.counters.snapshot_reuses += 1;
+            }
+            return;
+        }
+        self.ws
+            .snapshot
+            .rebuild(&self.dynamic, &self.geom, &self.rx, self.t_s);
+        #[cfg(feature = "perf-counters")]
+        {
+            self.counters.snapshot_rebuilds += 1;
+        }
+    }
+
+    /// The frozen channel at the current clock, served from the workspace
+    /// snapshot (refreshed if needed) — the allocation-free replacement
+    /// for `dynamic.channel_at(now)`.
+    pub fn channel_now(&mut self) -> &GeometricChannel {
+        self.refresh_snapshot();
+        self.ws.snapshot.channel()
+    }
+
     /// Noiseless wideband SNR (dB) the link would see right now under
     /// `weights` — the data-plane quality the MCS adapts to. Evaluated on a
     /// coarse 33-point comb across the occupied band (captures frequency
-    /// selectivity at 1/100 the cost of the full grid).
-    pub fn true_snr_db(&self, weights: &BeamWeights) -> f64 {
-        let ch = self.dynamic.channel_at(self.t_s);
-        if ch.paths.is_empty() {
+    /// selectivity at 1/100 the cost of the full grid). Takes `&mut self`
+    /// because it reads the channel through the workspace snapshot,
+    /// refreshing it if simulated time has advanced.
+    pub fn true_snr_db(&mut self, weights: &BeamWeights) -> f64 {
+        self.refresh_snapshot();
+        #[cfg(feature = "perf-counters")]
+        {
+            self.counters.snr_evals += 1;
+        }
+        if self.ws.snapshot.channel().paths.is_empty() {
             return -60.0;
         }
-        let half = self.sounder.grid.occupied_bw_hz() / 2.0;
-        let freqs: Vec<f64> = (0..33)
-            .map(|i| -half + 2.0 * half * i as f64 / 32.0)
-            .collect();
-        let csi = ch.csi(&self.geom, weights, &self.rx, &freqs);
+        if self.ws.comb_freqs.is_empty() {
+            let half = self.sounder.grid.occupied_bw_hz() / 2.0;
+            self.ws
+                .comb_freqs
+                .extend((0..33).map(|i| -half + 2.0 * half * i as f64 / 32.0));
+        }
+        self.ws
+            .snapshot
+            .csi_into(weights, &self.ws.comb_freqs, &mut self.ws.csi);
+        let csi = &self.ws.csi;
         let mean_pow: f64 = csi.iter().map(|v| v.norm_sqr()).sum::<f64>() / csi.len() as f64;
         // Same scaling as the sounder: TX power spread across subcarriers
         // against per-subcarrier noise, with atmospheric absorption.
         let tx_mw = mw_from_dbm(self.sounder.budget.tx_power_dbm);
         let per_sc = tx_mw / self.sounder.grid.n_subcarriers as f64;
-        let dist_m = ch
+        let dist_m = self
+            .ws
+            .snapshot
+            .channel()
             .paths
             .iter()
             .map(|p| p.tof_ns)
@@ -155,8 +233,24 @@ pub trait SimFrontEnd: LinkFrontEnd {
     /// layers apply element failures / gain drift here so hardware faults
     /// hit the data plane exactly as they hit probing.
     fn radiated_weights(&self, w: &BeamWeights) -> BeamWeights {
-        w.clone()
+        let mut out = w.clone();
+        self.apply_radiated_faults(&mut out);
+        out
     }
+
+    /// Write-into variant of [`SimFrontEnd::radiated_weights`]: overwrites
+    /// `out` with the radiated weights, reusing its allocation. The run
+    /// loop's per-slot entry point.
+    fn radiated_weights_into(&self, w: &BeamWeights, out: &mut BeamWeights) {
+        out.copy_from(w);
+        self.apply_radiated_faults(out);
+    }
+
+    /// In-place hardware-fault transform both weight getters share.
+    /// Decorators apply their own element failures / gain drift to `w`,
+    /// then forward down the stack; the bare simulator radiates weights
+    /// unchanged (the default no-op).
+    fn apply_radiated_faults(&self, _w: &mut BeamWeights) {}
 
     /// Takes the fault events accumulated since the last drain.
     fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
@@ -189,14 +283,24 @@ pub fn run_front_end<H: SimFrontEnd>(
     assert!(duration_s > 0.0 && tick_period_s > 0.0 && warmup_s >= 0.0);
     let duration_s = warmup_s + duration_s;
     let slot_s = h.sim().slot_s;
-    let mut samples = Vec::with_capacity((duration_s / slot_s) as usize + 8);
+    h.sim_mut().counters = RunCounters::default();
+    let mut samples = Vec::with_capacity(
+        (duration_s / slot_s) as usize + (duration_s / tick_period_s) as usize + 16,
+    );
     let mut events: Vec<RunEvent> = Vec::new();
+    // Per-slot weight scratch: allocated once here, reused every slot.
+    let n_elements = h.sim().geom.num_elements();
+    let mut w_data = BeamWeights::muted(n_elements);
+    let mut w_rad = BeamWeights::muted(n_elements);
     let mut next_tick = 0.0f64;
     while h.sim().t_s < duration_s {
         // Maintenance tick: the strategy may probe (advancing time).
         if h.sim().t_s >= next_tick {
-            let ch = h.sim().dynamic.channel_at(h.sim().t_s);
-            strategy.observe_truth(&ch);
+            strategy.observe_truth(h.sim_mut().channel_now());
+            #[cfg(feature = "perf-counters")]
+            {
+                h.sim_mut().counters.ticks += 1;
+            }
             let t0 = h.sim().t_s;
             strategy.on_tick(h, t0);
             events.extend(
@@ -219,11 +323,18 @@ pub fn run_front_end<H: SimFrontEnd>(
             }
         }
         // Data slot under the strategy's current weights (as actually
-        // radiated by the possibly-faulted hardware).
-        let ch = h.sim().dynamic.channel_at(h.sim().t_s);
-        strategy.observe_truth(&ch);
-        let w = h.radiated_weights(&strategy.weights());
-        let snr = h.sim().true_snr_db(&w);
+        // radiated by the possibly-faulted hardware). The snapshot behind
+        // `channel_now` stays valid through the whole slot — the truth
+        // observer, fault layer, and SNR metric all read the same frozen
+        // channel without re-evaluating the environment.
+        strategy.observe_truth(h.sim_mut().channel_now());
+        strategy.weights_into(&mut w_data);
+        h.radiated_weights_into(&w_data, &mut w_rad);
+        let snr = h.sim_mut().true_snr_db(&w_rad);
+        #[cfg(feature = "perf-counters")]
+        {
+            h.sim_mut().counters.data_slots += 1;
+        }
         let t_s = h.sim().t_s;
         let dur = slot_s
             .min(duration_s - t_s)
@@ -254,6 +365,7 @@ pub fn run_front_end<H: SimFrontEnd>(
         probe_airtime_s: sim.probe_airtime_s,
         measure_from_s: warmup_s,
         events,
+        counters: sim.counters,
     }
 }
 
@@ -263,10 +375,14 @@ impl LinkFrontEnd for LinkSimulator {
     }
 
     fn probe_kind(&mut self, weights: &BeamWeights, kind: ProbeKind) -> ProbeObservation {
-        let ch = self.dynamic.channel_at(self.t_s);
-        let obs = self
-            .sounder
-            .probe(&ch, &self.geom, weights, &self.rx, &mut self.rng);
+        self.refresh_snapshot();
+        let mut obs = ProbeObservation {
+            csi: Vec::new(),
+            freqs_hz: Vec::new(),
+            noise_power_mw: 0.0,
+        };
+        self.sounder
+            .probe_snapshot_into(&mut self.ws.snapshot, weights, &mut self.rng, &mut obs);
         self.t_s += kind.airtime_s();
         self.probes += 1;
         self.probe_airtime_s += kind.airtime_s();

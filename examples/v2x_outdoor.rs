@@ -43,7 +43,7 @@ fn main() {
                 |seed| scenario::outdoor(dist, seed),
                 factory.as_ref(),
             );
-            let agg = Aggregate::from_runs(&results, &mcs);
+            let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty run set");
             println!(
                 "{:>4} m  {:>12}  {:>11.3}  {:>7.0} Mbps",
                 dist,
