@@ -22,11 +22,13 @@ use mmwave_baselines::single_reactive::ReactiveConfig;
 use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
 use mmwave_baselines::SingleBeamReactive;
 use mmwave_bench::figures::write_csv;
+use mmwave_bench::supervised::supervised_run_many;
 use mmwave_phy::mcs::McsTable;
-use mmwave_sim::runner::{run_many, Aggregate};
+use mmwave_sim::runner::Aggregate;
 use mmwave_sim::scenario;
+use std::sync::Arc;
 
-fn mm_with(cfg: MmReliableConfig) -> impl Fn() -> Box<dyn BeamStrategy + Send> + Sync {
+fn mm_with(cfg: MmReliableConfig) -> impl Fn() -> Box<dyn BeamStrategy + Send> + Send + Sync {
     move || {
         Box::new(MmReliableStrategy::new(MmReliableController::new(
             cfg.clone(),
@@ -44,12 +46,14 @@ fn quantizer_study(runs: usize, mcs: &McsTable) {
     ] {
         let mut cfg = MmReliableConfig::paper_default();
         cfg.quantizer = q;
-        let results = run_many(
+        let results = supervised_run_many(
             runs,
             9100,
             8,
+            "mixed-mobility-blockage",
+            &format!("mmreliable-quantizer-{name}"),
             scenario::mixed_mobility_blockage,
-            mm_with(cfg),
+            Arc::new(mm_with(cfg)),
         );
         let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
@@ -74,12 +78,14 @@ fn beams_study(runs: usize, mcs: &McsTable) {
     for k in [1usize, 2, 3] {
         let mut cfg = MmReliableConfig::paper_default();
         cfg.max_beams = k;
-        let results = run_many(
+        let results = supervised_run_many(
             runs,
             9200,
             8,
+            "mixed-mobility-blockage",
+            &format!("mmreliable-k{k}"),
             scenario::mixed_mobility_blockage,
-            mm_with(cfg),
+            Arc::new(mm_with(cfg)),
         );
         let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
@@ -103,16 +109,18 @@ fn cadence_study(runs: usize, mcs: &McsTable) {
     println!("--- CSI-RS maintenance-cadence ablation (translation + blockage) ---");
     let mut csv = String::from("tick_ms,rel_mean,tput_mbps,overhead\n");
     for tick_ms in [5.0, 10.0, 20.0, 40.0] {
-        let results = run_many(
+        let results = supervised_run_many(
             runs,
             9300,
             8,
-            |seed| {
+            &format!("mobile-blockage-tick{tick_ms}ms"),
+            "mmreliable",
+            move |seed| {
                 let mut sc = scenario::mobile_blockage(seed);
                 sc.tick_period_s = tick_ms * 1e-3;
                 sc
             },
-            mm_with(MmReliableConfig::paper_default()),
+            Arc::new(mm_with(MmReliableConfig::paper_default())),
         );
         let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
@@ -143,7 +151,15 @@ fn latency_study(runs: usize, mcs: &McsTable) {
             };
             Box::new(SingleBeamReactive::new(cfg))
         };
-        let results = run_many(runs, 9400, 8, scenario::mixed_mobility_blockage, factory);
+        let results = supervised_run_many(
+            runs,
+            9400,
+            8,
+            "mixed-mobility-blockage",
+            &format!("single-beam-reactive-{rec_ms}ms"),
+            scenario::mixed_mobility_blockage,
+            Arc::new(factory),
+        );
         let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
         csv.push_str(&format!(
             "{rec_ms},{:.4},{:.1}\n",

@@ -8,21 +8,23 @@ use mmwave_array::geometry::ArrayGeometry;
 use mmwave_baselines::beamspy::BeamSpyConfig;
 use mmwave_baselines::nr_periodic::NrPeriodicConfig;
 use mmwave_baselines::single_reactive::ReactiveConfig;
-use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
+use mmwave_baselines::strategy::MmReliableStrategy;
 use mmwave_baselines::widebeam::WideBeamConfig;
 use mmwave_baselines::{BeamSpy, NrPeriodic, OracleMrt, SingleBeamReactive, WideBeamStrategy};
 use mmwave_bench::figures::write_csv;
+use mmwave_bench::supervised::{supervised_run_many, SharedFactory};
 use mmwave_channel::channel::UeReceiver;
 use mmwave_dsp::stats;
 use mmwave_phy::mcs::McsTable;
 use mmwave_phy::refsignal::{CsiRsConfig, ProbeBudget, SsbConfig};
-use mmwave_sim::runner::{run_many, Aggregate};
+use mmwave_sim::runner::Aggregate;
 use mmwave_sim::scenario;
+use std::sync::Arc;
 
-type Factory = Box<dyn Fn() -> Box<dyn BeamStrategy + Send> + Sync>;
+type Factory = SharedFactory;
 
 fn mmreliable_factory() -> Factory {
-    Box::new(|| {
+    Arc::new(|| {
         Box::new(MmReliableStrategy::new(MmReliableController::new(
             MmReliableConfig::paper_default(),
         )))
@@ -30,23 +32,23 @@ fn mmreliable_factory() -> Factory {
 }
 
 fn reactive_factory() -> Factory {
-    Box::new(|| Box::new(SingleBeamReactive::new(ReactiveConfig::default())))
+    Arc::new(|| Box::new(SingleBeamReactive::new(ReactiveConfig::default())))
 }
 
 fn beamspy_factory() -> Factory {
-    Box::new(|| Box::new(BeamSpy::new(BeamSpyConfig::default())))
+    Arc::new(|| Box::new(BeamSpy::new(BeamSpyConfig::default())))
 }
 
 fn widebeam_factory() -> Factory {
-    Box::new(|| Box::new(WideBeamStrategy::new(WideBeamConfig::default())))
+    Arc::new(|| Box::new(WideBeamStrategy::new(WideBeamConfig::default())))
 }
 
 fn nr_factory() -> Factory {
-    Box::new(|| Box::new(NrPeriodic::new(NrPeriodicConfig::default())))
+    Arc::new(|| Box::new(NrPeriodic::new(NrPeriodicConfig::default())))
 }
 
 fn oracle_factory() -> Factory {
-    Box::new(|| {
+    Arc::new(|| {
         Box::new(OracleMrt::ideal(
             ArrayGeometry::paper_8x8(),
             UeReceiver::Omni,
@@ -58,12 +60,20 @@ fn oracle_factory() -> Factory {
 /// multi-beam dips gently; the single beam crashes below the 6 dB outage
 /// threshold.
 pub fn fig16() {
-    let grab = |factory: &Factory| {
-        let runs = run_many(1, 1600, 1, |_| scenario::static_walker(), factory.as_ref());
+    let grab = |label: &str, factory: Factory| {
+        let runs = supervised_run_many(
+            1,
+            1600,
+            1,
+            "static-walker",
+            label,
+            |_| scenario::static_walker(),
+            factory,
+        );
         runs.into_iter().next().unwrap()
     };
-    let multi = grab(&mmreliable_factory());
-    let single = grab(&reactive_factory());
+    let multi = grab("mmreliable", mmreliable_factory());
+    let single = grab("single-beam-reactive", reactive_factory());
     let mut csv = String::from("t_s,snr_multibeam_db,snr_singlebeam_db\n");
     let ms = multi.snr_series();
     let ss = single.snr_series();
@@ -171,7 +181,7 @@ pub fn fig17c(runs: usize) {
     let variants: Vec<(&str, Factory)> = vec![
         (
             "no_tracking",
-            Box::new(|| {
+            Arc::new(|| {
                 Box::new(MmReliableStrategy::new(MmReliableController::new(
                     MmReliableConfig::paper_default().without_tracking(),
                 )))
@@ -179,7 +189,7 @@ pub fn fig17c(runs: usize) {
         ),
         (
             "tracking_only",
-            Box::new(|| {
+            Arc::new(|| {
                 Box::new(MmReliableStrategy::new(MmReliableController::new(
                     MmReliableConfig::paper_default().without_constructive(),
                 )))
@@ -191,12 +201,14 @@ pub fn fig17c(runs: usize) {
     let mut columns: Vec<Vec<(f64, f64)>> = Vec::new();
     let mut names = Vec::new();
     for (name, factory) in &variants {
-        let results = run_many(
+        let results = supervised_run_many(
             runs.max(4),
             1720,
             8,
+            "translation-1s",
+            name,
             |_| scenario::translation_1s(),
-            factory.as_ref(),
+            Arc::clone(factory),
         );
         // Average the throughput series across runs on a 10 ms grid.
         let grid: Vec<f64> = (0..100).map(|i| 0.06 + 0.01 * i as f64).collect();
@@ -253,24 +265,28 @@ pub fn fig18a(runs: usize) {
     // Unblocked reference: the same static scenario without the walker.
     let mut reference = f64::NAN;
     for (name, factory) in &entries {
-        let blocked = run_many(
+        let blocked = supervised_run_many(
             runs,
             1800,
             8,
+            "static-walker",
+            name,
             |_| scenario::static_walker(),
-            factory.as_ref(),
+            Arc::clone(factory),
         );
         let agg = Aggregate::from_runs(&blocked, &mcs).expect("non-empty batch");
-        let unblocked = run_many(
+        let unblocked = supervised_run_many(
             4,
             1801,
             4,
+            "static-walker-unblocked",
+            name,
             |_| {
                 let mut sc = scenario::static_walker();
                 sc.dynamic.blockage = mmwave_channel::blockage::BlockageProcess::none();
                 sc
             },
-            factory.as_ref(),
+            Arc::clone(factory),
         );
         let unblocked_tput = Aggregate::from_runs(&unblocked, &mcs)
             .expect("non-empty batch")
@@ -305,12 +321,14 @@ pub fn fig18b(runs: usize) {
     ];
     let mut csv = String::from("strategy,run,reliability\n");
     for (name, factory) in &entries {
-        let results = run_many(
+        let results = supervised_run_many(
             runs,
             1810,
             8,
+            "mixed-mobility-blockage",
+            name,
             scenario::mixed_mobility_blockage,
-            factory.as_ref(),
+            Arc::clone(factory),
         );
         let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty batch");
         for (i, r) in agg.reliability.iter().enumerate() {
@@ -339,12 +357,14 @@ pub fn fig18c(runs: usize) {
         String::from("strategy,rel_mean,rel_std,tput_mbps_mean,tput_mbps_std,product_mbps\n");
     let mut products = std::collections::BTreeMap::new();
     for (name, factory) in &entries {
-        let results = run_many(
+        let results = supervised_run_many(
             runs,
             1820,
             8,
+            "mixed-mobility-blockage",
+            name,
             scenario::mixed_mobility_blockage,
-            factory.as_ref(),
+            Arc::clone(factory),
         );
         let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty batch");
         csv.push_str(&format!(
@@ -413,12 +433,18 @@ pub fn fig19(runs: usize) {
             ("mmReliable", mmreliable_factory()),
             ("single_beam", reactive_factory()),
         ] {
-            let results = run_many(
+            let results = supervised_run_many(
                 runs.max(4),
                 1900,
                 4,
-                |_| scenario::appendix_b(sixty),
-                factory.as_ref(),
+                if sixty {
+                    "appendix-b-60ghz"
+                } else {
+                    "appendix-b-28ghz"
+                },
+                name,
+                move |_| scenario::appendix_b(sixty),
+                factory,
             );
             let agg = Aggregate::from_runs(&results, &mcs).expect("non-empty batch");
             csv.push_str(&format!(

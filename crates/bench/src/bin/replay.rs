@@ -1,0 +1,140 @@
+//! Deterministic failure replay for campaign journals.
+//!
+//! ```text
+//! cargo run --release -p mmwave-bench --bin replay -- <journal.jsonl> [--cell <id>] [--failures-only]
+//! cargo run --release -p mmwave-bench --bin replay -- --line '<journal json line>'
+//! ```
+//!
+//! Re-executes journal cells single-threaded from the registry — same
+//! scenario, strategy, seed, fault schedule, and tick budget the campaign
+//! recorded — and checks the outcome against the journal: an `ok` entry
+//! must reproduce its result digest bit-for-bit, and a failure entry must
+//! fail again with the same classification. Exit code 0 when every
+//! replayed cell agrees with its journal line, 1 on any divergence, 2 on
+//! usage errors. `--cell` selects a single cell by its
+//! `scenario//strategy//seed//fault` id; `--failures-only` skips `ok`
+//! entries (the common debugging loop: replay just what broke).
+
+use mmwave_sim::campaign::{load_journal, replay_cell, JournalEntry};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: replay <journal.jsonl> [--cell <scenario//strategy//seed//fault>] [--failures-only]\n       replay --line '<journal json line>'"
+    );
+    ExitCode::from(2)
+}
+
+/// Replays one entry; returns `true` when the fresh outcome agrees with
+/// the journal line.
+fn replay_one(entry: &JournalEntry) -> bool {
+    let key = entry.key();
+    match replay_cell(entry) {
+        Ok((result, digest)) => {
+            if entry.status == "ok" {
+                let same = digest == entry.digest;
+                println!(
+                    "{key}: ok, digest {digest:016x} {}",
+                    if same {
+                        "== journal (bit-identical)"
+                    } else {
+                        "!= journal (DIVERGED)"
+                    }
+                );
+                same
+            } else {
+                println!(
+                    "{key}: journal says {} but replay completed (reliability {:.4}) — NOT reproduced",
+                    entry.status,
+                    result.reliability()
+                );
+                false
+            }
+        }
+        Err(failure) => {
+            let kind = failure.kind.as_str();
+            if entry.status == kind {
+                println!("{key}: {kind} reproduced: {}", failure.message);
+                true
+            } else {
+                println!(
+                    "{key}: journal says {} but replay failed as {kind}: {} — NOT reproduced",
+                    entry.status, failure.message
+                );
+                false
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut cell: Option<String> = None;
+    let mut line: Option<String> = None;
+    let mut failures_only = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cell" => match it.next() {
+                Some(v) => cell = Some(v),
+                None => return usage(),
+            },
+            "--line" => match it.next() {
+                Some(v) => line = Some(v),
+                None => return usage(),
+            },
+            "--failures-only" => failures_only = true,
+            "--help" | "-h" => return usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+
+    let entries: Vec<JournalEntry> = if let Some(l) = line {
+        match JournalEntry::parse(&l) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("replay: malformed journal line");
+                return ExitCode::from(2);
+            }
+        }
+    } else if let Some(p) = path {
+        match load_journal(Path::new(&p)) {
+            Ok(es) => es,
+            Err(e) => {
+                eprintln!("replay: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        return usage();
+    };
+
+    let selected: Vec<&JournalEntry> = entries
+        .iter()
+        .filter(|e| cell.as_ref().is_none_or(|c| e.key().id() == *c))
+        .filter(|e| !failures_only || e.status != "ok")
+        .collect();
+    if selected.is_empty() {
+        eprintln!("replay: no matching journal entries");
+        return ExitCode::from(2);
+    }
+
+    let mut divergences = 0usize;
+    for entry in &selected {
+        if !replay_one(entry) {
+            divergences += 1;
+        }
+    }
+    println!(
+        "replayed {} cell(s), {divergences} divergence(s)",
+        selected.len()
+    );
+    if divergences == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,253 @@
+//! CI soak smoke: a short chaos campaign that must survive everything the
+//! supervisor claims to survive.
+//!
+//! ```text
+//! cargo run --release -p mmwave-bench --bin soak -- [--journal <path>]
+//! ```
+//!
+//! The soak plays a small (scenario × strategy × seed × fault) grid under
+//! injected chaos and asserts the supervisor's guarantees end to end:
+//!
+//! 1. **Kill + resume** — phase 1 runs only a prefix of the grid (the
+//!    process "dies" mid-campaign), a torn half-line is appended to the
+//!    journal (a crash mid-write), and phase 2 reruns the *full* grid
+//!    against the same journal. The union must cover every cell exactly
+//!    once: zero lost, zero duplicated, phase-1 cells resumed not rerun.
+//! 2. **Retry-with-backoff** — a pre-run hook panics selected cells on
+//!    their first attempt only; supervision must retry them to completion.
+//! 3. **Deterministic timeout** — one cell carries a tiny tick budget and
+//!    must fail as `timeout`, and [`replay_cell`] must reproduce exactly
+//!    that classification from the journal line alone.
+//! 4. **Terminal failure** — one cell panics on every attempt and must
+//!    land in the journal as a terminal `panic` after `max_attempts`.
+//! 5. **Bit-identical replay** — a completed cell replayed from its
+//!    journal line must reproduce its result digest bit for bit.
+//!
+//! Exit code 0 when every check passes, 1 otherwise. The journal is left
+//! on disk for CI to upload as an artifact.
+
+use mmwave_sim::campaign::{
+    backoff_delay, load_journal, replay_cell, run_campaign, CampaignConfig, FailureKind, Job,
+};
+use mmwave_sim::faults::FaultSchedule;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The cell that panics on every attempt (a permanently-broken run).
+const ALWAYS_PANIC_SEED: u64 = 7300;
+/// Cells that panic on their first attempt only (transient chaos).
+const FLAKY_SEEDS: &[u64] = &[7001, 7100];
+/// The cell supervised under a tiny tick budget (deterministic timeout).
+const TIMEOUT_SEED: u64 = 7200;
+
+fn build_jobs() -> Vec<Job> {
+    let loss = FaultSchedule::parse_spec("seed=5;loss=0.3@0.2..0.8").expect("valid spec");
+    let mut jobs = Vec::new();
+    // Plain grid: two strategies × three seeds on the mobile scenario.
+    for strategy in ["mmreliable", "single-beam-reactive"] {
+        for seed in 7000..7003u64 {
+            jobs.push(
+                Job::from_registry("mobile-blockage", strategy, seed, FaultSchedule::none(), 1)
+                    .expect("registry job"),
+            );
+        }
+    }
+    // Faulted cells: probe loss mid-run.
+    for seed in [7100u64, 7101] {
+        jobs.push(
+            Job::from_registry("mobile-blockage", "mmreliable", seed, loss.clone(), 1)
+                .expect("registry job"),
+        );
+    }
+    // The deterministic timeout: three maintenance ticks, then cancelled.
+    jobs.push(
+        Job::from_registry(
+            "static-walker",
+            "mmreliable",
+            TIMEOUT_SEED,
+            FaultSchedule::none(),
+            1,
+        )
+        .expect("registry job")
+        .with_tick_budget(3),
+    );
+    // The permanently-broken cell.
+    jobs.push(
+        Job::from_registry(
+            "static-walker",
+            "single-beam-reactive",
+            ALWAYS_PANIC_SEED,
+            FaultSchedule::none(),
+            1,
+        )
+        .expect("registry job"),
+    );
+    jobs
+}
+
+fn chaos_config(journal: &Path) -> CampaignConfig {
+    CampaignConfig {
+        threads: 4,
+        run_deadline: Some(Duration::from_secs(120)),
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(40),
+        journal: Some(journal.to_path_buf()),
+        pre_run_hook: Some(Arc::new(|key, attempt| {
+            if key.seed == ALWAYS_PANIC_SEED {
+                panic!("soak chaos: permanent failure injected for {key}");
+            }
+            if FLAKY_SEEDS.contains(&key.seed) && attempt == 1 {
+                panic!("soak chaos: transient failure injected for {key}");
+            }
+        })),
+        ..CampaignConfig::default()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let journal: PathBuf = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || PathBuf::from("results/soak-journal.jsonl"),
+            PathBuf::from,
+        );
+    let _ = std::fs::remove_file(&journal);
+
+    let jobs = build_jobs();
+    let cfg = chaos_config(&journal);
+    let mut failed_checks: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        println!("[{}] {what}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failed_checks.push(what.to_string());
+        }
+    };
+
+    // Phase 1: the campaign is "killed" after a prefix of the grid — run
+    // only the first five cells, then tear the journal's trailing line.
+    let phase1_cells = 5usize;
+    let report1 = run_campaign(&jobs[..phase1_cells], &cfg).expect("phase 1 campaign");
+    check(
+        report1.outcomes.len() == phase1_cells,
+        "phase 1 reported every submitted cell",
+    );
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("journal exists after phase 1");
+        // A torn half-line, as a crash mid-write would leave behind.
+        f.write_all(b"{\"scenario\":\"torn-partial-en")
+            .expect("append");
+    }
+
+    // Phase 2: resume the full grid against the same journal.
+    let report2 = run_campaign(&jobs, &cfg).expect("phase 2 campaign");
+    check(
+        report2.resumed_count() == phase1_cells,
+        "phase 2 resumed exactly the phase-1 cells (no rerun)",
+    );
+    check(report2.shed_count() == 0, "no cells shed");
+
+    // Journal invariants: every cell exactly once, no torn residue.
+    let entries = load_journal(&journal).expect("readable journal");
+    check(
+        entries.len() == jobs.len(),
+        "journal covers every cell (zero lost)",
+    );
+    let mut ids: Vec<String> = entries.iter().map(|e| e.key().id()).collect();
+    ids.sort();
+    ids.dedup();
+    check(
+        ids.len() == entries.len(),
+        "journal has no duplicated cells",
+    );
+    let mut want: Vec<String> = jobs.iter().map(|j| j.key.id()).collect();
+    want.sort();
+    check(ids == want, "journal keys match the submitted grid exactly");
+
+    // Failure classification: the timeout cell timed out, the broken cell
+    // is a terminal panic after max_attempts, everything else completed.
+    for e in &entries {
+        match e.seed {
+            TIMEOUT_SEED => {
+                check(
+                    e.status == "timeout",
+                    "tick-budget cell classified as timeout",
+                );
+            }
+            ALWAYS_PANIC_SEED => {
+                check(e.status == "panic", "broken cell classified as panic");
+                check(
+                    e.attempts == cfg.max_attempts,
+                    "broken cell consumed every retry",
+                );
+            }
+            seed => {
+                check(
+                    e.status == "ok",
+                    &format!("cell seed {seed} completed ok (status {})", e.status),
+                );
+                if FLAKY_SEEDS.contains(&seed) {
+                    check(
+                        e.attempts == 2,
+                        "transiently-flaky cell recovered on its retry",
+                    );
+                }
+            }
+        }
+    }
+
+    // Replay: a completed cell reproduces its digest bit for bit; the
+    // timeout cell reproduces its classification from the journal alone.
+    if let Some(ok_entry) = entries.iter().find(|e| e.status == "ok") {
+        match replay_cell(ok_entry) {
+            Ok((_, digest)) => check(
+                digest == ok_entry.digest,
+                "replayed ok cell is bit-identical to the journal digest",
+            ),
+            Err(f) => check(false, &format!("ok cell replay failed: {}", f.message)),
+        }
+    }
+    if let Some(to_entry) = entries.iter().find(|e| e.seed == TIMEOUT_SEED) {
+        match replay_cell(to_entry) {
+            Err(f) => check(
+                f.kind == FailureKind::Timeout,
+                "replayed timeout cell reproduces the timeout",
+            ),
+            Ok(_) => check(false, "replayed timeout cell reproduces the timeout"),
+        }
+    }
+
+    // Backoff determinism: the same (campaign seed, cell, attempt) always
+    // yields the same delay.
+    let probe = &jobs[0].key;
+    check(
+        backoff_delay(&cfg, probe, 1) == backoff_delay(&cfg, probe, 1)
+            && backoff_delay(&cfg, probe, 2) == backoff_delay(&cfg, probe, 2),
+        "backoff delays are deterministic",
+    );
+
+    println!(
+        "soak: {} cells, {} resumed, {} checks failed; journal at {}",
+        jobs.len(),
+        report2.resumed_count(),
+        failed_checks.len(),
+        journal.display()
+    );
+    if failed_checks.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for c in &failed_checks {
+            eprintln!("soak FAIL: {c}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -6,5 +6,7 @@
 //! data as CSV rows on stdout and under `results/`.
 
 pub mod figures;
+pub mod supervised;
 
 pub use figures::all_figure_ids;
+pub use supervised::{supervised_run_many, SharedFactory};

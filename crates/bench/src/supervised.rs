@@ -1,0 +1,66 @@
+//! Campaign-driven sweeps for the figure and ablation binaries.
+//!
+//! [`supervised_run_many`] is the drop-in successor of
+//! [`mmwave_sim::runner::run_many`] for long evaluation sweeps: the same
+//! seeding (`base_seed + run_idx`) and bit-identical results, but the runs
+//! execute under the campaign supervisor — per-run watchdog deadlines, one
+//! retry for transient failures, and a terminal report that names the full
+//! (scenario, strategy, seed) repro tuple of anything that still failed,
+//! instead of an opaque join error three hours into a figure regeneration.
+
+use mmwave_baselines::strategy::BeamStrategy;
+use mmwave_sim::campaign::{closure_jobs, run_campaign, CampaignConfig};
+use mmwave_sim::{RunResult, Scenario};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A strategy factory shareable across campaign workers.
+pub type SharedFactory = Arc<dyn Fn() -> Box<dyn BeamStrategy + Send> + Send + Sync>;
+
+/// Plays `n_runs` seeded cells of one (scenario family × strategy) sweep
+/// under the campaign supervisor and returns the run records in seed
+/// order. Panics — naming every failed cell — if any cell fails after
+/// supervision's retry; figure pipelines have no use for partial batches.
+pub fn supervised_run_many<S>(
+    n_runs: usize,
+    base_seed: u64,
+    threads: usize,
+    scenario_label: &str,
+    strategy_label: &str,
+    scenario_fn: S,
+    strategy_fn: SharedFactory,
+) -> Vec<RunResult>
+where
+    S: Fn(u64) -> Scenario + Send + Sync + 'static,
+{
+    let jobs = closure_jobs(
+        n_runs,
+        base_seed,
+        scenario_label,
+        strategy_label,
+        scenario_fn,
+        move || strategy_fn(),
+    );
+    let cfg = CampaignConfig {
+        threads,
+        // Generous per-run watchdog: an honest run is seconds; anything
+        // minutes long is hung.
+        run_deadline: Some(Duration::from_secs(600)),
+        max_attempts: 2,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&jobs, &cfg).expect("campaign setup");
+    let failures = report.failures();
+    if !failures.is_empty() {
+        let lines: Vec<String> = failures
+            .iter()
+            .map(|(key, f)| format!("{key}: {:?}: {}", f.kind, f.message))
+            .collect();
+        panic!(
+            "{} of {n_runs} supervised runs failed terminally:\n{}",
+            lines.len(),
+            lines.join("\n")
+        );
+    }
+    report.results().into_iter().cloned().collect()
+}

@@ -297,6 +297,12 @@ impl MmReliableController {
     /// minimal keep-alive loop, and the normal maintenance path feeds its
     /// measurement to the state machine which schedules bounded re-trains.
     pub fn maintenance_round(&mut self, fe: &mut dyn LinkFrontEnd) -> RoundReport {
+        // Cooperative cancellation point: a supervisor that has given up on
+        // this run (deadline, tick budget) stops the maintenance loop here
+        // rather than paying for another round of probes.
+        if fe.cancel_requested() {
+            crate::cancel::bail();
+        }
         let probes_before = fe.probes_used();
         let log_before = self.lifecycle.log().len();
 

@@ -63,6 +63,17 @@ pub trait LinkFrontEnd {
     /// clock works for the controller's retry/backoff scheduling.
     fn now_s(&self) -> f64;
 
+    /// True when the supervisor driving this front end has requested
+    /// cooperative cancellation (wall-clock deadline exceeded, tick budget
+    /// exhausted). Long-running controller work — the maintenance loop, a
+    /// 64-probe training scan — polls this at natural boundaries and
+    /// unwinds via [`crate::cancel::bail`], so a hung or pathological run
+    /// cannot stall a whole campaign. Front ends without a supervisor
+    /// never cancel (the default).
+    fn cancel_requested(&self) -> bool {
+        false
+    }
+
     /// Total probes issued so far (for overhead accounting).
     fn probes_used(&self) -> usize;
 }

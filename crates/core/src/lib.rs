@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 pub mod blockage;
+pub mod cancel;
 pub mod config;
 pub mod controller;
 pub mod frontend;
@@ -39,6 +40,7 @@ pub mod tracking;
 pub mod training;
 pub mod ue;
 
+pub use cancel::{CancelToken, CancelUnwind};
 pub use config::MmReliableConfig;
 pub use controller::MmReliableController;
 pub use frontend::{LinkFrontEnd, ProbeKind};

@@ -65,6 +65,12 @@ pub fn beam_training(
     let mut delays = Vec::with_capacity(codebook.len());
     let mut noise_floor_mw = 0.0f64;
     for (angle, weights) in codebook.iter() {
+        // A full scan is the longest uninterruptible stretch of controller
+        // work (64 SSB probes); honor cooperative cancellation per probe so
+        // a supervised run never overstays its deadline by a whole scan.
+        if fe.cancel_requested() {
+            crate::cancel::bail();
+        }
         let obs = fe.probe_kind(weights, crate::frontend::ProbeKind::Ssb);
         noise_floor_mw = obs.noise_power_mw;
         profile.push((angle, obs.mean_power_mw()));

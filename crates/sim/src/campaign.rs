@@ -1,0 +1,1302 @@
+//! The resilient campaign supervisor: watchdogged sweeps with
+//! checkpoint/resume, bounded retry, and deterministic failure replay.
+//!
+//! A *campaign* is a set of (scenario, strategy, seed, fault-schedule)
+//! cells — the cross product behind a paper figure or an overnight chaos
+//! soak. [`run_campaign`] plays the cells on a bounded worker pool and
+//! keeps the sweep alive through everything the runs can throw at it:
+//!
+//! - **Watchdog deadlines** — a dedicated watchdog thread polls every
+//!   in-flight run against its wall-clock deadline and flips the run's
+//!   [`CancelToken`]; the simulator's cooperative checkpoints unwind with
+//!   [`CancelUnwind`], which the supervisor classifies as a
+//!   [`FailureKind::Timeout`] rather than a crash. Tests and replays use
+//!   deterministic *tick budgets* instead of wall clocks, so a recorded
+//!   timeout reproduces at exactly the same simulated instant.
+//! - **Failure classification + bounded retry** — a run that panics or
+//!   times out is retried up to [`CampaignConfig::max_attempts`] times
+//!   with exponential backoff and deterministic jitter (see
+//!   [`backoff_delay`]); a run that fails *validation* (bad fault spec,
+//!   structurally-garbage result) is terminal immediately, since it would
+//!   fail identically on every retry.
+//! - **Crash-consistent journal** — every terminal outcome appends one
+//!   JSONL line (atomically: full rewrite to a temp file + rename) with
+//!   the cell key, status, attempts, and a 64-bit result digest. A
+//!   campaign pointed at an existing journal *resumes*: journaled cells
+//!   are skipped, so an interrupted overnight sweep completes without
+//!   rerunning finished seeds and without duplicating any cell.
+//! - **Graceful degradation** — when the campaign-level deadline expires,
+//!   pending cells are *shed* (the queue is priority-ordered, so the shed
+//!   cells are the lowest-priority ones) and counted in the report;
+//!   in-flight runs finish. Nothing is silently truncated.
+//!
+//! Every failed cell carries its full repro tuple; `mmwave-bench`'s
+//! `replay` binary feeds a journal line to [`replay_cell`], which re-runs
+//! exactly that cell single-threaded and checks the digest.
+//!
+//! Determinism contract: a zero-fault campaign produces results
+//! bit-identical to [`crate::runner::run_many`] over the same seeds,
+//! independent of worker count — each cell's simulator is seeded from its
+//! key alone, and the supervisor machinery (tokens, watchdog, journal)
+//! never perturbs a run that completes.
+
+use crate::faults::{FaultInjector, FaultSchedule};
+use crate::metrics::RunResult;
+use crate::runner::panic_msg;
+use crate::scenario::{self, Scenario};
+use mmreliable::cancel::{is_cancel_unwind, CancelToken, CancelUnwind};
+use mmreliable::config::MmReliableConfig;
+use mmreliable::controller::MmReliableController;
+use mmwave_baselines::beamspy::{BeamSpy, BeamSpyConfig};
+use mmwave_baselines::nr_periodic::{NrPeriodic, NrPeriodicConfig};
+use mmwave_baselines::single_reactive::{ReactiveConfig, SingleBeamReactive};
+use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
+use mmwave_baselines::widebeam::{WideBeamConfig, WideBeamStrategy};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cell identity
+// ---------------------------------------------------------------------------
+
+/// The full repro tuple of one campaign cell. Two cells with equal keys are
+/// the same experiment: the key alone (plus the registry) is enough to
+/// rebuild and re-run the cell bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Scenario registry name (see [`build_scenario`]) or a free-form label
+    /// for closure-built jobs.
+    pub scenario: String,
+    /// Strategy registry name (see [`build_strategy`]) or a free-form
+    /// label.
+    pub strategy: String,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Canonical fault-schedule spec ([`FaultSchedule::spec_string`]).
+    pub fault_spec: String,
+}
+
+impl CellKey {
+    /// Canonical one-line identity, used for journal deduplication.
+    pub fn id(&self) -> String {
+        format!(
+            "{}//{}//{}//{}",
+            self.scenario, self.strategy, self.seed, self.fault_spec
+        )
+    }
+}
+
+impl std::fmt::Display for CellKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} × {} (seed {}, faults {})",
+            self.scenario, self.strategy, self.seed, self.fault_spec
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: named scenarios and strategies (the replay vocabulary)
+// ---------------------------------------------------------------------------
+
+/// Scenario names [`build_scenario`] understands, matching each library
+/// builder's own display name.
+pub const SCENARIO_NAMES: &[&str] = &[
+    "static-walker",
+    "mobile-blockage",
+    "translation-1s",
+    "gnb-rotation",
+    "rotation-blockage",
+    "outdoor",
+    "natural-motion",
+    "appendix-b-28ghz",
+    "appendix-b-60ghz",
+];
+
+/// Strategy names [`build_strategy`] understands.
+pub const STRATEGY_NAMES: &[&str] = &[
+    "mmreliable",
+    "single-beam-reactive",
+    "nr-periodic",
+    "wide-beam",
+    "beam-spy",
+];
+
+/// Builds a library scenario by registry name. `seed` parameterizes the
+/// seeded builders (blockage draw); deterministic builders ignore it.
+pub fn build_scenario(name: &str, seed: u64) -> Option<Scenario> {
+    Some(match name {
+        "static-walker" => scenario::static_walker(),
+        "mobile-blockage" => scenario::mobile_blockage(seed),
+        "translation-1s" => scenario::translation_1s(),
+        "gnb-rotation" => scenario::gnb_rotation(24.0),
+        "rotation-blockage" => scenario::rotation_blockage(seed),
+        "outdoor" => scenario::outdoor(30.0, seed),
+        "natural-motion" => scenario::natural_motion(seed),
+        "appendix-b-28ghz" => scenario::appendix_b(false),
+        "appendix-b-60ghz" => scenario::appendix_b(true),
+        _ => return None,
+    })
+}
+
+/// Builds a fresh strategy instance by registry name.
+pub fn build_strategy(name: &str) -> Option<Box<dyn BeamStrategy + Send>> {
+    Some(match name {
+        "mmreliable" => Box::new(MmReliableStrategy::new(MmReliableController::new(
+            MmReliableConfig::paper_default(),
+        ))),
+        "single-beam-reactive" => Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
+        "nr-periodic" => Box::new(NrPeriodic::new(NrPeriodicConfig::default())),
+        "wide-beam" => Box::new(WideBeamStrategy::new(WideBeamConfig::default())),
+        "beam-spy" => Box::new(BeamSpy::new(BeamSpyConfig::default())),
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// What a job's builder produces: a scenario (with its fault schedule) and
+/// a fresh strategy instance.
+pub struct JobSetup {
+    /// The fully-specified experiment.
+    pub scenario: Scenario,
+    /// The strategy to play it against.
+    pub strategy: Box<dyn BeamStrategy + Send>,
+}
+
+type JobBuilder = Arc<dyn Fn(&CellKey) -> Result<JobSetup, String> + Send + Sync>;
+
+/// One schedulable campaign cell.
+pub struct Job {
+    /// The cell's repro tuple.
+    pub key: CellKey,
+    /// Scheduling priority; higher runs first. Under a campaign deadline
+    /// the lowest-priority pending cells are the ones shed.
+    pub priority: u32,
+    /// Deterministic per-run tick budget (overrides
+    /// [`CampaignConfig::tick_budget`]). The run cancels cooperatively
+    /// after this many maintenance ticks — the reproducible stand-in for a
+    /// wall-clock timeout.
+    pub tick_budget: Option<u64>,
+    builder: JobBuilder,
+}
+
+impl Job {
+    /// A registry job: the cell is rebuilt from names alone, so it is
+    /// replayable from its journal line. Fails fast on unknown names or an
+    /// invalid fault schedule.
+    pub fn from_registry(
+        scenario: &str,
+        strategy: &str,
+        seed: u64,
+        fault: FaultSchedule,
+        priority: u32,
+    ) -> Result<Self, String> {
+        fault.validate()?;
+        build_scenario(scenario, seed)
+            .ok_or_else(|| format!("unknown scenario {scenario:?} (known: {SCENARIO_NAMES:?})"))?;
+        build_strategy(strategy)
+            .ok_or_else(|| format!("unknown strategy {strategy:?} (known: {STRATEGY_NAMES:?})"))?;
+        let key = CellKey {
+            scenario: scenario.to_string(),
+            strategy: strategy.to_string(),
+            seed,
+            fault_spec: fault.spec_string(),
+        };
+        Ok(Self {
+            key,
+            priority,
+            tick_budget: None,
+            builder: Arc::new(registry_builder),
+        })
+    }
+
+    /// A custom job built from an arbitrary setup closure. The key is the
+    /// cell's identity in the journal; like [`closure_jobs`] cells, custom
+    /// cells are not replayable from names alone.
+    pub fn custom(
+        key: CellKey,
+        builder: impl Fn(&CellKey) -> Result<JobSetup, String> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            key,
+            priority: 0,
+            tick_budget: None,
+            builder: Arc::new(builder),
+        }
+    }
+
+    /// Sets the deterministic tick budget.
+    pub fn with_tick_budget(mut self, budget: u64) -> Self {
+        self.tick_budget = Some(budget);
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// The builder every registry job shares: rebuild scenario + strategy +
+/// fault schedule from the key.
+fn registry_builder(key: &CellKey) -> Result<JobSetup, String> {
+    let fault = FaultSchedule::parse_spec(&key.fault_spec)?;
+    let scenario = build_scenario(&key.scenario, key.seed)
+        .ok_or_else(|| format!("unknown scenario {:?}", key.scenario))?
+        .with_faults(fault)?;
+    let strategy = build_strategy(&key.strategy)
+        .ok_or_else(|| format!("unknown strategy {:?}", key.strategy))?;
+    Ok(JobSetup { scenario, strategy })
+}
+
+/// Closure-built jobs for sweeps over configurations the registry does not
+/// name (ablation studies): one job per seed, mirroring
+/// [`crate::runner::run_many`]'s seeding (`base_seed + run_idx`). The
+/// labels identify the cells in the journal; such cells are not replayable
+/// from names alone.
+pub fn closure_jobs<S, F>(
+    n_runs: usize,
+    base_seed: u64,
+    scenario_label: &str,
+    strategy_label: &str,
+    scenario_fn: S,
+    strategy_fn: F,
+) -> Vec<Job>
+where
+    S: Fn(u64) -> Scenario + Send + Sync + 'static,
+    F: Fn() -> Box<dyn BeamStrategy + Send> + Send + Sync + 'static,
+{
+    let scenario_fn = Arc::new(scenario_fn);
+    let strategy_fn = Arc::new(strategy_fn);
+    (0..n_runs)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i as u64);
+            let sf = Arc::clone(&scenario_fn);
+            let tf = Arc::clone(&strategy_fn);
+            Job {
+                key: CellKey {
+                    scenario: scenario_label.to_string(),
+                    strategy: strategy_label.to_string(),
+                    seed,
+                    fault_spec: "none".to_string(),
+                },
+                priority: 0,
+                tick_budget: None,
+                builder: Arc::new(move |key: &CellKey| {
+                    Ok(JobSetup {
+                        scenario: sf(key.seed),
+                        strategy: tf(),
+                    })
+                }),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Hook invoked at the start of every attempt (inside the supervised
+/// unwind boundary) — chaos tests inject panics and hangs here.
+pub type PreRunHook = Arc<dyn Fn(&CellKey, u32) + Send + Sync>;
+
+/// Supervisor policy for one campaign.
+#[derive(Clone)]
+pub struct CampaignConfig {
+    /// Worker threads; `0` means every available core.
+    pub threads: usize,
+    /// Per-run wall-clock deadline enforced by the watchdog thread.
+    /// `None` disables wall-clock supervision (tick budgets still apply).
+    pub run_deadline: Option<Duration>,
+    /// Campaign-level wall-clock deadline: once exceeded, pending cells
+    /// are shed (lowest priority first, by queue construction) and counted
+    /// in the report. In-flight runs finish.
+    pub campaign_deadline: Option<Duration>,
+    /// Total attempts per cell (1 = no retries) for transient failures.
+    pub max_attempts: u32,
+    /// Backoff before retry #1 (doubling per attempt by
+    /// [`CampaignConfig::backoff_factor`]).
+    pub backoff_base: Duration,
+    /// Multiplier applied per additional attempt.
+    pub backoff_factor: f64,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Campaign seed: the only input (besides the cell key and attempt
+    /// number) to the deterministic backoff jitter.
+    pub seed: u64,
+    /// Journal path. `Some` enables crash-consistent journaling *and*
+    /// resume-from-journal.
+    pub journal: Option<PathBuf>,
+    /// Default deterministic tick budget for every run (overridable per
+    /// job).
+    pub tick_budget: Option<u64>,
+    /// Chaos-injection hook (see [`PreRunHook`]).
+    pub pre_run_hook: Option<PreRunHook>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            run_deadline: None,
+            campaign_deadline: None,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_secs(1),
+            seed: 0,
+            journal: None,
+            tick_budget: None,
+            pre_run_hook: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes
+// ---------------------------------------------------------------------------
+
+/// Why a cell failed terminally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The run panicked (a crash — retryable, in case it was environmental).
+    Panic,
+    /// The run was cancelled at a cooperative checkpoint (wall-clock
+    /// deadline or tick budget — retryable).
+    Timeout,
+    /// The cell is structurally invalid (bad fault spec, unknown name,
+    /// garbage result) — deterministic, never retried.
+    Validation,
+}
+
+impl FailureKind {
+    /// Whether the supervisor retries this failure class.
+    pub fn retryable(self) -> bool {
+        !matches!(self, FailureKind::Validation)
+    }
+
+    /// Journal status string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Validation => "validation",
+        }
+    }
+
+    /// Parses a journal status string (excluding `"ok"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "panic" => FailureKind::Panic,
+            "timeout" => FailureKind::Timeout,
+            "validation" => FailureKind::Validation,
+            _ => return None,
+        })
+    }
+}
+
+/// A terminal failure with its classification and last error message.
+#[derive(Clone, Debug)]
+pub struct CampaignFailure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Message from the final attempt.
+    pub message: String,
+}
+
+/// How one cell ended.
+pub enum CellStatus {
+    /// The run completed (and validated) this campaign.
+    Completed {
+        /// The full run record.
+        result: Box<RunResult>,
+        /// [`RunResult::digest`] of the record.
+        digest: u64,
+    },
+    /// The cell was found in the journal and skipped.
+    Resumed {
+        /// The journal entry the cell was resumed from.
+        entry: JournalEntry,
+    },
+    /// The cell failed terminally (after retries, if retryable).
+    Failed {
+        /// The classified failure.
+        failure: CampaignFailure,
+    },
+    /// The cell was shed under the campaign deadline without running.
+    Shed,
+}
+
+/// One cell's final report line.
+pub struct CellOutcome {
+    /// The cell's repro tuple.
+    pub key: CellKey,
+    /// Scheduling priority the cell ran (or was shed) at.
+    pub priority: u32,
+    /// Attempts consumed (0 for resumed or shed cells).
+    pub attempts: u32,
+    /// Terminal status.
+    pub status: CellStatus,
+}
+
+/// The campaign's full report, one outcome per submitted job, in
+/// submission order.
+pub struct CampaignReport {
+    /// Per-cell outcomes, indexed like the submitted job list.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl CampaignReport {
+    /// Results of cells completed *this* campaign, in submission order.
+    pub fn results(&self) -> Vec<&RunResult> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                CellStatus::Completed { result, .. } => Some(result.as_ref()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Terminal failures, with their keys.
+    pub fn failures(&self) -> Vec<(&CellKey, &CampaignFailure)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                CellStatus::Failed { failure } => Some((&o.key, failure)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of cells shed under the campaign deadline.
+    pub fn shed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, CellStatus::Shed))
+            .count()
+    }
+
+    /// Number of cells skipped because the journal already had them.
+    pub fn resumed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, CellStatus::Resumed { .. }))
+            .count()
+    }
+
+    /// The digest recorded for a cell — whether it completed this campaign
+    /// or was resumed from the journal of a previous one. `None` for shed
+    /// cells and failures.
+    pub fn digest_of(&self, key: &CellKey) -> Option<u64> {
+        self.outcomes
+            .iter()
+            .find(|o| &o.key == key)
+            .and_then(|o| match &o.status {
+                CellStatus::Completed { digest, .. } => Some(*digest),
+                CellStatus::Resumed { entry } if entry.status == "ok" => Some(entry.digest),
+                _ => None,
+            })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// One journal line: a cell's terminal outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Cell scenario name.
+    pub scenario: String,
+    /// Cell strategy name.
+    pub strategy: String,
+    /// Cell seed.
+    pub seed: u64,
+    /// Cell fault spec.
+    pub fault: String,
+    /// `"ok"`, `"panic"`, `"timeout"`, or `"validation"`.
+    pub status: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Result digest (`0` for failures).
+    pub digest: u64,
+    /// Tick budget the run executed under (`None` = unlimited) — needed to
+    /// replay a recorded timeout deterministically.
+    pub tick_budget: Option<u64>,
+    /// Headline reliability of an ok run (`0` for failures).
+    pub reliability: f64,
+    /// Final error message for failures (empty for ok).
+    pub message: String,
+}
+
+impl JournalEntry {
+    /// The cell key this entry records.
+    pub fn key(&self) -> CellKey {
+        CellKey {
+            scenario: self.scenario.clone(),
+            strategy: self.strategy.clone(),
+            seed: self.seed,
+            fault_spec: self.fault.clone(),
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"scenario":"{}","strategy":"{}","seed":{},"fault":"{}","status":"{}","attempts":{},"digest":"{:016x}","tick_budget":{},"reliability":{},"message":"{}"}}"#,
+            json_escape(&self.scenario),
+            json_escape(&self.strategy),
+            self.seed,
+            json_escape(&self.fault),
+            json_escape(&self.status),
+            self.attempts,
+            self.digest,
+            self.tick_budget
+                .map_or_else(|| "null".to_string(), |b| b.to_string()),
+            fmt_f64(self.reliability),
+            json_escape(&self.message),
+        )
+    }
+
+    /// Parses one journal line. `None` for malformed lines (a torn trailing
+    /// write after a crash is expected and tolerated).
+    pub fn parse(line: &str) -> Option<Self> {
+        let line = line.trim();
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return None;
+        }
+        let digest_hex = json_str(line, "digest")?;
+        Some(Self {
+            scenario: json_str(line, "scenario")?,
+            strategy: json_str(line, "strategy")?,
+            seed: json_raw(line, "seed")?.parse().ok()?,
+            fault: json_str(line, "fault")?,
+            status: json_str(line, "status")?,
+            attempts: json_raw(line, "attempts")?.parse().ok()?,
+            digest: u64::from_str_radix(&digest_hex, 16).ok()?,
+            tick_budget: match json_raw(line, "tick_budget")?.as_str() {
+                "null" => None,
+                n => Some(n.parse().ok()?),
+            },
+            reliability: json_raw(line, "reliability")?.parse().ok()?,
+            message: json_str(line, "message")?,
+        })
+    }
+}
+
+/// Loads a journal, tolerating a missing file and a torn trailing line.
+pub fn load_journal(path: &Path) -> Result<Vec<JournalEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+    };
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalEntry::parse(line) {
+            Some(e) => entries.push(e),
+            // A torn line can only be the last thing written before a
+            // crash; everything before it is intact.
+            None => break,
+        }
+    }
+    Ok(entries)
+}
+
+/// The crash-consistent journal writer: every append rewrites the full
+/// line set to `<path>.tmp` and renames over `<path>`, so the journal on
+/// disk is always a prefix-complete set of whole lines — a reader never
+/// observes a torn entry produced by *this* writer.
+struct JournalFile {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl JournalFile {
+    fn open(path: &Path, existing: &[JournalEntry]) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            lines: existing.iter().map(|e| e.to_json()).collect(),
+        }
+    }
+
+    fn append(&mut self, entry: &JournalEntry) -> Result<(), String> {
+        self.lines.push(entry.to_json());
+        let tmp = self.path.with_extension("jsonl.tmp");
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        std::fs::write(&tmp, body).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| format!("cannot rename journal into place: {e}"))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Extracts the string value of `"key":"..."`, handling escapes.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let bytes = line.as_bytes();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(json_unescape(&line[start..i])),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Extracts the raw (non-string) value of `"key":...` up to `,` or `}`.
+fn json_raw(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().to_string())
+}
+
+/// Formats an f64 so it round-trips through `str::parse` (and stays valid
+/// JSON: no NaN/inf).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic retry delay before attempt `attempt + 1` (i.e. after
+/// `attempt` failed attempts, `attempt >= 1`): exponential in the attempt
+/// number, capped, then jittered into `[0.5, 1.0]×` by a seeded draw that
+/// depends only on the campaign seed, the cell key, and the attempt — so a
+/// replayed campaign backs off identically, while different cells decorrelate.
+pub fn backoff_delay(cfg: &CampaignConfig, key: &CellKey, attempt: u32) -> Duration {
+    let exp = cfg.backoff_factor.powi(attempt.saturating_sub(1) as i32);
+    let raw = cfg.backoff_base.as_secs_f64() * exp;
+    let capped = raw.min(cfg.backoff_max.as_secs_f64());
+    let mut rng = mmwave_dsp::rng::Rng64::seed(
+        cfg.seed
+            ^ fnv1a(key.id().as_bytes())
+            ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    Duration::from_secs_f64(capped * rng.uniform_in(0.5, 1.0))
+}
+
+// ---------------------------------------------------------------------------
+// The supervisor
+// ---------------------------------------------------------------------------
+
+/// Silences the default panic printout for [`CancelUnwind`] payloads —
+/// cooperative cancellations are supervision, not crashes — chaining every
+/// other panic to the previously-installed hook.
+fn install_quiet_cancel_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Executes one cell to a terminal outcome (retrying transient failures),
+/// journaling nothing — the caller owns the journal.
+#[allow(clippy::too_many_arguments)]
+fn execute_cell(
+    job: &Job,
+    cfg: &CampaignConfig,
+    inflight: &Mutex<HashMap<usize, (Option<Instant>, CancelToken)>>,
+    job_idx: usize,
+    campaign_expired: &AtomicBool,
+) -> (u32, Result<(RunResult, u64), CampaignFailure>) {
+    let budget = job.tick_budget.or(cfg.tick_budget);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let token = match budget {
+            Some(b) => CancelToken::with_tick_budget(b),
+            None => CancelToken::new(),
+        };
+        let deadline = cfg.run_deadline.map(|d| Instant::now() + d);
+        if deadline.is_some() {
+            inflight
+                .lock()
+                .unwrap()
+                .insert(job_idx, (deadline, token.clone()));
+        }
+        let run_token = token.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(hook) = &cfg.pre_run_hook {
+                hook(&job.key, attempts);
+            }
+            let setup = (job.builder)(&job.key)?;
+            run_setup(setup, &job.key, run_token)
+        }));
+        inflight.lock().unwrap().remove(&job_idx);
+        let failure = match outcome {
+            Ok(Ok(result)) => {
+                let digest = result.digest();
+                return (attempts, Ok((result, digest)));
+            }
+            Ok(Err(message)) => CampaignFailure {
+                kind: FailureKind::Validation,
+                message,
+            },
+            Err(payload) => {
+                let kind = if is_cancel_unwind(payload.as_ref()) || token.is_cancelled() {
+                    FailureKind::Timeout
+                } else {
+                    FailureKind::Panic
+                };
+                CampaignFailure {
+                    kind,
+                    message: panic_msg(payload),
+                }
+            }
+        };
+        if !failure.kind.retryable() || attempts >= cfg.max_attempts {
+            return (attempts, Err(failure));
+        }
+        if campaign_expired.load(Ordering::Acquire) {
+            return (
+                attempts,
+                Err(CampaignFailure {
+                    message: format!(
+                        "campaign deadline expired during retry: {}",
+                        failure.message
+                    ),
+                    ..failure
+                }),
+            );
+        }
+        std::thread::sleep(backoff_delay(cfg, &job.key, attempts));
+    }
+}
+
+/// Builds the front-end stack for one cell and plays it. The zero-fault
+/// path drives the bare simulator, preserving bit-identity with
+/// [`crate::runner::run_many`].
+fn run_setup(setup: JobSetup, key: &CellKey, token: CancelToken) -> Result<RunResult, String> {
+    let JobSetup {
+        scenario: sc,
+        mut strategy,
+    } = setup;
+    let mut sim = sc.simulator(key.seed);
+    sim.set_cancel_token(token);
+    let result = if sc.fault.is_inert() {
+        sim.run_with_warmup(
+            strategy.as_mut(),
+            sc.duration_s,
+            sc.tick_period_s,
+            sc.name,
+            sc.warmup_s,
+        )
+    } else {
+        let mut fe = FaultInjector::new(sim, sc.fault.clone())?;
+        fe.run_with_warmup(
+            strategy.as_mut(),
+            sc.duration_s,
+            sc.tick_period_s,
+            sc.name,
+            sc.warmup_s,
+        )
+    };
+    result.validate()?;
+    Ok(result)
+}
+
+/// Replays one journaled cell single-threaded: rebuilds the cell from its
+/// registry names, runs it under the recorded tick budget, and returns the
+/// outcome the run reproduces — `Ok((result, digest))` for a completed run,
+/// `Err(failure)` carrying the reproduced failure class otherwise.
+pub fn replay_cell(entry: &JournalEntry) -> Result<(RunResult, u64), CampaignFailure> {
+    install_quiet_cancel_hook();
+    let key = entry.key();
+    let token = match entry.tick_budget {
+        Some(b) => CancelToken::with_tick_budget(b),
+        None => CancelToken::new(),
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let setup = registry_builder(&key)?;
+        run_setup(setup, &key, token.clone())
+    }));
+    match outcome {
+        Ok(Ok(result)) => {
+            let digest = result.digest();
+            Ok((result, digest))
+        }
+        Ok(Err(message)) => Err(CampaignFailure {
+            kind: FailureKind::Validation,
+            message,
+        }),
+        Err(payload) => {
+            let kind = if is_cancel_unwind(payload.as_ref()) || token.is_cancelled() {
+                FailureKind::Timeout
+            } else {
+                FailureKind::Panic
+            };
+            Err(CampaignFailure {
+                kind,
+                message: panic_msg(payload),
+            })
+        }
+    }
+}
+
+/// Runs a campaign to completion (see the module docs for the guarantees).
+///
+/// Errors only on campaign-level problems — duplicate cell keys, an
+/// unreadable journal; individual cell failures are reported per cell, not
+/// as errors.
+pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    install_quiet_cancel_hook();
+    let mut seen = std::collections::HashSet::new();
+    for job in jobs {
+        if !seen.insert(job.key.id()) {
+            return Err(format!("duplicate cell key: {}", job.key));
+        }
+    }
+    let journaled: HashMap<String, JournalEntry> = match &cfg.journal {
+        Some(path) => load_journal(path)?
+            .into_iter()
+            .map(|e| (e.key().id(), e))
+            .collect(),
+        None => HashMap::new(),
+    };
+    let journal = cfg.journal.as_ref().map(|path| {
+        let existing: Vec<JournalEntry> = {
+            // Preserve on-disk order for the rewrite.
+            let mut v: Vec<&JournalEntry> = journaled.values().collect();
+            v.sort_by_key(|e| e.key().id());
+            v.into_iter().cloned().collect()
+        };
+        Mutex::new(JournalFile::open(path, &existing))
+    });
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.threads
+    };
+
+    // Resolve resumed cells up front; queue the rest by (priority desc,
+    // submission order).
+    let mut slots: Vec<Option<CellOutcome>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let mut runnable: Vec<usize> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        if let Some(entry) = journaled.get(&job.key.id()) {
+            slots[i] = Some(CellOutcome {
+                key: job.key.clone(),
+                priority: job.priority,
+                attempts: 0,
+                status: CellStatus::Resumed {
+                    entry: entry.clone(),
+                },
+            });
+        } else {
+            runnable.push(i);
+        }
+    }
+    runnable.sort_by(|&a, &b| jobs[b].priority.cmp(&jobs[a].priority).then(a.cmp(&b)));
+    let queue: Mutex<VecDeque<usize>> = Mutex::new(runnable.into());
+    let slots = Mutex::new(slots);
+    let inflight: Mutex<HashMap<usize, (Option<Instant>, CancelToken)>> =
+        Mutex::new(HashMap::new());
+    let campaign_expired = AtomicBool::new(false);
+    let watchdog_stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let journal_err: Mutex<Option<String>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        // The watchdog: cancels in-flight runs past their deadline and
+        // raises the campaign-expired flag.
+        let watchdog = s.spawn(|| {
+            while !watchdog_stop.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if let Some(cd) = cfg.campaign_deadline {
+                    if now.duration_since(start) >= cd {
+                        campaign_expired.store(true, Ordering::Release);
+                    }
+                }
+                for (deadline, token) in inflight.lock().unwrap().values() {
+                    if let Some(d) = deadline {
+                        if now >= *d {
+                            token.cancel();
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let idx = queue.lock().unwrap().pop_front();
+                    let Some(idx) = idx else { break };
+                    let job = &jobs[idx];
+                    let outcome = if campaign_expired.load(Ordering::Acquire) {
+                        CellOutcome {
+                            key: job.key.clone(),
+                            priority: job.priority,
+                            attempts: 0,
+                            status: CellStatus::Shed,
+                        }
+                    } else {
+                        let (attempts, result) =
+                            execute_cell(job, cfg, &inflight, idx, &campaign_expired);
+                        let (entry, status) = match result {
+                            Ok((result, digest)) => (
+                                JournalEntry {
+                                    scenario: job.key.scenario.clone(),
+                                    strategy: job.key.strategy.clone(),
+                                    seed: job.key.seed,
+                                    fault: job.key.fault_spec.clone(),
+                                    status: "ok".to_string(),
+                                    attempts,
+                                    digest,
+                                    tick_budget: job.tick_budget.or(cfg.tick_budget),
+                                    reliability: result.reliability(),
+                                    message: String::new(),
+                                },
+                                CellStatus::Completed {
+                                    result: Box::new(result),
+                                    digest,
+                                },
+                            ),
+                            Err(failure) => (
+                                JournalEntry {
+                                    scenario: job.key.scenario.clone(),
+                                    strategy: job.key.strategy.clone(),
+                                    seed: job.key.seed,
+                                    fault: job.key.fault_spec.clone(),
+                                    status: failure.kind.as_str().to_string(),
+                                    attempts,
+                                    digest: 0,
+                                    tick_budget: job.tick_budget.or(cfg.tick_budget),
+                                    reliability: 0.0,
+                                    message: failure.message.clone(),
+                                },
+                                CellStatus::Failed { failure },
+                            ),
+                        };
+                        if let Some(j) = &journal {
+                            if let Err(e) = j.lock().unwrap().append(&entry) {
+                                journal_err.lock().unwrap().get_or_insert(e);
+                            }
+                        }
+                        CellOutcome {
+                            key: job.key.clone(),
+                            priority: job.priority,
+                            attempts,
+                            status,
+                        }
+                    };
+                    slots.lock().unwrap()[idx] = Some(outcome);
+                })
+            })
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        watchdog_stop.store(true, Ordering::Release);
+        let _ = watchdog.join();
+    });
+
+    if let Some(e) = journal_err.into_inner().unwrap() {
+        return Err(e);
+    }
+    let outcomes = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("every cell resolved"))
+        .collect();
+    Ok(CampaignReport { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_many;
+
+    fn quick_jobs(n: usize, base_seed: u64) -> Vec<Job> {
+        closure_jobs(
+            n,
+            base_seed,
+            "mobile-blockage",
+            "single-beam-reactive",
+            scenario::mobile_blockage,
+            || Box::new(SingleBeamReactive::new(ReactiveConfig::default())),
+        )
+    }
+
+    #[test]
+    fn zero_fault_campaign_matches_run_many_bit_for_bit() {
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&quick_jobs(3, 400), &cfg).unwrap();
+        let direct = run_many(3, 400, 1, scenario::mobile_blockage, || {
+            Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+        });
+        let campaign_results = report.results();
+        assert_eq!(campaign_results.len(), 3);
+        for (c, d) in campaign_results.iter().zip(&direct) {
+            assert_eq!(
+                c.digest(),
+                d.digest(),
+                "supervised run must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let digests = |threads| {
+            let cfg = CampaignConfig {
+                threads,
+                ..CampaignConfig::default()
+            };
+            let report = run_campaign(&quick_jobs(4, 900), &cfg).unwrap();
+            report
+                .outcomes
+                .iter()
+                .map(|o| match &o.status {
+                    CellStatus::Completed { digest, .. } => *digest,
+                    other => panic!("expected completion, got {}", status_name(other)),
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digests(1), digests(4));
+    }
+
+    fn status_name(s: &CellStatus) -> &'static str {
+        match s {
+            CellStatus::Completed { .. } => "completed",
+            CellStatus::Resumed { .. } => "resumed",
+            CellStatus::Failed { .. } => "failed",
+            CellStatus::Shed => "shed",
+        }
+    }
+
+    #[test]
+    fn panics_are_retried_then_terminal() {
+        use std::sync::atomic::AtomicU32;
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = Arc::clone(&calls);
+        let cfg = CampaignConfig {
+            threads: 1,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+            pre_run_hook: Some(Arc::new(move |_key, _attempt| {
+                calls2.fetch_add(1, Ordering::SeqCst);
+                panic!("chaos: injected panic");
+            })),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&quick_jobs(1, 1), &cfg).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "3 attempts consumed");
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].1.kind, FailureKind::Panic);
+        assert!(failures[0].1.message.contains("injected panic"));
+        assert_eq!(report.outcomes[0].attempts, 3);
+    }
+
+    #[test]
+    fn tick_budget_times_out_deterministically() {
+        let cfg = CampaignConfig {
+            threads: 1,
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            tick_budget: Some(3),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&quick_jobs(1, 7), &cfg).unwrap();
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].1.kind, FailureKind::Timeout);
+        assert_eq!(report.outcomes[0].attempts, 2, "timeouts are retried");
+    }
+
+    #[test]
+    fn validation_failures_are_not_retried() {
+        let mut jobs = quick_jobs(1, 11);
+        jobs[0].builder = Arc::new(|_| Err("deliberately malformed cell".to_string()));
+        let cfg = CampaignConfig {
+            threads: 1,
+            max_attempts: 5,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&jobs, &cfg).unwrap();
+        assert_eq!(report.outcomes[0].attempts, 1, "no retry on validation");
+        assert_eq!(report.failures()[0].1.kind, FailureKind::Validation);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let mut jobs = quick_jobs(2, 5);
+        jobs[1].key = jobs[0].key.clone();
+        match run_campaign(&jobs, &CampaignConfig::default()) {
+            Err(e) => assert!(e.contains("duplicate")),
+            Ok(_) => panic!("duplicate keys must be rejected"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let cfg = CampaignConfig {
+            seed: 42,
+            backoff_base: Duration::from_millis(100),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_millis(350),
+            ..CampaignConfig::default()
+        };
+        let key = quick_jobs(1, 0).remove(0).key;
+        let d1 = backoff_delay(&cfg, &key, 1);
+        assert_eq!(d1, backoff_delay(&cfg, &key, 1), "same inputs, same delay");
+        assert!(d1 >= Duration::from_millis(50) && d1 <= Duration::from_millis(100));
+        let d3 = backoff_delay(&cfg, &key, 3);
+        assert!(
+            d3 <= Duration::from_millis(350),
+            "cap respected, got {d3:?}"
+        );
+        // A different campaign seed jitters differently.
+        let other = CampaignConfig { seed: 43, ..cfg };
+        assert_ne!(d1, backoff_delay(&other, &key, 1));
+    }
+
+    #[test]
+    fn journal_entry_round_trips() {
+        let e = JournalEntry {
+            scenario: "mobile-blockage".into(),
+            strategy: "mm, \"quoted\"\nstrategy".into(),
+            seed: 17,
+            fault: "seed=9;loss=0.5@0..1".into(),
+            status: "ok".into(),
+            attempts: 2,
+            digest: 0xdead_beef_0123_4567,
+            tick_budget: Some(400),
+            reliability: 0.97125,
+            message: String::new(),
+        };
+        let parsed = JournalEntry::parse(&e.to_json()).expect("parses");
+        assert_eq!(parsed, e);
+        let none_budget = JournalEntry {
+            tick_budget: None,
+            status: "panic".into(),
+            message: "boom: {\"weird\"}".into(),
+            ..e
+        };
+        let parsed = JournalEntry::parse(&none_budget.to_json()).expect("parses");
+        assert_eq!(parsed, none_budget);
+        assert!(JournalEntry::parse("{\"scenario\":\"torn-li").is_none());
+        assert!(JournalEntry::parse("").is_none());
+    }
+
+    #[test]
+    fn registry_names_all_build() {
+        for name in SCENARIO_NAMES {
+            assert!(build_scenario(name, 3).is_some(), "{name} must build");
+        }
+        for name in STRATEGY_NAMES {
+            assert!(build_strategy(name).is_some(), "{name} must build");
+        }
+        assert!(build_scenario("nope", 0).is_none());
+        assert!(build_strategy("nope").is_none());
+        let job = Job::from_registry(
+            "mobile-blockage",
+            "single-beam-reactive",
+            5,
+            FaultSchedule::none(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(job.key.fault_spec, "none");
+        assert!(Job::from_registry("nope", "mmreliable", 0, FaultSchedule::none(), 0).is_err());
+        let mut bad = FaultSchedule::none();
+        bad.stale_prob = 7.0;
+        assert!(
+            Job::from_registry("mobile-blockage", "mmreliable", 0, bad, 0).is_err(),
+            "invalid fault schedule must fail job construction"
+        );
+    }
+}

@@ -148,6 +148,118 @@ impl FaultSchedule {
         }
         Ok(())
     }
+
+    /// Canonical one-line textual form of the schedule — the `fault` column
+    /// of the campaign journal, parseable back with
+    /// [`FaultSchedule::parse_spec`] so a recorded failure replays under
+    /// the exact schedule that produced it. Inert schedules (regardless of
+    /// their seed, which is never consulted) canonicalize to `"none"`.
+    ///
+    /// Format: `;`-separated `key=value` fields in fixed order, e.g.
+    /// `seed=9;loss=0.5@0..1;stale=0.1;glitch=0.2@6;fail=0+9;drift=2@0.5;dark=1..2`.
+    pub fn spec_string(&self) -> String {
+        if self.is_inert() {
+            return "none".into();
+        }
+        let mut parts = vec![format!("seed={}", self.seed)];
+        for w in &self.probe_loss {
+            parts.push(format!("loss={}@{}..{}", w.loss_prob, w.start_s, w.end_s));
+        }
+        if self.stale_prob > 0.0 {
+            parts.push(format!("stale={}", self.stale_prob));
+        }
+        if let Some(g) = &self.snr_glitch {
+            parts.push(format!("glitch={}@{}", g.prob, g.mag_db));
+        }
+        if !self.failed_elements.is_empty() {
+            let idx: Vec<String> = self.failed_elements.iter().map(|i| i.to_string()).collect();
+            parts.push(format!("fail={}", idx.join("+")));
+        }
+        if self.gain_drift_db > 0.0 {
+            parts.push(format!(
+                "drift={}@{}",
+                self.gain_drift_db, self.gain_drift_period_s
+            ));
+        }
+        for (a, b) in &self.unavailable {
+            parts.push(format!("dark={a}..{b}"));
+        }
+        parts.join(";")
+    }
+
+    /// Parses a [`FaultSchedule::spec_string`] back into a validated
+    /// schedule. Accepts `"none"` (or an empty string) for the inert
+    /// schedule.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        fn f64_field(s: &str, what: &str) -> Result<f64, String> {
+            s.parse::<f64>()
+                .map_err(|e| format!("bad {what} {s:?}: {e}"))
+        }
+        fn window(s: &str, what: &str) -> Result<(f64, f64), String> {
+            let (a, b) = s
+                .split_once("..")
+                .ok_or_else(|| format!("bad {what} window {s:?} (want a..b)"))?;
+            Ok((f64_field(a, what)?, f64_field(b, what)?))
+        }
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(Self::none());
+        }
+        let mut out = Self::none();
+        for part in spec.split(';') {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault field {part:?} (want key=value)"))?;
+            match key {
+                "seed" => {
+                    out.seed = val
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad seed {val:?}: {e}"))?;
+                }
+                "loss" => {
+                    let (p, w) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("bad loss {val:?} (want p@a..b)"))?;
+                    let (start_s, end_s) = window(w, "loss")?;
+                    out.probe_loss.push(ProbeLossWindow {
+                        start_s,
+                        end_s,
+                        loss_prob: f64_field(p, "loss_prob")?,
+                    });
+                }
+                "stale" => out.stale_prob = f64_field(val, "stale_prob")?,
+                "glitch" => {
+                    let (p, m) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("bad glitch {val:?} (want p@mag)"))?;
+                    out.snr_glitch = Some(SnrGlitch {
+                        prob: f64_field(p, "glitch prob")?,
+                        mag_db: f64_field(m, "glitch mag")?,
+                    });
+                }
+                "fail" => {
+                    out.failed_elements = val
+                        .split('+')
+                        .map(|i| {
+                            i.parse::<usize>()
+                                .map_err(|e| format!("bad element index {i:?}: {e}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "drift" => {
+                    let (db, per) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("bad drift {val:?} (want db@period)"))?;
+                    out.gain_drift_db = f64_field(db, "drift magnitude")?;
+                    out.gain_drift_period_s = f64_field(per, "drift period")?;
+                }
+                "dark" => out.unavailable.push(window(val, "dark")?),
+                _ => return Err(format!("unknown fault field {key:?}")),
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
 }
 
 /// One injected fault, typed and timestamped.
@@ -208,10 +320,11 @@ pub struct FaultInjector<F> {
 }
 
 impl<F: LinkFrontEnd> FaultInjector<F> {
-    /// Wraps `inner` under `schedule`. Panics on an invalid schedule (use
-    /// [`FaultSchedule::validate`] to check first).
-    pub fn new(inner: F, schedule: FaultSchedule) -> Self {
-        schedule.validate().expect("invalid fault schedule");
+    /// Wraps `inner` under `schedule`, failing fast on an invalid schedule
+    /// — a mis-specified campaign cell surfaces here as a `Validation`
+    /// failure instead of corrupting a sweep halfway through.
+    pub fn new(inner: F, schedule: FaultSchedule) -> Result<Self, String> {
+        schedule.validate()?;
         let mut rng = Rng64::seed(schedule.seed ^ 0xFA17_FA17_FA17_FA17);
         let n = inner.geometry().num_elements();
         let drift_phase = if schedule.gain_drift_db > 0.0 {
@@ -221,7 +334,7 @@ impl<F: LinkFrontEnd> FaultInjector<F> {
         } else {
             Vec::new()
         };
-        Self {
+        Ok(Self {
             inner,
             schedule,
             rng,
@@ -229,7 +342,7 @@ impl<F: LinkFrontEnd> FaultInjector<F> {
             drift_phase,
             events: Vec::new(),
             static_faults_logged: false,
-        }
+        })
     }
 
     /// The wrapped front end.
@@ -387,6 +500,10 @@ impl<F: LinkFrontEnd> LinkFrontEnd for FaultInjector<F> {
         self.inner.now_s()
     }
 
+    fn cancel_requested(&self) -> bool {
+        self.inner.cancel_requested()
+    }
+
     fn probes_used(&self) -> usize {
         self.inner.probes_used()
     }
@@ -486,7 +603,7 @@ mod tests {
         let mut plain = frozen_fe(7);
         let w = boresight(&plain);
         let direct: Vec<ProbeObservation> = (0..16).map(|_| plain.probe(&w)).collect();
-        let mut wrapped = FaultInjector::new(frozen_fe(7), FaultSchedule::none());
+        let mut wrapped = FaultInjector::new(frozen_fe(7), FaultSchedule::none()).unwrap();
         for d in &direct {
             let o = wrapped.probe(&w);
             assert_eq!(o.csi, d.csi, "zero-fault wrapper must be transparent");
@@ -503,7 +620,7 @@ mod tests {
             end_s: 1.0,
             loss_prob: 1.0,
         }];
-        let mut fe = FaultInjector::new(frozen_fe(1), sched);
+        let mut fe = FaultInjector::new(frozen_fe(1), sched).unwrap();
         let w = boresight(&fe);
         let obs = fe.probe(&w);
         assert_eq!(obs.snr_db(), -60.0, "lost probe must read as noise floor");
@@ -516,7 +633,7 @@ mod tests {
     fn stale_returns_previous_observation() {
         let mut sched = FaultSchedule::none();
         sched.stale_prob = 1.0;
-        let mut fe = FaultInjector::new(frozen_fe(2), sched);
+        let mut fe = FaultInjector::new(frozen_fe(2), sched).unwrap();
         let w = boresight(&fe);
         let first = fe.probe(&w); // nothing cached yet: passes through
         let second = fe.probe(&w);
@@ -534,7 +651,7 @@ mod tests {
             prob: 1.0,
             mag_db: 6.0,
         });
-        let mut fe = FaultInjector::new(frozen_fe(3), sched);
+        let mut fe = FaultInjector::new(frozen_fe(3), sched).unwrap();
         let mut clean = frozen_fe(3);
         let w = boresight(&fe);
         let glitched = fe.probe(&w);
@@ -556,7 +673,7 @@ mod tests {
     fn failed_elements_radiate_nothing() {
         let mut sched = FaultSchedule::none();
         sched.failed_elements = vec![0, 9];
-        let fe = FaultInjector::new(frozen_fe(4), sched);
+        let fe = FaultInjector::new(frozen_fe(4), sched).unwrap();
         let w = boresight(&fe);
         let fw = fe.faulted_weights(&w);
         assert_eq!(fw.as_slice()[0], Complex64::ZERO);
@@ -572,7 +689,7 @@ mod tests {
     fn unavailable_window_blacks_out_probes() {
         let mut sched = FaultSchedule::none();
         sched.unavailable = vec![(0.0, 10.0)];
-        let mut fe = FaultInjector::new(frozen_fe(5), sched);
+        let mut fe = FaultInjector::new(frozen_fe(5), sched).unwrap();
         let w = boresight(&fe);
         let obs = fe.probe(&w);
         assert_eq!(obs.snr_db(), -60.0);
@@ -587,7 +704,7 @@ mod tests {
         let mut sched = FaultSchedule::none();
         sched.gain_drift_db = 2.0;
         sched.gain_drift_period_s = 0.5;
-        let mut fe = FaultInjector::new(frozen_fe(6), sched);
+        let mut fe = FaultInjector::new(frozen_fe(6), sched).unwrap();
         let w = boresight(&fe);
         let fw = fe.faulted_weights(&w);
         let max_ratio = pow_from_db(2.0).sqrt();
@@ -603,6 +720,45 @@ mod tests {
         fe.inner_mut().wait(0.1);
         let fw2 = fe.faulted_weights(&w);
         assert_ne!(fw.as_slice()[0], fw2.as_slice()[0]);
+    }
+
+    #[test]
+    fn spec_string_round_trips() {
+        let mut s = FaultSchedule::none();
+        s.seed = 9;
+        s.probe_loss = vec![ProbeLossWindow {
+            start_s: 0.25,
+            end_s: 1.5,
+            loss_prob: 0.5,
+        }];
+        s.stale_prob = 0.1;
+        s.snr_glitch = Some(SnrGlitch {
+            prob: 0.2,
+            mag_db: 6.0,
+        });
+        s.failed_elements = vec![0, 9];
+        s.gain_drift_db = 2.0;
+        s.gain_drift_period_s = 0.5;
+        s.unavailable = vec![(1.0, 2.0)];
+        let spec = s.spec_string();
+        let back = FaultSchedule::parse_spec(&spec).unwrap();
+        assert_eq!(back, s, "parse(spec) must reproduce the schedule");
+        assert_eq!(back.spec_string(), spec, "spec form is canonical");
+        // Inert schedules canonicalize to "none" and parse back inert.
+        assert_eq!(FaultSchedule::none().spec_string(), "none");
+        assert!(FaultSchedule::parse_spec("none").unwrap().is_inert());
+        assert!(FaultSchedule::parse_spec("").unwrap().is_inert());
+        // Malformed and invalid specs are rejected.
+        assert!(FaultSchedule::parse_spec("loss=2@0..1").is_err());
+        assert!(FaultSchedule::parse_spec("bogus").is_err());
+        assert!(FaultSchedule::parse_spec("what=1").is_err());
+    }
+
+    #[test]
+    fn invalid_schedule_fails_construction() {
+        let mut s = FaultSchedule::none();
+        s.stale_prob = 1.5;
+        assert!(FaultInjector::new(frozen_fe(8), s).is_err());
     }
 
     #[test]

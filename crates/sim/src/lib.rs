@@ -21,6 +21,11 @@
 //!   unavailability windows, each logged as a typed event.
 //! - [`runner`] — seeded multi-run sweeps across OS threads with
 //!   aggregation.
+//! - [`campaign`] — the resilient campaign supervisor: watchdogged
+//!   (scenario × strategy × seed × fault) sweeps with per-run deadlines,
+//!   bounded retry + deterministic backoff, a crash-consistent JSONL
+//!   journal with resume, priority shedding under a campaign deadline,
+//!   and deterministic single-threaded failure replay (DESIGN.md §9).
 //!
 //! The per-slot compute path is allocation-free in steady state: the
 //! simulator owns a [`simulator::SlotWorkspace`] whose
@@ -31,14 +36,20 @@
 //! counters on [`metrics::RunResult::counters`].
 
 #![warn(missing_docs)]
+pub mod campaign;
 pub mod faults;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod simulator;
 
+pub use campaign::{
+    backoff_delay, closure_jobs, load_journal, replay_cell, run_campaign, CampaignConfig,
+    CampaignFailure, CampaignReport, CellKey, CellOutcome, CellStatus, FailureKind, Job,
+    JournalEntry,
+};
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
-pub use metrics::{RunCounters, RunEvent, RunResult, Sample};
+pub use metrics::{csv_field, RunCounters, RunEvent, RunResult, Sample};
 pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
 pub use scenario::Scenario;
 pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd, SlotWorkspace};

@@ -14,6 +14,19 @@ use crate::faults::FaultEvent;
 use mmreliable::linkstate::{LinkStateKind, Transition};
 use mmwave_phy::mcs::McsTable;
 
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a double
+/// quote, or a line break are wrapped in double quotes with embedded quotes
+/// doubled; everything else passes through unchanged. Every free-text field
+/// the run records emit (strategy and scenario names, event payloads) goes
+/// through here so a name like `widebeam, 3 dB` cannot shear a row.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// One typed entry in a run's event log: either a lifecycle transition of
 /// the strategy's link state machine, or a fault the injection layer hit
 /// the front end with.
@@ -210,22 +223,124 @@ impl RunResult {
             .count()
     }
 
-    /// Serializes the event log as CSV (`t_s,class,detail`).
+    /// Serializes the event log as CSV (`t_s,class,detail`). Free-text
+    /// payloads are escaped via [`csv_field`] — a transition cause whose
+    /// debug form contains commas stays one field.
     pub fn events_csv(&self) -> String {
         let mut out = String::from("t_s,class,detail\n");
         for e in &self.events {
             match e {
-                RunEvent::Transition(tr) => out.push_str(&format!(
-                    "{:.6},transition,{}->{} ({:?})\n",
-                    tr.t_s,
-                    tr.from.kind(),
-                    tr.to.kind(),
-                    tr.cause
+                RunEvent::Transition(tr) => {
+                    let detail = format!("{}->{} ({:?})", tr.from.kind(), tr.to.kind(), tr.cause);
+                    out.push_str(&format!(
+                        "{:.6},transition,{}\n",
+                        tr.t_s,
+                        csv_field(&detail)
+                    ));
+                }
+                RunEvent::Fault(f) => out.push_str(&format!(
+                    "{:.6},fault,{}\n",
+                    f.t_s,
+                    csv_field(&f.kind.to_string())
                 )),
-                RunEvent::Fault(f) => out.push_str(&format!("{:.6},fault,{}\n", f.t_s, f.kind)),
             }
         }
         out
+    }
+
+    /// Structural sanity check of a completed run record, used by the
+    /// campaign supervisor to classify a run that *finished* but produced
+    /// garbage (a `Validation` failure — not retryable, since it would
+    /// reproduce deterministically).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.samples.is_empty() {
+            return Err("run produced no samples".into());
+        }
+        if !(self.bandwidth_hz.is_finite() && self.bandwidth_hz > 0.0) {
+            return Err(format!("non-positive bandwidth {}", self.bandwidth_hz));
+        }
+        if !self.probe_airtime_s.is_finite() || self.probe_airtime_s < 0.0 {
+            return Err(format!("bad probe airtime {}", self.probe_airtime_s));
+        }
+        let mut t_prev = f64::NEG_INFINITY;
+        for (i, s) in self.samples.iter().enumerate() {
+            if !s.t_s.is_finite() || !s.dur_s.is_finite() || s.dur_s <= 0.0 {
+                return Err(format!(
+                    "sample {i} has bad interval (t={} dur={})",
+                    s.t_s, s.dur_s
+                ));
+            }
+            if s.t_s < t_prev {
+                return Err(format!("sample {i} out of time order (t={})", s.t_s));
+            }
+            if !s.probing && !s.snr_db.is_finite() {
+                return Err(format!("data sample {i} has non-finite SNR"));
+            }
+            t_prev = s.t_s;
+        }
+        // The log merges two independently-ordered streams (lifecycle
+        // transitions from the simulator, fault events from the injector),
+        // so time order is required per class, not globally.
+        let (mut tr_prev, mut f_prev) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.t_s().is_finite() {
+                return Err(format!("event {i} has non-finite time"));
+            }
+            let prev = match e {
+                RunEvent::Transition(_) => &mut tr_prev,
+                RunEvent::Fault(_) => &mut f_prev,
+            };
+            if e.t_s() < *prev {
+                return Err(format!("event {i} out of time order (t={})", e.t_s()));
+            }
+            *prev = e.t_s();
+        }
+        Ok(())
+    }
+
+    /// A 64-bit FNV-1a digest over every behaviour-bearing field of the
+    /// record — sample bit patterns, event log, probe accounting. Two runs
+    /// digest equal iff they are bit-identical, which is how the campaign
+    /// journal detects divergence on resume and how `replay` proves a
+    /// reproduced failure matches the recorded one.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, b: &[u8]) {
+                for &x in b {
+                    self.0 = (self.0 ^ x as u64).wrapping_mul(PRIME);
+                }
+            }
+            fn f64(&mut self, v: f64) {
+                self.bytes(&v.to_bits().to_le_bytes());
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+        }
+        let mut h = Fnv(OFFSET);
+        h.bytes(self.strategy.as_bytes());
+        h.bytes(self.scenario.as_bytes());
+        h.u64(self.samples.len() as u64);
+        for s in &self.samples {
+            h.f64(s.t_s);
+            h.f64(s.dur_s);
+            h.f64(s.snr_db);
+            h.u64(s.probing as u64);
+        }
+        h.f64(self.bandwidth_hz);
+        h.f64(self.outage_snr_db);
+        h.u64(self.probes as u64);
+        h.f64(self.probe_airtime_s);
+        h.f64(self.measure_from_s);
+        h.u64(self.events.len() as u64);
+        for e in &self.events {
+            h.f64(e.t_s());
+            h.bytes(format!("{e:?}").as_bytes());
+        }
+        h.0
     }
 
     /// Serializes the per-interval record as CSV
@@ -334,5 +449,41 @@ mod tests {
         let r = mk(Vec::new());
         assert_eq!(r.reliability(), 0.0);
         assert!(r.mean_snr_db().is_nan());
+    }
+
+    #[test]
+    fn csv_field_escapes_delimiters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let r = mk(vec![s(0.0, 0.1, 12.0, false)]);
+        assert_eq!(r.digest(), r.digest(), "digest is deterministic");
+        let mut r2 = r.clone();
+        r2.samples[0].snr_db += 1e-12;
+        assert_ne!(r.digest(), r2.digest(), "one ULP flips the digest");
+        let mut r3 = r.clone();
+        r3.strategy = "other".into();
+        assert_ne!(r.digest(), r3.digest());
+    }
+
+    #[test]
+    fn validate_catches_structural_garbage() {
+        assert!(mk(vec![s(0.0, 0.1, 12.0, false)]).validate().is_ok());
+        assert!(mk(Vec::new()).validate().is_err(), "no samples");
+        let bad_dur = mk(vec![s(0.0, 0.0, 12.0, false)]);
+        assert!(bad_dur.validate().is_err(), "zero duration");
+        let out_of_order = mk(vec![s(0.5, 0.1, 12.0, false), s(0.0, 0.1, 12.0, false)]);
+        assert!(out_of_order.validate().is_err(), "time order");
+        let nan_data = mk(vec![s(0.0, 0.1, f64::NAN, false)]);
+        assert!(nan_data.validate().is_err(), "NaN on a data slot");
+        // NaN while probing is the recorded convention, not garbage.
+        let nan_probe = mk(vec![s(0.0, 0.1, f64::NAN, true)]);
+        assert!(nan_probe.validate().is_ok());
     }
 }

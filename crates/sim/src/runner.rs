@@ -74,11 +74,13 @@ impl Aggregate {
     }
 
     /// One CSV row: `strategy,scenario,rel_mean,rel_median,tput_mbps,product_mbps,overhead`.
+    /// Names are escaped via [`crate::metrics::csv_field`], so a strategy
+    /// label containing a comma cannot shear the row.
     pub fn csv_row(&self) -> String {
         format!(
             "{},{},{:.4},{:.4},{:.1},{:.1},{:.4}",
-            self.strategy,
-            self.scenario,
+            crate::metrics::csv_field(&self.strategy),
+            crate::metrics::csv_field(&self.scenario),
             self.mean_reliability(),
             self.median_reliability(),
             self.mean_throughput_bps() / 1e6,
@@ -114,11 +116,13 @@ impl std::fmt::Display for FailedRun {
 
 impl std::error::Error for FailedRun {}
 
-fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if mmreliable::cancel::is_cancel_unwind(payload.as_ref()) {
+        mmreliable::cancel::CancelUnwind.to_string()
     } else {
         "non-string panic payload".to_string()
     }

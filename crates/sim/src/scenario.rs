@@ -4,6 +4,7 @@
 //! experiment an evaluation binary can instantiate into a
 //! [`crate::LinkSimulator`] and run against any strategy.
 
+use crate::faults::{FaultInjector, FaultSchedule};
 use crate::simulator::LinkSimulator;
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_channel::blockage::{BlockageEvent, BlockageProcess};
@@ -36,6 +37,10 @@ pub struct Scenario {
     /// protocol ("At the beginning of each experiment, we perform beam
     /// training", §6); authored dynamics are delayed accordingly.
     pub warmup_s: f64,
+    /// Front-end fault schedule for this experiment. Library builders
+    /// produce the inert schedule; chaos campaigns attach a real one with
+    /// [`Scenario::with_faults`], which validates it up front.
+    pub fault: FaultSchedule,
 }
 
 impl Scenario {
@@ -49,6 +54,23 @@ impl Scenario {
             self.rx.clone(),
             Rng64::seed(seed),
         )
+    }
+
+    /// Attaches a fault schedule, failing fast on an invalid one so a
+    /// mis-specified campaign cell is rejected before any airtime is spent.
+    pub fn with_faults(mut self, fault: FaultSchedule) -> Result<Self, String> {
+        fault.validate()?;
+        self.fault = fault;
+        Ok(self)
+    }
+
+    /// Instantiates the full faulted front-end stack: the seeded simulator
+    /// wrapped in a [`FaultInjector`] driving this scenario's schedule.
+    /// Campaign code that wants the zero-fault bit-identity guarantee
+    /// checks [`FaultSchedule::is_inert`] and runs the bare simulator
+    /// instead.
+    pub fn faulted_simulator(&self, seed: u64) -> Result<FaultInjector<LinkSimulator>, String> {
+        FaultInjector::new(self.simulator(seed), self.fault.clone())
     }
 
     /// Total simulated time including warm-up.
@@ -90,6 +112,7 @@ pub fn static_walker() -> Scenario {
         duration_s: 1.2,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -116,6 +139,7 @@ pub fn mobile_blockage(seed: u64) -> Scenario {
         duration_s: 1.0,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -137,6 +161,7 @@ pub fn translation_1s() -> Scenario {
         duration_s: 1.0,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -156,6 +181,7 @@ pub fn gnb_rotation(rate_deg_s: f64) -> Scenario {
         duration_s: 1.0,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -180,6 +206,7 @@ pub fn rotation_blockage(seed: u64) -> Scenario {
         duration_s: 1.0,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -214,6 +241,7 @@ pub fn outdoor(dist_m: f64, seed: u64) -> Scenario {
         duration_s: 1.0,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -273,6 +301,7 @@ pub fn natural_motion(seed: u64) -> Scenario {
         duration_s: 1.5,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 
@@ -307,6 +336,7 @@ pub fn appendix_b(sixty_ghz: bool) -> Scenario {
         duration_s: 1.0,
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
+        fault: FaultSchedule::none(),
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::faults::FaultEvent;
 use crate::metrics::{RunCounters, RunEvent, RunResult, Sample};
+use mmreliable::cancel::CancelToken;
 use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_array::weights::BeamWeights;
@@ -65,6 +66,7 @@ pub struct LinkSimulator {
     probe_airtime_s: f64,
     ws: SlotWorkspace,
     counters: RunCounters,
+    cancel: CancelToken,
 }
 
 impl LinkSimulator {
@@ -90,12 +92,26 @@ impl LinkSimulator {
             probe_airtime_s: 0.0,
             ws: SlotWorkspace::default(),
             counters: RunCounters::default(),
+            cancel: CancelToken::new(),
         }
     }
 
     /// Current simulated time, seconds.
     pub fn now_s(&self) -> f64 {
         self.t_s
+    }
+
+    /// Installs the supervisor's cancellation token. The run loop and the
+    /// controller poll it at their checkpoints (once per data slot, per
+    /// maintenance tick, per training probe); a fresh simulator carries an
+    /// inert token and never cancels.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token (a clone observing shared state).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Hot-path counters accumulated so far (all-zero unless the
@@ -294,8 +310,13 @@ pub fn run_front_end<H: SimFrontEnd>(
     let mut w_rad = BeamWeights::muted(n_elements);
     let mut next_tick = 0.0f64;
     while h.sim().t_s < duration_s {
+        // Supervisor checkpoint: a cancelled run (deadline or tick budget)
+        // unwinds here with the CancelUnwind payload rather than finishing
+        // the sweep — the campaign layer classifies that as a timeout.
+        h.sim().cancel.checkpoint();
         // Maintenance tick: the strategy may probe (advancing time).
         if h.sim().t_s >= next_tick {
+            h.sim().cancel.note_tick();
             strategy.observe_truth(h.sim_mut().channel_now());
             #[cfg(feature = "perf-counters")]
             {
@@ -397,6 +418,10 @@ impl LinkFrontEnd for LinkSimulator {
 
     fn now_s(&self) -> f64 {
         self.t_s
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 
     fn probes_used(&self) -> usize {

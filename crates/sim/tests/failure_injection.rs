@@ -30,7 +30,7 @@ fn run(sc: &Scenario, seed: u64) -> RunResult {
 }
 
 fn run_faulted(sc: &Scenario, seed: u64, sched: FaultSchedule) -> RunResult {
-    let mut fe = FaultInjector::new(sc.simulator(seed), sched);
+    let mut fe = FaultInjector::new(sc.simulator(seed), sched).expect("valid fault schedule");
     let mut s = mmreliable();
     fe.run_with_warmup(
         s.as_mut(),

@@ -40,7 +40,7 @@ fn main() {
         100.0 * loss_prob
     );
 
-    let mut fe = FaultInjector::new(sc.simulator(17), schedule);
+    let mut fe = FaultInjector::new(sc.simulator(17), schedule).expect("valid fault schedule");
     let mut strategy =
         MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
     let result = fe.run_with_warmup(
