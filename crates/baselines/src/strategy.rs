@@ -44,6 +44,12 @@ pub trait BeamStrategy {
     fn drain_transitions(&mut self) -> Vec<Transition> {
         Vec::new()
     }
+
+    /// Installs a telemetry tracer. The run loop hands every strategy the
+    /// simulator's tracer at run start; instrumented strategies (the
+    /// mmReliable adapter) forward it into their controller, everything
+    /// else ignores it (the default).
+    fn set_tracer(&mut self, _tracer: mmwave_telemetry::Tracer) {}
 }
 
 /// [`BeamStrategy`] adapter for the mmReliable controller.
@@ -58,13 +64,21 @@ pub struct MmReliableStrategy {
     pub controller: MmReliableController,
     /// Data weights materialized at the end of the last tick.
     cached: BeamWeights,
+    /// Telemetry handle: times the per-tick weight materialization.
+    #[cfg(feature = "telemetry")]
+    tracer: mmwave_telemetry::Tracer,
 }
 
 impl MmReliableStrategy {
     /// Wraps a controller.
     pub fn new(controller: MmReliableController) -> Self {
         let cached = controller.current_weights();
-        Self { controller, cached }
+        Self {
+            controller,
+            cached,
+            #[cfg(feature = "telemetry")]
+            tracer: mmwave_telemetry::Tracer::disabled(),
+        }
     }
 
     /// Re-materializes the cached data weights from the controller. Called
@@ -82,7 +96,15 @@ impl BeamStrategy for MmReliableStrategy {
 
     fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, _t_s: f64) {
         self.controller.maintenance_round(fe);
+        // The weight materialization (multi-beam synthesis + hardware
+        // quantization) is the other compute-heavy stage of a tick; time
+        // it separately from the maintenance round.
+        #[cfg(feature = "telemetry")]
+        let clock = self.tracer.begin();
         self.refresh_weights();
+        #[cfg(feature = "telemetry")]
+        self.tracer
+            .end(clock, mmwave_telemetry::Stage::WeightSynthesis, fe.now_s());
     }
 
     fn weights(&self) -> BeamWeights {
@@ -95,6 +117,16 @@ impl BeamStrategy for MmReliableStrategy {
 
     fn drain_transitions(&mut self) -> Vec<Transition> {
         self.controller.drain_transitions()
+    }
+
+    fn set_tracer(&mut self, tracer: mmwave_telemetry::Tracer) {
+        self.controller.set_tracer(tracer.clone());
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer = tracer;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = tracer;
     }
 }
 

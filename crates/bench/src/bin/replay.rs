@@ -15,7 +15,7 @@
 //! `scenario//strategy//seed//fault` id; `--failures-only` skips `ok`
 //! entries (the common debugging loop: replay just what broke).
 
-use mmwave_sim::campaign::{load_journal, replay_cell, JournalEntry};
+use mmwave_sim::campaign::{compiled_features, load_journal, replay_cell, JournalEntry};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -30,6 +30,17 @@ fn usage() -> ExitCode {
 /// the journal line.
 fn replay_one(entry: &JournalEntry) -> bool {
     let key = entry.key();
+    // Observability features (perf counters, telemetry) are excluded from
+    // the digest, so a feature mismatch is informational, not a
+    // divergence.
+    let ours = compiled_features();
+    if entry.features != ours {
+        println!(
+            "{key}: note: journal recorded features [{}], replay built with [{ours}] — \
+             counters differ, payload bit-identical",
+            entry.features
+        );
+    }
     match replay_cell(entry) {
         Ok((result, digest)) => {
             if entry.status == "ok" {

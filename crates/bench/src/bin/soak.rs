@@ -22,12 +22,18 @@
 //!    land in the journal as a terminal `panic` after `max_attempts`.
 //! 5. **Bit-identical replay** — a completed cell replayed from its
 //!    journal line must reproduce its result digest bit for bit.
+//! 6. **Telemetry trace** — a small campaign runs with telemetry capture
+//!    into a JSONL trace; every line must be strict JSON and each cell's
+//!    slot timestamps must be monotone. (With the `telemetry` feature off
+//!    the instrumentation doesn't exist, so the trace is validated but
+//!    allowed to be empty.)
 //!
-//! Exit code 0 when every check passes, 1 otherwise. The journal is left
-//! on disk for CI to upload as an artifact.
+//! Exit code 0 when every check passes, 1 otherwise. The journal and the
+//! trace are left on disk for CI to upload as artifacts.
 
 use mmwave_sim::campaign::{
     backoff_delay, load_journal, replay_cell, run_campaign, CampaignConfig, FailureKind, Job,
+    TelemetrySpec,
 };
 use mmwave_sim::faults::FaultSchedule;
 use std::path::{Path, PathBuf};
@@ -226,6 +232,91 @@ fn main() -> ExitCode {
         }
     }
 
+    // Phase 3: telemetry capture. A clean two-cell campaign writes a
+    // cell-tagged JSONL trace (plus a Chrome trace); validate the trace's
+    // structural invariants line by line.
+    let trace_path = journal.with_file_name("soak-trace.jsonl");
+    let chrome_path = journal.with_file_name("soak-trace.chrome.json");
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&chrome_path);
+    let trace_jobs: Vec<Job> = (7400..7402u64)
+        .map(|seed| {
+            Job::from_registry(
+                "mobile-blockage",
+                "mmreliable",
+                seed,
+                FaultSchedule::none(),
+                1,
+            )
+            .expect("registry job")
+        })
+        .collect();
+    let trace_cfg = CampaignConfig {
+        threads: 2,
+        telemetry: Some(TelemetrySpec {
+            trace: Some(trace_path.clone()),
+            chrome_trace: Some(chrome_path.clone()),
+            decimation: 16,
+            ..TelemetrySpec::default()
+        }),
+        ..CampaignConfig::default()
+    };
+    let trace_report = run_campaign(&trace_jobs, &trace_cfg).expect("telemetry campaign");
+    check(
+        trace_report.failures().is_empty(),
+        "telemetry campaign completed cleanly",
+    );
+    let trace_text = std::fs::read_to_string(&trace_path).unwrap_or_default();
+    let mut trace_ok = true;
+    let mut slot_lines = 0usize;
+    let mut last_slot_t: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for line in trace_text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Err(e) = mmwave_telemetry::validate_json_line(line) {
+            eprintln!("soak: invalid trace line ({e}): {line}");
+            trace_ok = false;
+            continue;
+        }
+        let Some(cell) = mmwave_telemetry::field_str(line, "cell") else {
+            eprintln!("soak: trace line without cell tag: {line}");
+            trace_ok = false;
+            continue;
+        };
+        if mmwave_telemetry::field_str(line, "kind").as_deref() == Some("slot") {
+            let t = mmwave_telemetry::field_f64(line, "t_s").unwrap_or(f64::NAN);
+            if let Some(prev) = last_slot_t.get(&cell) {
+                if t < *prev || t.is_nan() {
+                    eprintln!("soak: slot time regressed in {cell}: {prev} -> {t}");
+                    trace_ok = false;
+                }
+            }
+            last_slot_t.insert(cell, t);
+            slot_lines += 1;
+        }
+    }
+    check(
+        trace_ok,
+        "every trace line is strict JSON with monotone per-cell slot times",
+    );
+    if cfg!(feature = "telemetry") {
+        check(slot_lines > 0, "trace captured per-slot records");
+        check(
+            last_slot_t.len() == trace_jobs.len(),
+            "every telemetry cell left a trace",
+        );
+        check(
+            trace_report.latency().tick().count > 0,
+            "campaign-merged latency histograms accumulated",
+        );
+        check(
+            std::fs::read_to_string(&chrome_path)
+                .map(|t| t.contains("\"traceEvents\""))
+                .unwrap_or(false),
+            "chrome trace written",
+        );
+    } else {
+        println!("[skip] telemetry feature off: trace content checks skipped");
+    }
+
     // Backoff determinism: the same (campaign seed, cell, attempt) always
     // yields the same delay.
     let probe = &jobs[0].key;
@@ -236,11 +327,12 @@ fn main() -> ExitCode {
     );
 
     println!(
-        "soak: {} cells, {} resumed, {} checks failed; journal at {}",
+        "soak: {} cells, {} resumed, {} checks failed; journal at {}, trace at {}",
         jobs.len(),
         report2.resumed_count(),
         failed_checks.len(),
-        journal.display()
+        journal.display(),
+        trace_path.display()
     );
     if failed_checks.is_empty() {
         ExitCode::SUCCESS

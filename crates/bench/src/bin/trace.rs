@@ -1,0 +1,240 @@
+//! Per-cell trace renderer for campaign journals.
+//!
+//! ```text
+//! cargo run --release -p mmwave-bench --features telemetry --bin trace -- \
+//!     <journal.jsonl> --cell <scenario//strategy//seed//fault> [--csv | --jsonl] [--decimation N]
+//! cargo run --release -p mmwave-bench --features telemetry --bin trace -- --line '<journal json line>'
+//! ```
+//!
+//! Composes with the `replay` binary's journal vocabulary: the selected
+//! cell is re-run single-threaded from its journal line (same registry
+//! rebuild, same tick budget) under a ring-buffered tracer, and the
+//! captured trace is rendered:
+//!
+//! - **summary** (default): replay outcome + digest check, per-stage
+//!   latency percentiles, event counts by kind, and every lifecycle
+//!   transition / backoff decision in order.
+//! - **`--csv`**: the decimated per-slot records as
+//!   `slot,t_s,snr_db,blockage_db,probing,outage` rows.
+//! - **`--jsonl`**: every captured event as cell-tagged JSON lines — the
+//!   same schema the campaign's trace file uses.
+//!
+//! For a journaled *failure* the trace covers the slots leading up to the
+//! reproduced crash. Exit code 0 on success, 1 when an `ok` cell's replay
+//! digest diverges from the journal, 2 on usage errors.
+
+use mmwave_sim::campaign::{
+    compiled_features, load_journal, replay_cell_traced, JournalEntry, TelemetrySpec,
+};
+use mmwave_telemetry::{Stage, TraceEvent};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace <journal.jsonl> [--cell <scenario//strategy//seed//fault>] [--csv | --jsonl] [--decimation N]\n       trace --line '<journal json line>' [--csv | --jsonl] [--decimation N]"
+    );
+    ExitCode::from(2)
+}
+
+enum Mode {
+    Summary,
+    Csv,
+    Jsonl,
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut cell: Option<String> = None;
+    let mut line: Option<String> = None;
+    let mut mode = Mode::Summary;
+    let mut decimation = 1u64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cell" => match it.next() {
+                Some(v) => cell = Some(v),
+                None => return usage(),
+            },
+            "--line" => match it.next() {
+                Some(v) => line = Some(v),
+                None => return usage(),
+            },
+            "--csv" => mode = Mode::Csv,
+            "--jsonl" => mode = Mode::Jsonl,
+            "--decimation" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => decimation = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+
+    let entries: Vec<JournalEntry> = if let Some(l) = line {
+        match JournalEntry::parse(&l) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!("trace: malformed journal line");
+                return ExitCode::from(2);
+            }
+        }
+    } else if let Some(p) = path {
+        match load_journal(Path::new(&p)) {
+            Ok(es) => es,
+            Err(e) => {
+                eprintln!("trace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        return usage();
+    };
+
+    let selected: Vec<&JournalEntry> = entries
+        .iter()
+        .filter(|e| cell.as_ref().is_none_or(|c| e.key().id() == *c))
+        .collect();
+    let entry = match selected.as_slice() {
+        [one] => *one,
+        [] => {
+            eprintln!("trace: no matching journal entries");
+            return ExitCode::from(2);
+        }
+        many => {
+            eprintln!("trace: {} entries match; pick one with --cell:", many.len());
+            for e in many {
+                eprintln!("  {}", e.key().id());
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    if !compiled_features().contains("telemetry") {
+        eprintln!(
+            "trace: built without the telemetry feature — the trace will be empty; \
+             rebuild with --features telemetry"
+        );
+    }
+
+    let spec = TelemetrySpec {
+        decimation,
+        ..TelemetrySpec::default()
+    };
+    let (outcome, trace) = replay_cell_traced(entry, &spec);
+    let cell_id = entry.key().id();
+
+    match mode {
+        Mode::Csv => {
+            println!("slot,t_s,snr_db,blockage_db,probing,outage");
+            for ev in &trace.events {
+                if let TraceEvent::Slot(s) = ev {
+                    println!(
+                        "{},{:.6},{},{},{},{}",
+                        s.slot,
+                        s.t_s,
+                        if s.snr_db.is_finite() {
+                            format!("{:.3}", s.snr_db)
+                        } else {
+                            String::new()
+                        },
+                        format_args!("{:.3}", s.blockage_db),
+                        s.probing,
+                        s.outage
+                    );
+                }
+            }
+        }
+        Mode::Jsonl => {
+            for ev in &trace.events {
+                println!("{}", ev.to_json(&cell_id));
+            }
+        }
+        Mode::Summary => {
+            println!("cell: {}", entry.key());
+            match &outcome {
+                Ok((result, digest)) => {
+                    let agree = entry.status == "ok" && *digest == entry.digest;
+                    println!(
+                        "replay: ok, digest {digest:016x} {} (reliability {:.4})",
+                        if agree {
+                            "== journal"
+                        } else {
+                            "!= journal (DIVERGED)"
+                        },
+                        result.reliability()
+                    );
+                }
+                Err(f) => println!(
+                    "replay: {} (journal says {}): {}",
+                    f.kind.as_str(),
+                    entry.status,
+                    f.message
+                ),
+            }
+            println!(
+                "events: {} captured, {} dropped by the ring",
+                trace.events.len(),
+                trace.dropped
+            );
+            let mut by_kind = std::collections::BTreeMap::new();
+            for ev in &trace.events {
+                *by_kind.entry(ev.kind()).or_insert(0usize) += 1;
+            }
+            for (kind, n) in &by_kind {
+                println!("  {kind}: {n}");
+            }
+            println!("latency (µs):");
+            println!(
+                "  {:<18} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "stage", "count", "p50", "p95", "p99", "max"
+            );
+            for stage in Stage::ALL {
+                let h = &trace.hists[stage.index()];
+                if h.is_empty() {
+                    continue;
+                }
+                let s = h.summary();
+                println!(
+                    "  {:<18} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    stage.name(),
+                    s.count,
+                    fmt_us(s.p50_ns),
+                    fmt_us(s.p95_ns),
+                    fmt_us(s.p99_ns),
+                    fmt_us(s.max_ns)
+                );
+            }
+            for ev in &trace.events {
+                match ev {
+                    TraceEvent::Lifecycle {
+                        t_s,
+                        from,
+                        to,
+                        cause,
+                    } => {
+                        println!("  t={t_s:.3}s lifecycle {from} -> {to} ({cause})");
+                    }
+                    TraceEvent::Decision { t_s, what } => {
+                        println!("  t={t_s:.3}s decision: {what}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let diverged =
+        matches!(&outcome, Ok((_, digest)) if entry.status == "ok" && *digest != entry.digest);
+    if diverged {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

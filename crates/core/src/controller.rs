@@ -44,6 +44,24 @@ use mmwave_dsp::units::db_from_pow;
 /// paper array): half the aperture ≈ twice the beamwidth.
 const FALLBACK_ACTIVE_COLUMNS: usize = 4;
 
+/// One-word summary of a round's actions for the telemetry `round` event,
+/// most-drastic action first.
+#[cfg(feature = "telemetry")]
+fn round_verdict(actions: &[ControllerAction]) -> &'static str {
+    let mut verdict = "steady";
+    for a in actions {
+        verdict = match a {
+            ControllerAction::Retrained => return "retrain",
+            ControllerAction::Established(_) => "establish",
+            ControllerAction::BeamBlocked(_) => "blockage",
+            ControllerAction::BeamRecovered(_) if verdict == "steady" => "recovery",
+            ControllerAction::Realigned { .. } if verdict == "steady" => "realign",
+            _ => verdict,
+        };
+    }
+    verdict
+}
+
 /// Reports at or below this SNR carry no measured signal at all — the
 /// observation is indistinguishable from a lost/erased probe, so it is not
 /// treated as evidence for an *urgent* (same-round) re-train. The probe
@@ -113,6 +131,10 @@ pub struct MmReliableController {
     best_snr_db: f64,
     /// The lifecycle state machine — the sole owner of link state.
     lifecycle: LinkLifecycle,
+    /// Telemetry handle: super-resolution fit spans and per-round link
+    /// events. Disabled (free) by default.
+    #[cfg(feature = "telemetry")]
+    tracer: mmwave_telemetry::Tracer,
 }
 
 impl MmReliableController {
@@ -136,7 +158,39 @@ impl MmReliableController {
             established_snr_db: None,
             best_snr_db: f64::NEG_INFINITY,
             lifecycle: LinkLifecycle::new(lc_cfg),
+            #[cfg(feature = "telemetry")]
+            tracer: mmwave_telemetry::Tracer::disabled(),
         }
+    }
+
+    /// Installs a telemetry tracer on the controller and its lifecycle
+    /// machine. Compiled to a no-op without the `telemetry` feature.
+    pub fn set_tracer(&mut self, tracer: mmwave_telemetry::Tracer) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.lifecycle.set_tracer(tracer.clone());
+            self.tracer = tracer;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = tracer;
+    }
+
+    /// Super-resolution per-beam fit, wrapped in a telemetry span so the
+    /// fit's latency lands in the `superres-fit` histogram.
+    fn fit_per_beam(
+        &self,
+        obs: &mmwave_phy::chanest::ProbeObservation,
+        t_s: f64,
+    ) -> crate::superres::PerBeamEstimate {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = t_s;
+        #[cfg(feature = "telemetry")]
+        let clock = self.tracer.begin();
+        let est = estimate_per_beam(obs, &self.rel_delays_ns, &self.superres_cfg);
+        #[cfg(feature = "telemetry")]
+        self.tracer
+            .end(clock, mmwave_telemetry::Stage::SuperresFit, t_s);
+        est
     }
 
     /// Configuration accessor.
@@ -258,7 +312,7 @@ impl MmReliableController {
         self.last_training = Some(training);
         // Baseline probe through the live multi-beam.
         let obs = fe.probe(&self.current_weights());
-        let est = estimate_per_beam(&obs, &self.rel_delays_ns, &self.superres_cfg);
+        let est = self.fit_per_beam(&obs, fe.now_s());
         let baselines = est.powers_db();
         self.trackers = angles
             .iter()
@@ -319,7 +373,7 @@ impl MmReliableController {
                 -60.0
             };
             let probes = fe.probes_used() - probes_before;
-            return self.report(snr_db, Vec::new(), actions, probes, log_before);
+            return self.report(fe.now_s(), snr_db, Vec::new(), actions, probes, log_before);
         }
 
         // --- Degraded wide-beam fallback: keep-alive probing only; the
@@ -343,7 +397,7 @@ impl MmReliableController {
                 actions.append(&mut est_actions);
             }
             let probes = fe.probes_used() - probes_before;
-            return self.report(snr_db, Vec::new(), actions, probes, log_before);
+            return self.report(fe.now_s(), snr_db, Vec::new(), actions, probes, log_before);
         }
 
         self.rounds += 1;
@@ -352,7 +406,7 @@ impl MmReliableController {
         // 1. Probe the live multi-beam; super-resolve per-beam powers.
         let obs = fe.probe(&self.current_weights());
         let snr_db = obs.snr_db();
-        let est = estimate_per_beam(&obs, &self.rel_delays_ns, &self.superres_cfg);
+        let est = self.fit_per_beam(&obs, fe.now_s());
         let per_beam_db = est.powers_db();
         // Relative ToFs drift slowly with user motion (§4.3); adopt the
         // jitter-refined values so the dictionary follows the geometry.
@@ -425,7 +479,7 @@ impl MmReliableController {
             }
             let w_plus = self.cfg.quantizer.quantize(&plus.weights(&self.cfg.geom));
             let obs_plus = fe.probe(&w_plus);
-            let est_plus = estimate_per_beam(&obs_plus, &self.rel_delays_ns, &self.superres_cfg);
+            let est_plus = self.fit_per_beam(&obs_plus, fe.now_s());
             let mut chosen = mb.clone();
             for &(k, dev) in &realign {
                 let sign = if est_plus.powers_mw[k] > est.powers_mw[k] {
@@ -547,19 +601,32 @@ impl MmReliableController {
         }
 
         let probes = fe.probes_used() - probes_before;
-        self.report(snr_db, per_beam_db, actions, probes, log_before)
+        self.report(fe.now_s(), snr_db, per_beam_db, actions, probes, log_before)
     }
 
     /// Assembles a [`RoundReport`], attaching the lifecycle transitions
-    /// that fired since `log_before`.
+    /// that fired since `log_before`, and records the round as a telemetry
+    /// event (state, verdict, per-beam powers) when a tracer wants events.
     fn report(
         &self,
+        t_s: f64,
         snr_db: f64,
         per_beam_db: Vec<f64>,
         actions: Vec<ControllerAction>,
         probes: usize,
         log_before: usize,
     ) -> RoundReport {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = t_s;
+        #[cfg(feature = "telemetry")]
+        if self.tracer.wants_events() {
+            self.tracer.event(mmwave_telemetry::TraceEvent::Round {
+                t_s,
+                state: self.lifecycle.state().kind().name(),
+                verdict: round_verdict(&actions),
+                per_beam_db: per_beam_db.clone(),
+            });
+        }
         RoundReport {
             snr_db,
             per_beam_db,
@@ -634,7 +701,7 @@ impl MmReliableController {
     /// tracker's baseline.
     fn rebaseline(&mut self, fe: &mut dyn LinkFrontEnd) {
         let obs = fe.probe(&self.current_weights());
-        let est = estimate_per_beam(&obs, &self.rel_delays_ns, &self.superres_cfg);
+        let est = self.fit_per_beam(&obs, fe.now_s());
         let baselines = est.powers_db();
         let mb = self.mb.as_ref().expect("established");
         for (k, tracker) in self.trackers.iter_mut().enumerate() {

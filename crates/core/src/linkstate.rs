@@ -77,16 +77,22 @@ impl LinkStateKind {
     ];
 }
 
-impl std::fmt::Display for LinkStateKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl LinkStateKind {
+    /// Stable lowercase name (trace/CSV labels).
+    pub fn name(self) -> &'static str {
+        match self {
             LinkStateKind::Acquiring => "acquiring",
             LinkStateKind::Steady => "steady",
             LinkStateKind::Degraded => "degraded",
             LinkStateKind::Outage => "outage",
             LinkStateKind::Recovering => "recovering",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for LinkStateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -288,6 +294,10 @@ pub struct LinkLifecycle {
     fallback_active: bool,
     /// Total training scans signalled over the lifetime (observability).
     scans: u64,
+    /// Telemetry handle: transitions and backoff decisions are recorded at
+    /// the single mutation point. Disabled (free) by default.
+    #[cfg(feature = "telemetry")]
+    tracer: mmwave_telemetry::Tracer,
 }
 
 impl LinkLifecycle {
@@ -305,7 +315,21 @@ impl LinkLifecycle {
             episode: None,
             fallback_active: false,
             scans: 0,
+            #[cfg(feature = "telemetry")]
+            tracer: mmwave_telemetry::Tracer::disabled(),
         }
+    }
+
+    /// Installs a telemetry tracer; transitions and retry/backoff
+    /// decisions will be recorded as trace events. Compiled to a no-op
+    /// without the `telemetry` feature.
+    pub fn set_tracer(&mut self, tracer: mmwave_telemetry::Tracer) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer = tracer;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = tracer;
     }
 
     /// Current state.
@@ -361,6 +385,8 @@ impl LinkLifecycle {
     /// transition, if any.
     pub fn apply(&mut self, sig: LinkSignal, t_s: f64) -> Option<Transition> {
         let from = self.state;
+        #[cfg(feature = "telemetry")]
+        let next_attempt_before = self.next_attempt_s;
         // An unexplained deep drop warrants an immediate first retry —
         // maintenance has lost the plot and waiting cannot help.
         let urgent = matches!(
@@ -562,6 +588,28 @@ impl LinkLifecycle {
             cause,
         };
         self.log.push(tr);
+        #[cfg(feature = "telemetry")]
+        if self.tracer.wants_events() {
+            self.tracer.event(mmwave_telemetry::TraceEvent::Lifecycle {
+                t_s,
+                from: from.kind().name(),
+                to: to.kind().name(),
+                cause: format!("{cause:?}"),
+            });
+            // Every change to the retry clock is a scheduling decision
+            // worth a trace line: which attempt was armed and for when.
+            if self.next_attempt_s != next_attempt_before {
+                self.tracer.event(mmwave_telemetry::TraceEvent::Decision {
+                    t_s,
+                    what: format!(
+                        "retrain attempt {} armed for t={:.3}s (backoff {:.3}s)",
+                        self.attempts + 1,
+                        self.next_attempt_s,
+                        self.next_attempt_s - t_s
+                    ),
+                });
+            }
+        }
         Some(tr)
     }
 

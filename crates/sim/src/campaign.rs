@@ -25,6 +25,14 @@
 //!   campaign pointed at an existing journal *resumes*: journaled cells
 //!   are skipped, so an interrupted overnight sweep completes without
 //!   rerunning finished seeds and without duplicating any cell.
+//! - **Telemetry capture** — with a [`TelemetrySpec`] configured, every
+//!   cell runs under a ring-buffered tracer (see `mmwave-telemetry`);
+//!   completed and terminally-failed cells drain into a cell-tagged JSONL
+//!   trace (same crash-consistent write idiom as the journal), per-stage
+//!   latency histograms merge campaign-wide onto the report, and an
+//!   optional Chrome-trace-format file renders the whole sweep in
+//!   Perfetto. With [`CampaignConfig::progress`] on, a heartbeat line
+//!   (cells done/retried/shed, busy workers, ETA) ticks on stderr.
 //! - **Graceful degradation** — when the campaign-level deadline expires,
 //!   pending cells are *shed* (the queue is priority-ordered, so the shed
 //!   cells are the lowest-priority ones) and counted in the report;
@@ -52,9 +60,10 @@ use mmwave_baselines::nr_periodic::{NrPeriodic, NrPeriodicConfig};
 use mmwave_baselines::single_reactive::{ReactiveConfig, SingleBeamReactive};
 use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
 use mmwave_baselines::widebeam::{WideBeamConfig, WideBeamStrategy};
+use mmwave_telemetry::{LatencyHist, RingBufferSink, RunLatency, TraceEvent, Tracer, STAGE_COUNT};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
@@ -309,6 +318,53 @@ where
 /// unwind boundary) — chaos tests inject panics and hangs here.
 pub type PreRunHook = Arc<dyn Fn(&CellKey, u32) + Send + Sync>;
 
+/// The observability feature set this binary was compiled with, as a
+/// canonical comma-joined string. Recorded on every journal entry so a
+/// replay binary built with a different feature set can flag that
+/// counters/latency differ while the simulation payload stays
+/// bit-identical (neither is part of the digest).
+pub fn compiled_features() -> String {
+    let mut f: Vec<&str> = Vec::new();
+    if cfg!(feature = "perf-counters") {
+        f.push("perf-counters");
+    }
+    if cfg!(feature = "telemetry") {
+        f.push("telemetry");
+    }
+    f.join(",")
+}
+
+/// Telemetry capture policy for a campaign. Requires the `telemetry`
+/// feature to produce data: without it the tracers are installed but no
+/// instrumentation call sites exist, so traces come back empty.
+#[derive(Clone, Debug)]
+pub struct TelemetrySpec {
+    /// Cell-tagged JSONL trace path (one event per line, each carrying its
+    /// cell id). Rewritten from scratch each campaign with the journal's
+    /// crash-consistent tmp + rename idiom; resumed cells re-run nothing
+    /// and so contribute no trace.
+    pub trace: Option<PathBuf>,
+    /// Chrome-trace-format (Perfetto `chrome://tracing`) output path, one
+    /// process per cell, written once after the campaign completes.
+    pub chrome_trace: Option<PathBuf>,
+    /// Keep every `decimation`-th per-slot sample (≥ 1).
+    pub decimation: u64,
+    /// Per-cell event ring capacity; the oldest events beyond it are
+    /// dropped (and counted).
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        Self {
+            trace: None,
+            chrome_trace: None,
+            decimation: 8,
+            ring_capacity: 1 << 16,
+        }
+    }
+}
+
 /// Supervisor policy for one campaign.
 #[derive(Clone)]
 pub struct CampaignConfig {
@@ -341,6 +397,12 @@ pub struct CampaignConfig {
     pub tick_budget: Option<u64>,
     /// Chaos-injection hook (see [`PreRunHook`]).
     pub pre_run_hook: Option<PreRunHook>,
+    /// Per-cell telemetry capture (see [`TelemetrySpec`]). `None` runs
+    /// every cell with a disabled tracer — zero overhead.
+    pub telemetry: Option<TelemetrySpec>,
+    /// Emit a live heartbeat line on stderr (~2 Hz): cells done / retried
+    /// / shed, busy workers, and an ETA extrapolated from throughput.
+    pub progress: bool,
 }
 
 impl Default for CampaignConfig {
@@ -357,6 +419,8 @@ impl Default for CampaignConfig {
             journal: None,
             tick_budget: None,
             pre_run_hook: None,
+            telemetry: None,
+            progress: false,
         }
     }
 }
@@ -453,9 +517,20 @@ pub struct CellOutcome {
 pub struct CampaignReport {
     /// Per-cell outcomes, indexed like the submitted job list.
     pub outcomes: Vec<CellOutcome>,
+    /// Campaign-merged per-stage latency histograms, accumulated across
+    /// every cell that ran with a tracer. All-empty unless the `telemetry`
+    /// feature is on and [`CampaignConfig::telemetry`] was set.
+    pub hists: [LatencyHist; STAGE_COUNT],
 }
 
 impl CampaignReport {
+    /// Percentile digests of the campaign-merged latency histograms.
+    pub fn latency(&self) -> RunLatency {
+        RunLatency {
+            stages: std::array::from_fn(|i| self.hists[i].summary()),
+        }
+    }
+
     /// Results of cells completed *this* campaign, in submission order.
     pub fn results(&self) -> Vec<&RunResult> {
         self.outcomes
@@ -537,6 +612,9 @@ pub struct JournalEntry {
     pub reliability: f64,
     /// Final error message for failures (empty for ok).
     pub message: String,
+    /// Observability features the recording binary was compiled with
+    /// ([`compiled_features`]; empty for entries from older journals).
+    pub features: String,
 }
 
 impl JournalEntry {
@@ -553,7 +631,7 @@ impl JournalEntry {
     /// Serializes to one JSONL line (no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"scenario":"{}","strategy":"{}","seed":{},"fault":"{}","status":"{}","attempts":{},"digest":"{:016x}","tick_budget":{},"reliability":{},"message":"{}"}}"#,
+            r#"{{"scenario":"{}","strategy":"{}","seed":{},"fault":"{}","status":"{}","attempts":{},"digest":"{:016x}","tick_budget":{},"reliability":{},"message":"{}","features":"{}"}}"#,
             json_escape(&self.scenario),
             json_escape(&self.strategy),
             self.seed,
@@ -565,6 +643,7 @@ impl JournalEntry {
                 .map_or_else(|| "null".to_string(), |b| b.to_string()),
             fmt_f64(self.reliability),
             json_escape(&self.message),
+            json_escape(&self.features),
         )
     }
 
@@ -590,6 +669,8 @@ impl JournalEntry {
             },
             reliability: json_raw(line, "reliability")?.parse().ok()?,
             message: json_str(line, "message")?,
+            // Absent from journals written before the telemetry layer.
+            features: json_str(line, "features").unwrap_or_default(),
         })
     }
 }
@@ -635,18 +716,48 @@ impl JournalFile {
 
     fn append(&mut self, entry: &JournalEntry) -> Result<(), String> {
         self.lines.push(entry.to_json());
-        let tmp = self.path.with_extension("jsonl.tmp");
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-            }
+        write_lines_atomic(&self.path, &self.lines)
+    }
+}
+
+/// Rewrites `lines` (plus trailing newline) to `<path>.tmp` and renames
+/// over `path`: the file on disk is always a whole-line prefix of the
+/// writer's state, never a torn entry.
+fn write_lines_atomic(path: &Path, lines: &[String]) -> Result<(), String> {
+    let tmp = path.with_extension("jsonl.tmp");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         }
-        let mut body = self.lines.join("\n");
+    }
+    let mut body = lines.join("\n");
+    if !body.is_empty() {
         body.push('\n');
-        std::fs::write(&tmp, body).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &self.path)
-            .map_err(|e| format!("cannot rename journal into place: {e}"))
+    }
+    std::fs::write(&tmp, body).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} into place: {e}", path.display()))
+}
+
+/// Crash-consistent trace writer: each finished cell's event lines append
+/// as one block via the same full-rewrite + rename idiom as the journal.
+struct TraceFile {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl TraceFile {
+    fn create(path: &Path) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            lines: Vec::new(),
+        }
+    }
+
+    fn append_cell(&mut self, lines: impl IntoIterator<Item = String>) -> Result<(), String> {
+        self.lines.extend(lines);
+        write_lines_atomic(&self.path, &self.lines)
     }
 }
 
@@ -774,16 +885,90 @@ fn install_quiet_cancel_hook() {
     });
 }
 
+/// Telemetry drained from one cell's tracer after its run (or after the
+/// final failed attempt — a crashed cell's trace shows the slots leading
+/// up to the crash).
+pub struct CellTrace {
+    /// Buffered events, oldest first. The ring may have shed the earliest
+    /// (see [`CellTrace::dropped`]).
+    pub events: Vec<TraceEvent>,
+    /// Raw per-stage latency histograms for campaign-level merging.
+    pub hists: [LatencyHist; STAGE_COUNT],
+    /// Events the ring discarded for capacity.
+    pub dropped: u64,
+}
+
+impl CellTrace {
+    fn drain_from(tracer: &Tracer) -> Self {
+        Self {
+            events: tracer.drain_events(),
+            hists: tracer.histograms(),
+            dropped: tracer.dropped(),
+        }
+    }
+}
+
+/// A fresh ring-buffered tracer per the campaign's telemetry spec
+/// (disabled tracer when telemetry is unconfigured).
+fn spec_tracer(spec: Option<&TelemetrySpec>) -> Option<Tracer> {
+    spec.map(|s| Tracer::new(Box::new(RingBufferSink::new(s.ring_capacity)), s.decimation))
+}
+
+/// Live campaign counters, shared between the workers and the heartbeat
+/// printer on the watchdog thread.
+struct CampaignStats {
+    /// Cells resolved (completed, failed, or shed) this campaign.
+    done: AtomicUsize,
+    /// Retry attempts consumed beyond each cell's first.
+    retried: AtomicUsize,
+    /// Cells shed under the campaign deadline.
+    shed: AtomicUsize,
+    /// Workers currently executing a cell.
+    busy: AtomicUsize,
+    /// Cells this campaign has to resolve (journal-resumed cells excluded).
+    total: usize,
+}
+
+impl CampaignStats {
+    /// One heartbeat line: progress, retry/shed counts, utilization, ETA.
+    fn heartbeat(&self, elapsed: Duration, threads: usize) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let eta = if done > 0 && done < self.total {
+            let remaining = (self.total - done) as f64;
+            let per_cell = elapsed.as_secs_f64() / done as f64;
+            format!("{:.0}s", per_cell * remaining)
+        } else if done >= self.total {
+            "0s".to_string()
+        } else {
+            "?".to_string()
+        };
+        format!(
+            "[campaign] {done}/{total} done · {retried} retried · {shed} shed · {busy}/{threads} busy · ETA {eta}",
+            total = self.total,
+            retried = self.retried.load(Ordering::Relaxed),
+            shed = self.shed.load(Ordering::Relaxed),
+            busy = self.busy.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Executes one cell to a terminal outcome (retrying transient failures),
-/// journaling nothing — the caller owns the journal.
-#[allow(clippy::too_many_arguments)]
+/// journaling nothing — the caller owns the journal. The returned trace is
+/// `Some` exactly when the campaign configured telemetry, drained from the
+/// terminal attempt (successful or not).
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
 fn execute_cell(
     job: &Job,
     cfg: &CampaignConfig,
     inflight: &Mutex<HashMap<usize, (Option<Instant>, CancelToken)>>,
     job_idx: usize,
     campaign_expired: &AtomicBool,
-) -> (u32, Result<(RunResult, u64), CampaignFailure>) {
+    stats: &CampaignStats,
+) -> (
+    u32,
+    Result<(RunResult, u64), CampaignFailure>,
+    Option<CellTrace>,
+) {
     let budget = job.tick_budget.or(cfg.tick_budget);
     let mut attempts = 0u32;
     loop {
@@ -792,6 +977,9 @@ fn execute_cell(
             Some(b) => CancelToken::with_tick_budget(b),
             None => CancelToken::new(),
         };
+        // A fresh tracer per attempt: a retried attempt never inherits the
+        // failed one's events or histograms.
+        let tracer = spec_tracer(cfg.telemetry.as_ref());
         let deadline = cfg.run_deadline.map(|d| Instant::now() + d);
         if deadline.is_some() {
             inflight
@@ -800,18 +988,20 @@ fn execute_cell(
                 .insert(job_idx, (deadline, token.clone()));
         }
         let run_token = token.clone();
+        let run_tracer = tracer.clone();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(hook) = &cfg.pre_run_hook {
                 hook(&job.key, attempts);
             }
             let setup = (job.builder)(&job.key)?;
-            run_setup(setup, &job.key, run_token)
+            run_setup(setup, &job.key, run_token, run_tracer)
         }));
         inflight.lock().unwrap().remove(&job_idx);
+        let trace = tracer.as_ref().map(CellTrace::drain_from);
         let failure = match outcome {
             Ok(Ok(result)) => {
                 let digest = result.digest();
-                return (attempts, Ok((result, digest)));
+                return (attempts, Ok((result, digest)), trace);
             }
             Ok(Err(message)) => CampaignFailure {
                 kind: FailureKind::Validation,
@@ -830,7 +1020,7 @@ fn execute_cell(
             }
         };
         if !failure.kind.retryable() || attempts >= cfg.max_attempts {
-            return (attempts, Err(failure));
+            return (attempts, Err(failure), trace);
         }
         if campaign_expired.load(Ordering::Acquire) {
             return (
@@ -842,8 +1032,10 @@ fn execute_cell(
                     ),
                     ..failure
                 }),
+                trace,
             );
         }
+        stats.retried.fetch_add(1, Ordering::Relaxed);
         std::thread::sleep(backoff_delay(cfg, &job.key, attempts));
     }
 }
@@ -851,13 +1043,23 @@ fn execute_cell(
 /// Builds the front-end stack for one cell and plays it. The zero-fault
 /// path drives the bare simulator, preserving bit-identity with
 /// [`crate::runner::run_many`].
-fn run_setup(setup: JobSetup, key: &CellKey, token: CancelToken) -> Result<RunResult, String> {
+fn run_setup(
+    setup: JobSetup,
+    key: &CellKey,
+    token: CancelToken,
+    tracer: Option<Tracer>,
+) -> Result<RunResult, String> {
     let JobSetup {
         scenario: sc,
         mut strategy,
     } = setup;
     let mut sim = sc.simulator(key.seed);
     sim.set_cancel_token(token);
+    if let Some(t) = tracer {
+        // The run loop clones the simulator's tracer into the strategy
+        // stack, so this one installation covers every layer.
+        sim.set_tracer(t);
+    }
     let result = if sc.fault.is_inert() {
         sim.run_with_warmup(
             strategy.as_mut(),
@@ -885,17 +1087,40 @@ fn run_setup(setup: JobSetup, key: &CellKey, token: CancelToken) -> Result<RunRe
 /// outcome the run reproduces — `Ok((result, digest))` for a completed run,
 /// `Err(failure)` carrying the reproduced failure class otherwise.
 pub fn replay_cell(entry: &JournalEntry) -> Result<(RunResult, u64), CampaignFailure> {
+    replay_cell_inner(entry, None).0
+}
+
+/// [`replay_cell`] with a ring-buffered tracer installed: returns the
+/// drained per-slot trace alongside the replayed outcome — for a recorded
+/// failure, the trace covers the slots leading up to the reproduced crash.
+/// With the `telemetry` feature off the trace comes back empty (the
+/// instrumentation call sites do not exist).
+pub fn replay_cell_traced(
+    entry: &JournalEntry,
+    spec: &TelemetrySpec,
+) -> (Result<(RunResult, u64), CampaignFailure>, CellTrace) {
+    let (outcome, trace) = replay_cell_inner(entry, Some(spec));
+    (outcome, trace.expect("tracer was installed"))
+}
+
+fn replay_cell_inner(
+    entry: &JournalEntry,
+    spec: Option<&TelemetrySpec>,
+) -> (Result<(RunResult, u64), CampaignFailure>, Option<CellTrace>) {
     install_quiet_cancel_hook();
     let key = entry.key();
     let token = match entry.tick_budget {
         Some(b) => CancelToken::with_tick_budget(b),
         None => CancelToken::new(),
     };
+    let tracer = spec_tracer(spec);
+    let run_tracer = tracer.clone();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let setup = registry_builder(&key)?;
-        run_setup(setup, &key, token.clone())
+        run_setup(setup, &key, token.clone(), run_tracer)
     }));
-    match outcome {
+    let trace = tracer.as_ref().map(CellTrace::drain_from);
+    let result = match outcome {
         Ok(Ok(result)) => {
             let digest = result.digest();
             Ok((result, digest))
@@ -915,7 +1140,8 @@ pub fn replay_cell(entry: &JournalEntry) -> Result<(RunResult, u64), CampaignFai
                 message: panic_msg(payload),
             })
         }
-    }
+    };
+    (result, trace)
 }
 
 /// Runs a campaign to completion (see the module docs for the guarantees).
@@ -974,6 +1200,13 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
         }
     }
     runnable.sort_by(|&a, &b| jobs[b].priority.cmp(&jobs[a].priority).then(a.cmp(&b)));
+    let stats = CampaignStats {
+        done: AtomicUsize::new(0),
+        retried: AtomicUsize::new(0),
+        shed: AtomicUsize::new(0),
+        busy: AtomicUsize::new(0),
+        total: runnable.len(),
+    };
     let queue: Mutex<VecDeque<usize>> = Mutex::new(runnable.into());
     let slots = Mutex::new(slots);
     let inflight: Mutex<HashMap<usize, (Option<Instant>, CancelToken)>> =
@@ -982,11 +1215,21 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
     let watchdog_stop = AtomicBool::new(false);
     let start = Instant::now();
     let journal_err: Mutex<Option<String>> = Mutex::new(None);
+    let spec = cfg.telemetry.as_ref();
+    let trace_file: Option<Mutex<TraceFile>> = spec
+        .and_then(|s| s.trace.as_deref())
+        .map(|path| Mutex::new(TraceFile::create(path)));
+    let chrome_wanted = spec.is_some_and(|s| s.chrome_trace.is_some());
+    let chrome_cells: Mutex<Vec<(String, Vec<TraceEvent>)>> = Mutex::new(Vec::new());
+    let merged: Mutex<[LatencyHist; STAGE_COUNT]> =
+        Mutex::new(std::array::from_fn(|_| LatencyHist::new()));
 
     std::thread::scope(|s| {
-        // The watchdog: cancels in-flight runs past their deadline and
-        // raises the campaign-expired flag.
+        // The watchdog: cancels in-flight runs past their deadline, raises
+        // the campaign-expired flag, and (when enabled) ticks the progress
+        // heartbeat.
         let watchdog = s.spawn(|| {
+            let mut last_beat = Instant::now();
             while !watchdog_stop.load(Ordering::Acquire) {
                 let now = Instant::now();
                 if let Some(cd) = cfg.campaign_deadline {
@@ -1001,6 +1244,10 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                         }
                     }
                 }
+                if cfg.progress && now.duration_since(last_beat) >= Duration::from_millis(500) {
+                    last_beat = now;
+                    eprintln!("{}", stats.heartbeat(now.duration_since(start), threads));
+                }
                 std::thread::sleep(Duration::from_millis(2));
             }
         });
@@ -1011,6 +1258,7 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                     let Some(idx) = idx else { break };
                     let job = &jobs[idx];
                     let outcome = if campaign_expired.load(Ordering::Acquire) {
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
                         CellOutcome {
                             key: job.key.clone(),
                             priority: job.priority,
@@ -1018,8 +1266,27 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                             status: CellStatus::Shed,
                         }
                     } else {
-                        let (attempts, result) =
-                            execute_cell(job, cfg, &inflight, idx, &campaign_expired);
+                        stats.busy.fetch_add(1, Ordering::Relaxed);
+                        let (attempts, result, trace) =
+                            execute_cell(job, cfg, &inflight, idx, &campaign_expired, &stats);
+                        stats.busy.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(trace) = trace {
+                            let mut hists = merged.lock().unwrap();
+                            for (m, h) in hists.iter_mut().zip(trace.hists.iter()) {
+                                m.merge(h);
+                            }
+                            drop(hists);
+                            let cell_id = job.key.id();
+                            if let Some(tf) = &trace_file {
+                                let lines = trace.events.iter().map(|e| e.to_json(&cell_id));
+                                if let Err(e) = tf.lock().unwrap().append_cell(lines) {
+                                    journal_err.lock().unwrap().get_or_insert(e);
+                                }
+                            }
+                            if chrome_wanted {
+                                chrome_cells.lock().unwrap().push((cell_id, trace.events));
+                            }
+                        }
                         let (entry, status) = match result {
                             Ok((result, digest)) => (
                                 JournalEntry {
@@ -1033,6 +1300,7 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                                     tick_budget: job.tick_budget.or(cfg.tick_budget),
                                     reliability: result.reliability(),
                                     message: String::new(),
+                                    features: compiled_features(),
                                 },
                                 CellStatus::Completed {
                                     result: Box::new(result),
@@ -1051,6 +1319,7 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                                     tick_budget: job.tick_budget.or(cfg.tick_budget),
                                     reliability: 0.0,
                                     message: failure.message.clone(),
+                                    features: compiled_features(),
                                 },
                                 CellStatus::Failed { failure },
                             ),
@@ -1067,6 +1336,7 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                             status,
                         }
                     };
+                    stats.done.fetch_add(1, Ordering::Relaxed);
                     slots.lock().unwrap()[idx] = Some(outcome);
                 })
             })
@@ -1077,9 +1347,19 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
         watchdog_stop.store(true, Ordering::Release);
         let _ = watchdog.join();
     });
+    if cfg.progress {
+        eprintln!("{}", stats.heartbeat(start.elapsed(), threads));
+    }
 
     if let Some(e) = journal_err.into_inner().unwrap() {
         return Err(e);
+    }
+    if let Some(path) = spec.and_then(|s| s.chrome_trace.as_deref()) {
+        let mut cells = chrome_cells.into_inner().unwrap();
+        // Completion order is thread-dependent; sort for a deterministic
+        // file.
+        cells.sort_by(|a, b| a.0.cmp(&b.0));
+        mmwave_telemetry::write_chrome_trace(path, &cells)?;
     }
     let outcomes = slots
         .into_inner()
@@ -1087,7 +1367,10 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
         .into_iter()
         .map(|o| o.expect("every cell resolved"))
         .collect();
-    Ok(CampaignReport { outcomes })
+    Ok(CampaignReport {
+        outcomes,
+        hists: merged.into_inner().unwrap(),
+    })
 }
 
 #[cfg(test)]
@@ -1257,6 +1540,7 @@ mod tests {
             tick_budget: Some(400),
             reliability: 0.97125,
             message: String::new(),
+            features: "perf-counters,telemetry".into(),
         };
         let parsed = JournalEntry::parse(&e.to_json()).expect("parses");
         assert_eq!(parsed, e);
@@ -1270,6 +1554,123 @@ mod tests {
         assert_eq!(parsed, none_budget);
         assert!(JournalEntry::parse("{\"scenario\":\"torn-li").is_none());
         assert!(JournalEntry::parse("").is_none());
+    }
+
+    #[test]
+    fn campaign_telemetry_is_inert_for_digests() {
+        // A telemetry-capturing campaign must produce bit-identical
+        // results to a bare one: the tracer observes, never perturbs.
+        let bare = run_campaign(
+            &quick_jobs(2, 1300),
+            &CampaignConfig {
+                threads: 1,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        let traced = run_campaign(
+            &quick_jobs(2, 1300),
+            &CampaignConfig {
+                threads: 1,
+                telemetry: Some(TelemetrySpec::default()),
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        for (b, t) in bare.outcomes.iter().zip(&traced.outcomes) {
+            let (
+                CellStatus::Completed { digest: db, .. },
+                CellStatus::Completed { digest: dt, .. },
+            ) = (&b.status, &t.status)
+            else {
+                panic!("both campaigns must complete");
+            };
+            assert_eq!(db, dt, "telemetry must not perturb the run");
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn campaign_trace_is_valid_jsonl_with_monotone_slots() {
+        use std::collections::HashMap;
+        let dir =
+            std::env::temp_dir().join(format!("mmwave-campaign-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let chrome = dir.join("trace.chrome.json");
+        let cfg = CampaignConfig {
+            threads: 2,
+            telemetry: Some(TelemetrySpec {
+                trace: Some(trace.clone()),
+                chrome_trace: Some(chrome.clone()),
+                decimation: 4,
+                ring_capacity: 1 << 16,
+            }),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&quick_jobs(2, 2100), &cfg).unwrap();
+
+        // Merged histograms actually accumulated compute spans.
+        assert!(report.hists.iter().any(|h| !h.is_empty()));
+        assert!(report.latency().tick().count > 0);
+
+        // Every trace line is strict JSON; slot timestamps are monotone
+        // per cell.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let mut last_slot_t: HashMap<String, f64> = HashMap::new();
+        let mut slot_lines = 0usize;
+        for line in text.lines() {
+            if let Err(e) = mmwave_telemetry::validate_json_line(line) {
+                panic!("invalid trace line ({e}): {line}");
+            }
+            let cell = mmwave_telemetry::field_str(line, "cell").unwrap();
+            if mmwave_telemetry::field_str(line, "kind").as_deref() == Some("slot") {
+                let t = mmwave_telemetry::field_f64(line, "t_s").unwrap();
+                if let Some(prev) = last_slot_t.get(&cell) {
+                    assert!(t >= *prev, "slot time regressed in cell {cell}");
+                }
+                last_slot_t.insert(cell, t);
+                slot_lines += 1;
+            }
+        }
+        assert!(slot_lines > 0, "trace must contain slot records");
+        assert_eq!(last_slot_t.len(), 2, "both cells traced");
+
+        // The Chrome trace landed and is one JSON object.
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(chrome_text.starts_with('{') && chrome_text.trim_end().ends_with('}'));
+        assert!(chrome_text.contains("\"traceEvents\""));
+
+        // Journal-side: compiled_features names the telemetry build.
+        assert!(compiled_features().contains("telemetry"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn replay_traced_reproduces_digest_and_trace() {
+        let entry = JournalEntry {
+            scenario: "mobile-blockage".into(),
+            strategy: "single-beam-reactive".into(),
+            seed: 5,
+            fault: "none".into(),
+            status: "ok".into(),
+            attempts: 1,
+            digest: 0,
+            tick_budget: None,
+            reliability: 0.0,
+            message: String::new(),
+            features: compiled_features(),
+        };
+        let (first, trace) = replay_cell_traced(&entry, &TelemetrySpec::default());
+        let (r1, d1) = first.expect("replay completes");
+        assert!(!trace.events.is_empty(), "replay must capture events");
+        assert!(trace.hists.iter().any(|h| !h.is_empty()));
+        // Traced replay matches the untraced one bit for bit.
+        let (_r2, d2) = replay_cell(&entry).expect("replay completes");
+        assert_eq!(d1, d2, "tracing must not perturb the replay");
+        assert!(r1.latency.tick().count > 0, "RunResult carries percentiles");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use campaign::{
     JournalEntry,
 };
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
-pub use metrics::{csv_field, RunCounters, RunEvent, RunResult, Sample};
+pub use metrics::{csv_field, csv_parse_row, RunCounters, RunEvent, RunResult, Sample};
 pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
 pub use scenario::Scenario;
 pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd, SlotWorkspace};

@@ -13,6 +13,7 @@
 use crate::faults::FaultEvent;
 use mmreliable::linkstate::{LinkStateKind, Transition};
 use mmwave_phy::mcs::McsTable;
+use mmwave_telemetry::RunLatency;
 
 /// Escapes one CSV field per RFC 4180: fields containing a comma, a double
 /// quote, or a line break are wrapped in double quotes with embedded quotes
@@ -25,6 +26,39 @@ pub fn csv_field(s: &str) -> String {
     } else {
         s.to_string()
     }
+}
+
+/// Parses one RFC 4180 CSV record back into its fields: the inverse of
+/// joining [`csv_field`]-escaped fields with commas. Quoted fields may
+/// contain commas, doubled quotes, and line breaks, so a record with an
+/// embedded newline spans multiple physical lines — pass the whole record.
+/// Used by the results tooling (and its tests) to guarantee every row the
+/// harness writes machine-reads back to the original fields.
+pub fn csv_parse_row(record: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = record.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cur.push('"');
+                }
+                '"' => in_quotes = false,
+                c => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+    }
+    fields.push(cur);
+    fields
 }
 
 /// One typed entry in a run's event log: either a lifecycle transition of
@@ -110,6 +144,13 @@ pub struct RunResult {
     /// Hot-path execution counters (all-zero unless the `perf-counters`
     /// feature is enabled).
     pub counters: RunCounters,
+    /// Per-stage latency percentiles (p50/p95/p99/max of tick compute,
+    /// probe handling, superres fit, weight synthesis, data slots).
+    /// All-zero unless the `telemetry` feature is enabled and a tracer was
+    /// installed. Wall-clock derived, so deliberately **excluded** from
+    /// [`RunResult::digest`] and [`RunResult::validate`] — two
+    /// bit-identical runs may time differently.
+    pub latency: RunLatency,
 }
 
 impl RunResult {
@@ -373,6 +414,7 @@ mod tests {
             measure_from_s: 0.0,
             events: Vec::new(),
             counters: RunCounters::default(),
+            latency: RunLatency::default(),
         }
     }
 
@@ -383,6 +425,45 @@ mod tests {
             snr_db: snr,
             probing,
         }
+    }
+
+    #[test]
+    fn csv_row_with_quotes_commas_newlines_round_trips() {
+        // Satellite guarantee: any free-text field the harness writes into
+        // a results CSV machine-reads back to the original bytes.
+        let nasty = [
+            "plain",
+            "comma, separated",
+            "has \"quotes\" inside",
+            "line\nbreak",
+            "crlf\r\nbreak",
+            "all: \"q\", comma, \nnewline",
+            "",
+            "trailing,",
+        ];
+        let record = nasty
+            .iter()
+            .map(|f| csv_field(f))
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = csv_parse_row(&record);
+        assert_eq!(parsed.len(), nasty.len());
+        for (orig, back) in nasty.iter().zip(&parsed) {
+            assert_eq!(orig, back, "field must round-trip");
+        }
+        // And a realistic results row shape: name fields escaped, numeric
+        // fields bare.
+        let row = format!(
+            "{},{},{:.4},{:.1}",
+            csv_field("widebeam, 3 dB"),
+            csv_field("scenario \"A\""),
+            0.9714,
+            1432.5
+        );
+        assert_eq!(
+            csv_parse_row(&row),
+            vec!["widebeam, 3 dB", "scenario \"A\"", "0.9714", "1432.5"]
+        );
     }
 
     #[test]

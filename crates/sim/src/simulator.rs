@@ -67,6 +67,10 @@ pub struct LinkSimulator {
     ws: SlotWorkspace,
     counters: RunCounters,
     cancel: CancelToken,
+    /// Telemetry handle: probe spans and (via the run loop) per-slot
+    /// traces. Disabled (free) by default.
+    #[cfg(feature = "telemetry")]
+    tracer: mmwave_telemetry::Tracer,
 }
 
 impl LinkSimulator {
@@ -93,7 +97,50 @@ impl LinkSimulator {
             ws: SlotWorkspace::default(),
             counters: RunCounters::default(),
             cancel: CancelToken::new(),
+            #[cfg(feature = "telemetry")]
+            tracer: mmwave_telemetry::Tracer::disabled(),
         }
+    }
+
+    /// Installs a telemetry tracer. The run loop clones it into the
+    /// strategy (which forwards it to the controller and lifecycle), so
+    /// one installation covers every layer of a run. Compiled to a no-op
+    /// without the `telemetry` feature.
+    pub fn set_tracer(&mut self, tracer: mmwave_telemetry::Tracer) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer = tracer;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = tracer;
+    }
+
+    /// The installed tracer (a cheap clone; disabled when none was
+    /// installed or the `telemetry` feature is off).
+    pub fn tracer(&self) -> mmwave_telemetry::Tracer {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer.clone()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            mmwave_telemetry::Tracer::disabled()
+        }
+    }
+
+    /// Deepest per-path blockage on the current workspace snapshot, dB —
+    /// the run loop's blockage-severity telemetry. Reads the snapshot as
+    /// is (no refresh): telemetry must never perturb the simulation's
+    /// evaluation pattern.
+    #[cfg(feature = "telemetry")]
+    fn blockage_severity_db(&self) -> f64 {
+        self.ws
+            .snapshot
+            .channel()
+            .paths
+            .iter()
+            .map(|p| p.blockage_db)
+            .fold(0.0, f64::max)
     }
 
     /// Current simulated time, seconds.
@@ -300,6 +347,18 @@ pub fn run_front_end<H: SimFrontEnd>(
     let duration_s = warmup_s + duration_s;
     let slot_s = h.sim().slot_s;
     h.sim_mut().counters = RunCounters::default();
+    // One tracer covers every layer: clear its histograms for this run
+    // and hand it to the strategy (which forwards it to the controller
+    // and lifecycle machine).
+    #[cfg(feature = "telemetry")]
+    let tracer = {
+        let tracer = h.sim().tracer();
+        tracer.reset();
+        strategy.set_tracer(tracer.clone());
+        tracer
+    };
+    #[cfg(feature = "telemetry")]
+    let mut slot_idx: u64 = 0;
     let mut samples = Vec::with_capacity(
         (duration_s / slot_s) as usize + (duration_s / tick_period_s) as usize + 16,
     );
@@ -323,7 +382,11 @@ pub fn run_front_end<H: SimFrontEnd>(
                 h.sim_mut().counters.ticks += 1;
             }
             let t0 = h.sim().t_s;
+            #[cfg(feature = "telemetry")]
+            let clock = tracer.begin();
             strategy.on_tick(h, t0);
+            #[cfg(feature = "telemetry")]
+            tracer.end(clock, mmwave_telemetry::Stage::TickCompute, t0);
             events.extend(
                 strategy
                     .drain_transitions()
@@ -338,6 +401,15 @@ pub fn run_front_end<H: SimFrontEnd>(
                     snr_db: f64::NAN,
                     probing: true,
                 });
+                #[cfg(feature = "telemetry")]
+                tracer.slot(mmwave_telemetry::SlotTrace {
+                    slot: slot_idx,
+                    t_s: t0,
+                    snr_db: f64::NAN,
+                    blockage_db: h.sim().blockage_severity_db(),
+                    probing: true,
+                    outage: false,
+                });
             }
             while next_tick <= h.sim().t_s {
                 next_tick += tick_period_s;
@@ -348,10 +420,14 @@ pub fn run_front_end<H: SimFrontEnd>(
         // `channel_now` stays valid through the whole slot — the truth
         // observer, fault layer, and SNR metric all read the same frozen
         // channel without re-evaluating the environment.
+        #[cfg(feature = "telemetry")]
+        let clock = tracer.begin();
         strategy.observe_truth(h.sim_mut().channel_now());
         strategy.weights_into(&mut w_data);
         h.radiated_weights_into(&w_data, &mut w_rad);
         let snr = h.sim_mut().true_snr_db(&w_rad);
+        #[cfg(feature = "telemetry")]
+        tracer.end(clock, mmwave_telemetry::Stage::DataSlot, h.sim().t_s);
         #[cfg(feature = "perf-counters")]
         {
             h.sim_mut().counters.data_slots += 1;
@@ -366,6 +442,18 @@ pub fn run_front_end<H: SimFrontEnd>(
             snr_db: snr,
             probing: false,
         });
+        #[cfg(feature = "telemetry")]
+        {
+            tracer.slot(mmwave_telemetry::SlotTrace {
+                slot: slot_idx,
+                t_s,
+                snr_db: snr,
+                blockage_db: h.sim().blockage_severity_db(),
+                probing: false,
+                outage: snr < h.sim().outage_snr_db,
+            });
+            slot_idx += 1;
+        }
         h.sim_mut().t_s += dur;
     }
     events.extend(
@@ -387,6 +475,10 @@ pub fn run_front_end<H: SimFrontEnd>(
         measure_from_s: warmup_s,
         events,
         counters: sim.counters,
+        #[cfg(feature = "telemetry")]
+        latency: sim.tracer.latency(),
+        #[cfg(not(feature = "telemetry"))]
+        latency: mmwave_telemetry::RunLatency::default(),
     }
 }
 
@@ -396,6 +488,8 @@ impl LinkFrontEnd for LinkSimulator {
     }
 
     fn probe_kind(&mut self, weights: &BeamWeights, kind: ProbeKind) -> ProbeObservation {
+        #[cfg(feature = "telemetry")]
+        let clock = self.tracer.begin();
         self.refresh_snapshot();
         let mut obs = ProbeObservation {
             csi: Vec::new(),
@@ -407,6 +501,21 @@ impl LinkFrontEnd for LinkSimulator {
         self.t_s += kind.airtime_s();
         self.probes += 1;
         self.probe_airtime_s += kind.airtime_s();
+        #[cfg(feature = "telemetry")]
+        {
+            self.tracer
+                .end(clock, mmwave_telemetry::Stage::ProbeHandling, self.t_s);
+            if self.tracer.wants_events() {
+                self.tracer.event(mmwave_telemetry::TraceEvent::Probe {
+                    t_s: self.t_s,
+                    kind: match kind {
+                        ProbeKind::Ssb => "ssb",
+                        ProbeKind::CsiRs => "csi-rs",
+                    },
+                    snr_db: obs.snr_db(),
+                });
+            }
+        }
         obs
     }
 

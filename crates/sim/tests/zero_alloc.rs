@@ -95,3 +95,100 @@ fn steady_state_data_slots_do_not_allocate() {
     // The loop did real work: a trained static link sits far above outage.
     assert!(acc / 1000.0 > 20.0, "mean snr {}", acc / 1000.0);
 }
+
+/// The telemetry layer's zero-overhead contract, half one: with a
+/// [`NullSink`] tracer installed, the exact steady-state slot sequence
+/// *plus* the run loop's per-slot telemetry calls (span begin/end into the
+/// latency histogram, decimated slot offer) still never touches the
+/// allocator. Histograms are fixed inline arrays and a discarded
+/// [`SlotTrace`] is `Copy`, so instrumentation costs cycles, not heap.
+#[cfg(feature = "telemetry")]
+#[test]
+fn null_sink_telemetry_does_not_allocate() {
+    use mmwave_telemetry::{NullSink, SlotTrace, Stage, Tracer};
+
+    let mut sim = static_sim(11);
+    let mut strategy = SingleBeamReactive::new(Default::default());
+    let _ = sim.run(&mut strategy, 0.05, 20e-3, "warmup");
+
+    let tracer = Tracer::new(Box::new(NullSink), 1);
+    let n = sim.geom.num_elements();
+    let mut w_data = BeamWeights::muted(n);
+    let mut w_rad = BeamWeights::muted(n);
+    let slot_s = sim.slot_s;
+    for _ in 0..8 {
+        strategy.observe_truth(sim.channel_now());
+        strategy.weights_into(&mut w_data);
+        sim.radiated_weights_into(&w_data, &mut w_rad);
+        let _ = sim.true_snr_db(&w_rad);
+        sim.wait(slot_s);
+    }
+
+    let before = allocation_count();
+    for slot in 0..1000u64 {
+        let clock = tracer.begin();
+        strategy.observe_truth(sim.channel_now());
+        strategy.weights_into(&mut w_data);
+        sim.radiated_weights_into(&w_data, &mut w_rad);
+        let snr = sim.true_snr_db(&w_rad);
+        tracer.end(clock, Stage::DataSlot, sim.now_s());
+        tracer.slot(SlotTrace {
+            slot,
+            t_s: sim.now_s(),
+            snr_db: snr,
+            blockage_db: 0.0,
+            probing: false,
+            outage: snr < sim.outage_snr_db,
+        });
+        sim.wait(slot_s);
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "NullSink-instrumented slots allocated {delta} times over 1000 slots"
+    );
+    // The instrumentation did real work: every span landed in the
+    // histogram.
+    assert_eq!(tracer.latency().stage(Stage::DataSlot).count, 1000);
+}
+
+/// Zero-overhead contract, half two: a [`NullSink`]-traced run is
+/// bit-identical to an untraced one — same samples, same digest — while
+/// still filling in the latency percentiles the untraced run leaves zero.
+/// (`RunResult::latency` is wall-clock derived and deliberately excluded
+/// from the digest.)
+#[cfg(feature = "telemetry")]
+#[test]
+fn null_sink_run_is_bit_identical_to_untraced() {
+    use mmreliable::config::MmReliableConfig;
+    use mmreliable::controller::MmReliableController;
+    use mmwave_baselines::strategy::MmReliableStrategy;
+    use mmwave_telemetry::{NullSink, Tracer};
+
+    let run = |traced: bool| {
+        let mut sim = static_sim(23);
+        if traced {
+            sim.set_tracer(Tracer::new(Box::new(NullSink), 1));
+        }
+        let mut strategy =
+            MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
+        sim.run(&mut strategy, 0.2, 10e-3, "fingerprint")
+    };
+    let bare = run(false);
+    let traced = run(true);
+    assert_eq!(
+        bare.digest(),
+        traced.digest(),
+        "NullSink tracing must not perturb the run"
+    );
+    assert_eq!(bare.samples.len(), traced.samples.len());
+    assert!(
+        traced.latency.tick().count > 0,
+        "traced run reports tick latency percentiles"
+    );
+    assert_eq!(
+        bare.latency.tick().count,
+        0,
+        "untraced run leaves latency all-zero"
+    );
+}
