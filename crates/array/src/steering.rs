@@ -8,6 +8,7 @@
 use crate::geometry::ArrayGeometry;
 use crate::weights::BeamWeights;
 use mmwave_dsp::complex::Complex64;
+use mmwave_hotpath::hot_path;
 use std::f64::consts::PI;
 
 /// Steering vector `a(φ)` (paper's Appendix A): element `n` carries
@@ -20,6 +21,7 @@ pub fn steering_vector(geom: &ArrayGeometry, aod_deg: f64) -> Vec<Complex64> {
 /// Write-into variant of [`steering_vector`]: clears `out` and fills it,
 /// reusing its allocation. This is the hot-path kernel — one call per path
 /// per slot in the simulator.
+#[hot_path]
 pub fn steering_vector_into(geom: &ArrayGeometry, aod_deg: f64, out: &mut Vec<Complex64>) {
     steering_vector_az_el_into(geom, aod_deg, 0.0, out);
 }
@@ -32,6 +34,7 @@ pub fn steering_vector_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> 
 }
 
 /// Write-into variant of [`steering_vector_az_el`].
+#[hot_path]
 pub fn steering_vector_az_el_into(
     geom: &ArrayGeometry,
     az_deg: f64,
@@ -58,6 +61,7 @@ pub fn single_beam(geom: &ArrayGeometry, aod_deg: f64) -> BeamWeights {
 
 /// Write-into variant of [`single_beam`]: overwrites `out` without
 /// allocating (when its capacity suffices).
+#[hot_path]
 pub fn single_beam_into(geom: &ArrayGeometry, aod_deg: f64, out: &mut BeamWeights) {
     // Bit-identical to `single_beam`: same phase expression (elevation term
     // kept, multiplied by sin 0 = 0) and the same conj/scale per element.

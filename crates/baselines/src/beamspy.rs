@@ -11,6 +11,7 @@ use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::codebook::Codebook;
 use mmwave_array::steering::single_beam;
 use mmwave_array::weights::BeamWeights;
+use mmwave_hotpath::hot_path;
 
 /// Configuration of the BeamSpy-like baseline.
 #[derive(Clone, Debug)]
@@ -147,6 +148,7 @@ impl BeamStrategy for BeamSpy {
         }
     }
 
+    #[hot_path]
     fn weights_into(&self, out: &mut BeamWeights) {
         match &self.weights {
             Some(w) => out.copy_from(w),

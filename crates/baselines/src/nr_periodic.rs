@@ -12,6 +12,7 @@ use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::codebook::Codebook;
 use mmwave_array::steering::single_beam;
 use mmwave_array::weights::BeamWeights;
+use mmwave_hotpath::hot_path;
 
 /// Configuration of the periodic-NR baseline.
 #[derive(Clone, Debug)]
@@ -108,6 +109,7 @@ impl BeamStrategy for NrPeriodic {
         }
     }
 
+    #[hot_path]
     fn weights_into(&self, out: &mut BeamWeights) {
         match &self.weights {
             Some(w) => out.copy_from(w),

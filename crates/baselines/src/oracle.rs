@@ -14,6 +14,7 @@ use mmreliable::frontend::LinkFrontEnd;
 use mmwave_array::quantize::Quantizer;
 use mmwave_array::weights::BeamWeights;
 use mmwave_channel::channel::{GeometricChannel, UeReceiver};
+use mmwave_hotpath::hot_path;
 
 /// Oracle MRT beamformer.
 pub struct OracleMrt {
@@ -62,6 +63,7 @@ impl BeamStrategy for OracleMrt {
         }
     }
 
+    #[hot_path]
     fn weights_into(&self, out: &mut BeamWeights) {
         match &self.weights {
             Some(w) => out.copy_from(w),

@@ -13,6 +13,7 @@ use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::codebook::Codebook;
 use mmwave_array::steering::single_beam;
 use mmwave_array::weights::BeamWeights;
+use mmwave_hotpath::hot_path;
 
 /// Configuration of the reactive baseline.
 #[derive(Clone, Debug)]
@@ -145,6 +146,7 @@ impl BeamStrategy for SingleBeamReactive {
         }
     }
 
+    #[hot_path]
     fn weights_into(&self, out: &mut BeamWeights) {
         match &self.weights {
             Some(w) => out.copy_from(w),

@@ -13,6 +13,7 @@ use mmreliable::frontend::LinkFrontEnd;
 use mmreliable::linkstate::Transition;
 use mmwave_array::weights::BeamWeights;
 use mmwave_channel::channel::GeometricChannel;
+use mmwave_hotpath::hot_path;
 
 /// A beam-management scheme under evaluation.
 pub trait BeamStrategy {
@@ -111,6 +112,7 @@ impl BeamStrategy for MmReliableStrategy {
         self.cached.clone()
     }
 
+    #[hot_path]
     fn weights_into(&self, out: &mut BeamWeights) {
         out.copy_from(&self.cached);
     }

@@ -10,6 +10,7 @@ use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::codebook::Codebook;
 use mmwave_array::steering::wide_beam;
 use mmwave_array::weights::BeamWeights;
+use mmwave_hotpath::hot_path;
 
 /// Configuration of the wide-beam baseline.
 #[derive(Clone, Debug)]
@@ -122,6 +123,7 @@ impl BeamStrategy for WideBeamStrategy {
         }
     }
 
+    #[hot_path]
     fn weights_into(&self, out: &mut BeamWeights) {
         match &self.weights {
             Some(w) => out.copy_from(w),

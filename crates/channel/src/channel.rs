@@ -16,6 +16,7 @@ use mmwave_array::steering::steering_vector_into;
 use mmwave_array::weights::BeamWeights;
 use mmwave_dsp::complex::Complex64;
 use mmwave_dsp::sinc::pulse_train_into;
+use mmwave_hotpath::hot_path;
 use std::f64::consts::PI;
 
 /// The receive side of the link.
@@ -102,6 +103,7 @@ impl GeometricChannel {
     /// and fills it, reusing `out` plus the gNB-side (`steer`) and UE-side
     /// (`ue_steer`) steering scratch buffers. Bit-identical to the
     /// allocating version (same per-path expression and association order).
+    #[hot_path]
     pub fn path_alphas_into(
         &self,
         geom: &ArrayGeometry,
@@ -153,6 +155,7 @@ impl GeometricChannel {
     /// Write-into variant of [`GeometricChannel::csi`]: clears `out` and
     /// fills it with one response per frequency, reusing `out` and the
     /// `scratch` buffers. Bit-identical to the allocating version.
+    #[hot_path]
     pub fn csi_into(
         &self,
         geom: &ArrayGeometry,
@@ -212,6 +215,7 @@ impl GeometricChannel {
     /// buffers (the delay re-referencing happens in place on
     /// `scratch.alphas`).
     #[allow(clippy::too_many_arguments)]
+    #[hot_path]
     pub fn cir_into(
         &self,
         geom: &ArrayGeometry,
@@ -264,6 +268,7 @@ impl GeometricChannel {
     /// clears `out` and fills it with one entry per gNB element, reusing
     /// `out` and the `scratch` buffers. Bit-identical to the allocating
     /// version.
+    #[hot_path]
     pub fn element_response_at_into(
         &self,
         geom: &ArrayGeometry,

@@ -11,6 +11,7 @@ use crate::channel::GeometricChannel;
 use crate::environment::Scene;
 use crate::mobility::{Pose, Trajectory};
 use crate::path::Path;
+use mmwave_hotpath::hot_path;
 
 /// A fully-specified dynamic link environment.
 #[derive(Clone, Debug)]
@@ -88,6 +89,7 @@ impl DynamicChannel {
     /// invariant) list from [`DynamicChannel::reference_paths`]; passing it
     /// in lets per-slot callers cache it instead of re-tracing the t = 0
     /// scene on every query.
+    #[hot_path]
     pub fn paths_at_into(&self, t_s: f64, reference: &[Path], out: &mut Vec<Path>) {
         let pose = self.pose_at(t_s);
         self.scene.paths_to_into(pose.pos, pose.facing_deg, out);

@@ -35,6 +35,7 @@ use mmwave_array::geometry::ArrayGeometry;
 use mmwave_array::steering::steering_vector_into;
 use mmwave_array::weights::BeamWeights;
 use mmwave_dsp::complex::Complex64;
+use mmwave_hotpath::hot_path;
 use std::f64::consts::PI;
 
 /// A reusable, per-slot view of the channel: path list plus every
@@ -114,6 +115,7 @@ impl ChannelSnapshot {
     /// quantity, reusing all internal buffers. Call once per time step,
     /// before any reader; `geom` and `rx` must be the same link-constant
     /// values on every call (the cached rows are specific to them).
+    #[hot_path]
     pub fn rebuild(
         &mut self,
         dynamic: &DynamicChannel,
@@ -236,6 +238,7 @@ impl ChannelSnapshot {
     /// `w`, written into `out` — the snapshot-backed equivalent of
     /// [`GeometricChannel::path_alphas`], with the steering inner products
     /// read from the cached rows.
+    #[hot_path]
     pub fn path_alphas_into(&self, w: &BeamWeights, out: &mut Vec<(Complex64, f64)>) {
         out.clear();
         for (i, row) in self.rows().enumerate() {
@@ -248,6 +251,7 @@ impl ChannelSnapshot {
     /// `out` — the snapshot-backed equivalent of
     /// [`GeometricChannel::csi`]. Bit-identical to querying the frozen
     /// channel directly.
+    #[hot_path]
     pub fn csi_into(&mut self, w: &BeamWeights, freqs_hz: &[f64], out: &mut Vec<Complex64>) {
         debug_assert!(self.t_s.is_some(), "snapshot read before first rebuild");
         // Split-borrow: alphas is scratch, the rest is read-only.
@@ -304,6 +308,7 @@ impl ChannelSnapshot {
 
     /// Received signal power (linear) at band center under `w` — the
     /// snapshot-backed [`GeometricChannel::received_power`].
+    #[hot_path]
     pub fn received_power(&self, w: &BeamWeights) -> f64 {
         let mut y = Complex64::ZERO;
         for (i, row) in self.rows().enumerate() {

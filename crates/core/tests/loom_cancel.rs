@@ -1,0 +1,121 @@
+//! Loom model tests for the `CancelToken` watchdog handoff.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the CI `static-analysis`
+//! job); `cargo test` without the flag builds an empty test binary. The
+//! vendored `loom` is an offline schedule-stress shim with the real
+//! loom's API (see `vendor/loom/src/lib.rs`): each `model` closure runs
+//! [`loom::MODEL_ITERATIONS`] times with deterministic yield jitter, so
+//! these are interleaving-sampling checks locally and become exhaustive
+//! the day the real loom replaces the shim in `Cargo.toml`.
+//!
+//! What is being modeled — the supervisor/run handoff from PR 3:
+//!
+//! - a watchdog thread calls [`CancelToken::cancel`] (Release store);
+//! - the run polls [`CancelToken::is_cancelled`] (Acquire load) at
+//!   cooperative checkpoints and must *eventually and permanently*
+//!   observe the cancellation — no lost wakeups, no un-cancelling;
+//! - concurrent `note_tick` calls from racing maintenance loops must
+//!   never lose a tick, because the tick budget is the deterministic
+//!   replay clock: a lost increment would change where a replayed run
+//!   times out.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use mmreliable::cancel::{is_cancel_unwind, CancelToken};
+
+/// The watchdog's asynchronous cancel is always observed by the run, and
+/// cancellation is sticky once seen.
+#[test]
+fn async_cancel_is_observed_and_sticky() {
+    loom::model(|| {
+        let token = CancelToken::new();
+        let wd = token.clone();
+        let watchdog = loom::thread::spawn(move || {
+            loom::hint::yield_now_for(1);
+            wd.cancel();
+        });
+        let mut spins = 0usize;
+        while !token.is_cancelled() {
+            spins += 1;
+            assert!(spins < 10_000_000, "cancel never became visible");
+            loom::thread::yield_now();
+        }
+        watchdog.join().unwrap();
+        // Sticky: once observed, every later read agrees.
+        assert!(token.is_cancelled());
+        assert!(token.is_cancelled());
+    });
+}
+
+/// Racing maintenance loops never lose ticks, and the tick budget
+/// cancels at exactly the configured count whichever thread gets there.
+#[test]
+fn concurrent_ticks_are_never_lost() {
+    const PER_THREAD: u64 = 50;
+    loom::model(|| {
+        let token = CancelToken::with_tick_budget(2 * PER_THREAD);
+        let a = token.clone();
+        let b = token.clone();
+        let ta = loom::thread::spawn(move || {
+            for _ in 0..PER_THREAD {
+                a.note_tick();
+            }
+        });
+        let tb = loom::thread::spawn(move || {
+            for _ in 0..PER_THREAD {
+                b.note_tick();
+            }
+        });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        assert_eq!(token.ticks(), 2 * PER_THREAD, "a tick increment was lost");
+        assert!(
+            token.is_cancelled(),
+            "budget reached but token not cancelled"
+        );
+        let under = CancelToken::with_tick_budget(2 * PER_THREAD + 1);
+        for _ in 0..2 * PER_THREAD {
+            under.note_tick();
+        }
+        assert!(!under.is_cancelled(), "cancelled before budget exhausted");
+    });
+}
+
+/// The full handoff: watchdog cancels, the run unwinds at its next
+/// checkpoint with the dedicated payload, and the supervisor classifies
+/// the unwind as a cancellation (not a crash) — across threads.
+#[test]
+fn checkpoint_unwind_classified_across_threads() {
+    // The run thread unwinds deliberately on every iteration; keep the
+    // default hook from printing hundreds of expected panic reports.
+    std::panic::set_hook(Box::new(|_| {}));
+    loom::model(|| {
+        let token = CancelToken::new();
+        let wd = token.clone();
+        let observed = Arc::new(AtomicUsize::new(0));
+        let obs = observed.clone();
+        let run = loom::thread::spawn(move || {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut spins = 0usize;
+                loop {
+                    wd.checkpoint();
+                    spins += 1;
+                    assert!(spins < 10_000_000, "checkpoint never fired");
+                    loom::thread::yield_now();
+                }
+            }));
+            let payload = res.expect_err("run must unwind at the checkpoint");
+            assert!(
+                is_cancel_unwind(payload.as_ref()),
+                "unwind must carry CancelUnwind, not a crash payload"
+            );
+            obs.store(1, Ordering::Release);
+        });
+        loom::hint::yield_now_for(2);
+        token.cancel();
+        run.join().unwrap();
+        assert_eq!(observed.load(Ordering::Acquire), 1);
+    });
+    let _ = std::panic::take_hook();
+}

@@ -12,6 +12,7 @@
 
 use crate::complex::Complex64;
 use crate::linalg::CMatrix;
+use mmwave_hotpath::hot_path;
 use std::f64::consts::PI;
 
 /// Normalized sinc: `sin(πx)/(πx)`, with `sinc(0) = 1`.
@@ -38,6 +39,7 @@ pub fn sinc_pulse(n: usize, bw_hz: f64, ts_s: f64, tau_s: f64) -> Vec<f64> {
 
 /// Write-into variant of [`sinc_pulse`]: clears `out` and fills it with the
 /// `n` sampled taps, reusing its allocation.
+#[hot_path]
 pub fn sinc_pulse_into(n: usize, bw_hz: f64, ts_s: f64, tau_s: f64, out: &mut Vec<f64>) {
     out.clear();
     out.extend((0..n).map(|i| sinc(bw_hz * (i as f64 * ts_s - tau_s))));
@@ -53,6 +55,7 @@ pub fn pulse_train(n: usize, bw_hz: f64, ts_s: f64, taps: &[(Complex64, f64)]) -
 
 /// Write-into variant of [`pulse_train`]: clears `out`, then accumulates the
 /// sinc train into it without allocating (when capacity suffices).
+#[hot_path]
 pub fn pulse_train_into(
     n: usize,
     bw_hz: f64,

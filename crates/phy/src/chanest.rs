@@ -22,6 +22,7 @@ use mmwave_dsp::complex::Complex64;
 use mmwave_dsp::fft::ifft;
 use mmwave_dsp::rng::Rng64;
 use mmwave_dsp::units::{db_from_pow, mw_from_dbm, SPEED_OF_LIGHT};
+use mmwave_hotpath::hot_path;
 
 /// One probe's worth of estimated CSI.
 #[derive(Clone, Debug)]
@@ -148,6 +149,7 @@ impl ChannelSounder {
     /// first, then one AWGN sample per sounded subcarrier), so fixed-seed
     /// runs are bit-identical through either entry point.
     #[allow(clippy::too_many_arguments)]
+    #[hot_path]
     pub fn probe_into(
         &self,
         ch: &GeometricChannel,
@@ -168,6 +170,7 @@ impl ChannelSounder {
     /// [`ChannelSnapshot`] (already rebuilt at the probe instant) instead of
     /// re-deriving per-path steering from the raw channel. Bit-identical to
     /// [`ChannelSounder::probe`] on the snapshot's frozen channel.
+    #[hot_path]
     pub fn probe_snapshot_into(
         &self,
         snap: &mut ChannelSnapshot,

@@ -6,6 +6,7 @@
 //! decimated comb of the grid — [`ResourceGrid::sounding_freqs`].
 
 use crate::numerology::Numerology;
+use mmwave_hotpath::hot_path;
 
 /// An OFDM carrier's frequency-domain layout.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -63,6 +64,7 @@ impl ResourceGrid {
     /// Write-into variant of [`ResourceGrid::sounding_freqs`]: clears `out`
     /// and fills it, reusing the allocation. The grid is immutable in a run,
     /// so hot-path callers compute the comb once and keep it.
+    #[hot_path]
     pub fn sounding_freqs_into(&self, decimation: usize, out: &mut Vec<f64>) {
         assert!(decimation > 0, "decimation must be ≥ 1");
         out.clear();

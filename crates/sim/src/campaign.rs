@@ -723,7 +723,14 @@ impl JournalFile {
 /// Rewrites `lines` (plus trailing newline) to `<path>.tmp` and renames
 /// over `path`: the file on disk is always a whole-line prefix of the
 /// writer's state, never a torn entry.
-fn write_lines_atomic(path: &Path, lines: &[String]) -> Result<(), String> {
+///
+/// Public because it *is* the journal's commit protocol: the loom model
+/// test (`tests/loom_journal.rs`, run under `RUSTFLAGS="--cfg loom"`)
+/// drives this exact function from a writer thread while a concurrent
+/// reader asserts that every observable file state is a whole-line prefix
+/// of the writer's history — the crash-consistency argument, checked at
+/// the concurrency seam rather than assumed.
+pub fn write_lines_atomic(path: &Path, lines: &[String]) -> Result<(), String> {
     let tmp = path.with_extension("jsonl.tmp");
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {

@@ -21,6 +21,7 @@ use mmwave_channel::snapshot::ChannelSnapshot;
 use mmwave_dsp::complex::Complex64;
 use mmwave_dsp::rng::Rng64;
 use mmwave_dsp::units::{db_from_pow, mw_from_dbm, SPEED_OF_LIGHT};
+use mmwave_hotpath::hot_path;
 use mmwave_phy::chanest::{ChannelSounder, ProbeObservation};
 use mmwave_phy::mcs::McsTable;
 
@@ -175,6 +176,7 @@ impl LinkSimulator {
     /// current channel — SNR metric, sounder, truth observer — goes
     /// through here, so the environment is evaluated at most once per
     /// simulated instant.
+    #[hot_path]
     pub fn refresh_snapshot(&mut self) {
         if self.ws.snapshot.is_valid_at(self.t_s) {
             #[cfg(feature = "perf-counters")]
@@ -206,6 +208,7 @@ impl LinkSimulator {
     /// selectivity at 1/100 the cost of the full grid). Takes `&mut self`
     /// because it reads the channel through the workspace snapshot,
     /// refreshing it if simulated time has advanced.
+    #[hot_path]
     pub fn true_snr_db(&mut self, weights: &BeamWeights) -> f64 {
         self.refresh_snapshot();
         #[cfg(feature = "perf-counters")]

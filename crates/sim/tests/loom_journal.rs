@@ -1,0 +1,150 @@
+//! Loom model test for the journal's tmp+rename commit protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the CI `static-analysis`
+//! job). The vendored `loom` is an offline schedule-stress shim (see
+//! `vendor/loom/src/lib.rs`): the model closure runs many times with
+//! deterministic yield jitter rather than exhaustive DPOR.
+//!
+//! The protocol under test is [`mmwave_sim::campaign::write_lines_atomic`]
+//! — the journal's only commit path (PR 3): every append rewrites the
+//! full line set to `<path>.tmp`, then `rename(2)`s over the journal.
+//! The crash-consistency and resume story rests on one claim: **a
+//! concurrent (or post-crash) reader can only ever observe a
+//! whole-line prefix of the writer's history** — never a torn line, never
+//! lines out of order, never a later state followed by an earlier one
+//! within a single read. The model drives a writer thread through a
+//! sequence of appends while a reader thread reads the journal as fast
+//! as the scheduler lets it, and asserts exactly that.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
+use mmwave_sim::campaign::write_lines_atomic;
+use std::path::PathBuf;
+
+/// A fresh journal path per model iteration so no state leaks between
+/// iterations (the iteration index is deterministic; no wall clock).
+fn journal_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "loom-journal-{}-{}.jsonl",
+        std::process::id(),
+        loom::current_iteration()
+    ))
+}
+
+const APPENDS: usize = 6;
+
+fn expected_line(k: usize) -> String {
+    // Distinct lengths exercise "shrinking tail" detection: a torn write
+    // of entry k over entry k-1 could not be confused with either.
+    format!("entry-{k}:{}", "x".repeat(k * 3))
+}
+
+#[test]
+fn reader_only_ever_observes_whole_line_prefixes() {
+    loom::model(|| {
+        let path = journal_path();
+        let _ = std::fs::remove_file(&path);
+        let done = Arc::new(AtomicBool::new(false));
+        let done_w = done.clone();
+
+        let wpath = path.clone();
+        let writer = loom::thread::spawn(move || {
+            let mut lines: Vec<String> = Vec::new();
+            for k in 1..=APPENDS {
+                lines.push(expected_line(k));
+                write_lines_atomic(&wpath, &lines).expect("commit must succeed");
+                loom::hint::yield_now_for(k);
+            }
+            done_w.store(true, Ordering::Release);
+        });
+
+        let rpath = path.clone();
+        let reader = loom::thread::spawn(move || {
+            let mut last_len = 0usize;
+            let mut observations = 0usize;
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                match std::fs::read_to_string(&rpath) {
+                    Ok(body) => {
+                        observations += 1;
+                        // Whole lines only: empty, or newline-terminated.
+                        assert!(
+                            body.is_empty() || body.ends_with('\n'),
+                            "torn tail observed: {body:?}"
+                        );
+                        let got: Vec<&str> = body.lines().collect();
+                        assert!(
+                            got.len() <= APPENDS,
+                            "more lines than ever written: {got:?}"
+                        );
+                        for (i, line) in got.iter().enumerate() {
+                            assert_eq!(
+                                *line,
+                                expected_line(i + 1),
+                                "line {i} is not the writer's line — torn or reordered"
+                            );
+                        }
+                        // Monotone within this reader: the journal never
+                        // goes backwards.
+                        assert!(
+                            got.len() >= last_len,
+                            "journal shrank from {last_len} to {} lines",
+                            got.len()
+                        );
+                        last_len = got.len();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        // Not created yet; only legal before the first
+                        // commit became visible.
+                        assert_eq!(last_len, 0, "journal vanished after a commit");
+                    }
+                    Err(e) => panic!("unexpected read error: {e}"),
+                }
+                if finished {
+                    break;
+                }
+                loom::thread::yield_now();
+            }
+            (observations, last_len)
+        });
+
+        writer.join().unwrap();
+        let (_observations, final_len) = reader.join().unwrap();
+        // The reader's final read happened after the writer finished (it
+        // re-checks `done` before reading), so it must see everything.
+        assert_eq!(final_len, APPENDS, "final journal state incomplete");
+        let _ = std::fs::remove_file(&path);
+    });
+}
+
+/// After any number of commits, a fresh reader (the resume path) sees the
+/// exact full history — the property `resume_campaign` relies on.
+#[test]
+fn post_crash_reader_sees_exact_history() {
+    loom::model(|| {
+        let path = journal_path();
+        let _ = std::fs::remove_file(&path);
+        let mut lines: Vec<String> = Vec::new();
+        // Stop the writer at an iteration-dependent point: every prefix
+        // length gets modeled across the run.
+        let stop_after = 1 + loom::current_iteration() % APPENDS;
+        for k in 1..=stop_after {
+            lines.push(expected_line(k));
+            write_lines_atomic(&path, &lines).expect("commit must succeed");
+        }
+        let body = std::fs::read_to_string(&path).expect("journal exists after first commit");
+        let got: Vec<&str> = body.lines().collect();
+        assert_eq!(got.len(), stop_after);
+        for (i, line) in got.iter().enumerate() {
+            assert_eq!(*line, expected_line(i + 1));
+        }
+        // No stray tmp file left behind by a completed commit sequence.
+        assert!(
+            !path.with_extension("jsonl.tmp").exists(),
+            "tmp file survived a completed commit"
+        );
+        let _ = std::fs::remove_file(&path);
+    });
+}

@@ -1,0 +1,235 @@
+//! The `xtask-allow` escape hatch.
+//!
+//! A comment of the form
+//!
+//! ```text
+//! // xtask-allow(<lint>): <non-empty reason>
+//! ```
+//!
+//! suppresses findings of `<lint>` on the same line (trailing comment) or
+//! on the next source line (standalone comment above the offending line).
+//! The directive is itself linted:
+//!
+//! - a directive missing the lint name, the `:`, or a non-empty reason is
+//!   a `malformed-allow` finding — suppressions must say *why*;
+//! - a directive that suppressed nothing is a `stale-allow` finding, so
+//!   allows cannot rot in place after the code they excused is gone.
+
+use crate::diag::Finding;
+use crate::scrub::Scrubbed;
+use std::path::Path;
+
+/// One parsed, well-formed directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Lint id this allow suppresses.
+    pub lint: String,
+    /// 1-based line the directive sits on.
+    pub line: usize,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// Parses every `xtask-allow` directive in the file's comments. Malformed
+/// directives become findings immediately.
+pub fn parse_allows(rel: &Path, scrubbed: &Scrubbed, src: &str) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in &scrubbed.comments {
+        // A directive must *lead* a plain comment. Doc comments and
+        // mid-prose mentions (like this sentence naming xtask-allow) are
+        // never directives.
+        let body = if let Some(b) = c.text.strip_prefix("//") {
+            if b.starts_with('/') || b.starts_with('!') {
+                continue;
+            }
+            b
+        } else if let Some(b) = c.text.strip_prefix("/*") {
+            if b.starts_with('*') || b.starts_with('!') {
+                continue;
+            }
+            b
+        } else {
+            continue;
+        };
+        let body = body.trim_start();
+        let Some(rest) = body.strip_prefix("xtask-allow") else {
+            continue;
+        };
+        let parsed = parse_directive(rest);
+        match parsed {
+            Ok((lint, reason)) => allows.push(Allow {
+                lint,
+                line: c.line,
+                reason,
+            }),
+            Err(why) => findings.push(Finding {
+                lint: "malformed-allow",
+                file: rel.to_path_buf(),
+                line: c.line,
+                col: 1,
+                snippet: line_text(src, scrubbed, c.line),
+                message: format!("malformed `xtask-allow` directive: {why}"),
+            }),
+        }
+    }
+    (allows, findings)
+}
+
+fn parse_directive(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(<lint>)` after `xtask-allow`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in `xtask-allow(<lint>)`".into());
+    };
+    let lint = rest[..close].trim();
+    if lint.is_empty() {
+        return Err("empty lint name".into());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("missing `: <reason>` — every suppression must explain itself".into());
+    };
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return Err("empty reason — every suppression must explain itself".into());
+    }
+    Ok((lint.to_string(), reason.to_string()))
+}
+
+/// Applies `allows` to `findings`: a finding is suppressed when an allow
+/// for its lint sits on the same line or the line directly above. Returns
+/// the surviving findings plus a `stale-allow` finding for every allow
+/// that suppressed nothing.
+pub fn apply_allows(
+    rel: &Path,
+    src: &str,
+    scrubbed: &Scrubbed,
+    allows: &[Allow],
+    findings: Vec<Finding>,
+) -> Vec<Finding> {
+    let mut used = vec![false; allows.len()];
+    let mut kept = Vec::new();
+    for f in findings {
+        let mut suppressed = false;
+        for (i, a) in allows.iter().enumerate() {
+            if a.lint == f.lint && (a.line == f.line || a.line + 1 == f.line) {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !used[i] {
+            kept.push(Finding {
+                lint: "stale-allow",
+                file: rel.to_path_buf(),
+                line: a.line,
+                col: 1,
+                snippet: line_text(src, scrubbed, a.line),
+                message: format!(
+                    "stale `xtask-allow({})` — it no longer suppresses anything; delete it",
+                    a.lint
+                ),
+            });
+        }
+    }
+    kept
+}
+
+fn line_text(src: &str, scrubbed: &Scrubbed, line: usize) -> String {
+    let start = scrubbed.line_starts[line - 1];
+    scrubbed.line_of(src, start).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+    use std::path::PathBuf;
+
+    fn finding(lint: &'static str, line: usize) -> Finding {
+        Finding {
+            lint,
+            file: PathBuf::from("f.rs"),
+            line,
+            col: 1,
+            snippet: String::new(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn wellformed_directive_parses() {
+        let src = "// xtask-allow(determinism): wall-clock only feeds the watchdog\nlet t = 0;\n";
+        let s = scrub(src);
+        let (allows, bad) = parse_allows(Path::new("f.rs"), &s, src);
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].lint, "determinism");
+        assert!(allows[0].reason.contains("watchdog"));
+    }
+
+    #[test]
+    fn reasonless_directive_is_rejected() {
+        for src in [
+            "// xtask-allow(determinism)\n",
+            "// xtask-allow(determinism):\n",
+            "// xtask-allow(determinism):   \n",
+            "// xtask-allow(): because\n",
+            "// xtask-allow determinism: because\n",
+        ] {
+            let s = scrub(src);
+            let (allows, bad) = parse_allows(Path::new("f.rs"), &s, src);
+            assert!(allows.is_empty(), "{src:?} must not parse");
+            assert_eq!(bad.len(), 1, "{src:?} must be flagged");
+            assert_eq!(bad[0].lint, "malformed-allow");
+        }
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line_only() {
+        let src = "// xtask-allow(determinism): reason here\nx\ny\n";
+        let s = scrub(src);
+        let (allows, _) = parse_allows(Path::new("f.rs"), &s, src);
+        let out = apply_allows(
+            Path::new("f.rs"),
+            src,
+            &s,
+            &allows,
+            vec![finding("determinism", 2), finding("determinism", 3)],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn unused_allow_is_stale() {
+        let src = "// xtask-allow(determinism): obsolete excuse\nlet x = 1;\n";
+        let s = scrub(src);
+        let (allows, _) = parse_allows(Path::new("f.rs"), &s, src);
+        let out = apply_allows(Path::new("f.rs"), src, &s, &allows, vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "stale-allow");
+    }
+
+    #[test]
+    fn allow_for_wrong_lint_does_not_suppress() {
+        let src = "// xtask-allow(hot-path-alloc): wrong lint\nx\n";
+        let s = scrub(src);
+        let (allows, _) = parse_allows(Path::new("f.rs"), &s, src);
+        let out = apply_allows(
+            Path::new("f.rs"),
+            src,
+            &s,
+            &allows,
+            vec![finding("determinism", 2)],
+        );
+        assert_eq!(out.len(), 2); // original finding + stale allow
+    }
+}

@@ -1,0 +1,136 @@
+//! Findings and their two renderings: rustc-style text and machine JSON.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One lint violation with a file:line:col span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint id, e.g. `determinism`, `hot-path-alloc`.
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The offending source line, verbatim.
+    pub snippet: String,
+    /// Human explanation of what fired and why it matters.
+    pub message: String,
+}
+
+impl Finding {
+    /// rustc-style rendering:
+    ///
+    /// ```text
+    /// error[xtask::determinism]: `Instant::now` in a digest-affecting path
+    ///   --> crates/sim/src/runner.rs:42:17
+    ///    |
+    /// 42 |     let t = Instant::now();
+    ///    |                 ^
+    /// ```
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "error[xtask::{}]: {}", self.lint, self.message);
+        let _ = writeln!(
+            s,
+            "  --> {}:{}:{}",
+            self.file.display(),
+            self.line,
+            self.col
+        );
+        let gutter = self.line.to_string().len().max(2);
+        let _ = writeln!(s, "{:gutter$} |", "");
+        let _ = writeln!(s, "{:gutter$} | {}", self.line, self.snippet);
+        let _ = writeln!(
+            s,
+            "{:gutter$} | {}^",
+            "",
+            " ".repeat(self.col.saturating_sub(1))
+        );
+        s
+    }
+
+    /// One JSON object per finding; the full report is a JSON array so CI
+    /// can diff runs structurally.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"lint\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(self.lint),
+            json_escape(&self.file.display().to_string()),
+            self.line,
+            self.col,
+            json_escape(&self.message),
+            json_escape(self.snippet.trim())
+        )
+    }
+}
+
+/// Renders the whole report as a JSON array (pretty enough to diff).
+pub fn report_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str("  ");
+        s.push_str(&f.to_json());
+        if i + 1 < findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            lint: "determinism",
+            file: PathBuf::from("crates/x/src/a.rs"),
+            line: 7,
+            col: 13,
+            snippet: "    let t = Instant::now();".into(),
+            message: "`Instant::now` in a digest-affecting path".into(),
+        }
+    }
+
+    #[test]
+    fn render_has_span_and_caret() {
+        let r = sample().render();
+        assert!(r.contains("error[xtask::determinism]"));
+        assert!(r.contains("--> crates/x/src/a.rs:7:13"));
+        assert!(r.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn json_is_wellformed_enough_to_diff() {
+        let j = report_json(&[sample()]);
+        assert!(j.starts_with("[\n"));
+        assert!(j.contains("\"lint\":\"determinism\""));
+        assert!(j.contains("\"line\":7"));
+        assert!(j.ends_with(']'));
+        // Empty report is a valid empty array.
+        assert_eq!(report_json(&[]), "[\n]");
+    }
+}

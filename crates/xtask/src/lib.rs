@@ -1,0 +1,97 @@
+//! Workspace invariant lint engine (`cargo xtask lint`).
+//!
+//! Four repo-specific invariants that clippy cannot express, each born in
+//! an earlier PR and previously enforced only by runtime tests:
+//!
+//! | lint | invariant | origin |
+//! |------|-----------|--------|
+//! | `determinism` | no wall clocks / seeded-order containers / OS entropy in digest-affecting crates | PR 3 (replay) |
+//! | `hot-path-alloc` | no allocating calls in `#[hot_path]` functions | PR 2 (zero-alloc) |
+//! | `telemetry-hygiene` | instrumentation call sites gated by `feature = "telemetry"` | PR 4 (byte-identity) |
+//! | `lifecycle-single-writer` | `Transition` literals only in `linkstate.rs` | PR 1 (state machine) |
+//!
+//! Plus two meta-lints on the escape hatch itself: `malformed-allow`
+//! (suppression without a reason) and `stale-allow` (suppression that no
+//! longer suppresses anything).
+//!
+//! The engine is AST-free by necessity (offline build, no `syn`): lints
+//! run over a position-preserving scrubbed view of each file ([`scrub`])
+//! with structural region detection for cfg gates ([`regions`]). That is
+//! exact for the token- and region-level contracts enforced here, and the
+//! fixture corpus in `tests/fixtures/` pins both directions: known-bad
+//! snippets must fire, known-clean idioms must not.
+
+pub mod allow;
+pub mod diag;
+pub mod lints;
+pub mod regions;
+pub mod scrub;
+
+use diag::Finding;
+use std::path::{Path, PathBuf};
+
+/// One workspace source file: its path relative to the workspace root
+/// (used for lint scoping) and its contents.
+pub struct SourceFile {
+    pub rel: PathBuf,
+    pub src: String,
+}
+
+/// Runs every lint pass plus the allow layer over one file.
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let scrubbed = scrub::scrub(&file.src);
+    let (allows, mut findings) = allow::parse_allows(&file.rel, &scrubbed, &file.src);
+    findings.extend(lints::determinism::run(&file.rel, &file.src, &scrubbed));
+    findings.extend(lints::hotpath::run(&file.rel, &file.src, &scrubbed));
+    findings.extend(lints::telemetry::run(&file.rel, &file.src, &scrubbed));
+    findings.extend(lints::lifecycle::run(&file.rel, &file.src, &scrubbed));
+    allow::apply_allows(&file.rel, &file.src, &scrubbed, &allows, findings)
+}
+
+/// Collects every `.rs` file under `root/crates`, skipping build output
+/// and the lint engine's own deliberately-violating fixture corpus.
+pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    walk(&root.join("crates"), root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_path_buf();
+            out.push(SourceFile { rel, src });
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`; findings come back sorted
+/// by (file, line, col) for stable text and JSON output.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = collect_workspace(root)?;
+    let mut findings = Vec::new();
+    for f in &files {
+        findings.extend(lint_file(f));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+    Ok(findings)
+}

@@ -1,0 +1,92 @@
+//! `determinism` — no nondeterminism in digest-affecting code paths.
+//!
+//! The replay/fingerprint story (DESIGN.md §9) promises that a journaled
+//! campaign cell re-executes bit-identically. That only holds while the
+//! crates that feed the digest — channel, dsp, array, phy, core, and the
+//! sim's runner/simulator — never read a wall clock, never iterate a
+//! randomized-order container, and never touch an OS entropy source. This
+//! pass forbids the concrete spellings of those mistakes:
+//!
+//! - `Instant::now` — wall-clock reads; simulation time is the only clock
+//!   allowed in the digest path (supervision wall clocks live in
+//!   `campaign.rs`, which is out of scope here).
+//! - `HashMap` / `HashSet` — `RandomState` seeds differ per process, so
+//!   iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or a
+//!   `Vec` keyed by insertion order.
+//! - `from_entropy` / `OsRng` — OS entropy in a seeded-PRNG codebase.
+//!
+//! The cheap *unscoped* cases (`std::time::SystemTime::now`,
+//! `rand::thread_rng`) are enforced workspace-wide by `clippy.toml`'s
+//! `disallowed-methods` instead and deliberately **not** duplicated here
+//! (satellite: de-dup xtask vs clippy).
+//!
+//! `#[cfg(test)]` regions are exempt: in-file tests may use whatever they
+//! like — they do not feed digests.
+
+use crate::diag::Finding;
+use crate::lints::{find_token, snippet_at};
+use crate::regions::{in_any, test_regions};
+use crate::scrub::Scrubbed;
+use std::path::Path;
+
+/// (needle, why it is forbidden)
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "`Instant::now` reads the wall clock in a digest-affecting path; use simulated time",
+    ),
+    (
+        "HashMap",
+        "`HashMap` iteration order is seeded per process; use `BTreeMap` or an order-preserving Vec",
+    ),
+    (
+        "HashSet",
+        "`HashSet` iteration order is seeded per process; use `BTreeSet` or an order-preserving Vec",
+    ),
+    (
+        "from_entropy",
+        "OS entropy breaks seeded replay; derive all randomness from the run seed",
+    ),
+    (
+        "OsRng",
+        "OS entropy breaks seeded replay; derive all randomness from the run seed",
+    ),
+];
+
+/// Digest-affecting scope: the pure-compute crates plus the sim's
+/// runner/simulator (the campaign supervisor is intentionally excluded —
+/// its wall clocks and maps never touch the payload).
+pub fn in_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    for c in ["channel", "dsp", "array", "phy", "core"] {
+        if p.starts_with(&format!("crates/{c}/src/")) {
+            return true;
+        }
+    }
+    p == "crates/sim/src/runner.rs" || p == "crates/sim/src/simulator.rs"
+}
+
+pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
+    if !in_scope(rel) {
+        return Vec::new();
+    }
+    let tests = test_regions(scrubbed, src);
+    let mut out = Vec::new();
+    for (needle, why) in FORBIDDEN {
+        for off in find_token(&scrubbed.text, needle) {
+            if in_any(&tests, off) {
+                continue;
+            }
+            let (line, col) = scrubbed.line_col(off);
+            out.push(Finding {
+                lint: "determinism",
+                file: rel.to_path_buf(),
+                line,
+                col,
+                snippet: snippet_at(src, scrubbed, off),
+                message: (*why).to_string(),
+            });
+        }
+    }
+    out
+}

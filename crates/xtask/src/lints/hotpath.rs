@@ -1,0 +1,174 @@
+//! `hot-path-alloc` — no allocating calls inside `#[hot_path]` functions.
+//!
+//! PR 2 made the steady-state slot loop allocation-free (verified at
+//! runtime by the counting-allocator test in `crates/sim/tests/
+//! zero_alloc.rs`); this pass makes the contract visible at every
+//! definition site. A function marked with the no-op marker attribute
+//! `#[hot_path]` (from the `mmwave-hotpath` crate) may not contain the
+//! allocating spellings below. Buffer *reuse* (`clear` + `push` /
+//! `extend` into a caller-owned `Vec`, `copy_from_slice`) is the intended
+//! idiom and stays legal: amortized growth reaches a fixed point after
+//! warmup, which is exactly what the runtime test measures.
+//!
+//! The textual pass is deliberately stricter than the allocator: a
+//! `.clone()` of a `Copy` scalar would also fire. That is what the
+//! `xtask-allow(hot-path-alloc): <reason>` escape hatch is for — the
+//! reviewer sees the justification at the call site.
+
+use crate::diag::Finding;
+use crate::lints::{find_token, snippet_at};
+use crate::regions::Region;
+use crate::scrub::Scrubbed;
+use std::path::Path;
+
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "Vec::new",
+        "allocates a fresh Vec; reuse a caller-provided buffer",
+    ),
+    (
+        "vec!",
+        "allocates a fresh Vec; reuse a caller-provided buffer",
+    ),
+    (
+        "with_capacity",
+        "allocates; hoist the buffer into the owning workspace/scratch struct",
+    ),
+    (
+        ".to_vec()",
+        "clones into a fresh Vec; write into a reused output buffer",
+    ),
+    (
+        ".clone()",
+        "clones (usually allocating); borrow or copy_from into reused storage",
+    ),
+    (
+        ".collect(",
+        "collects into a fresh container; extend a reused buffer instead",
+    ),
+    (
+        "format!",
+        "allocates a String per call; hot paths must not format",
+    ),
+    (".to_string()", "allocates a String per call"),
+    (".to_owned()", "allocates an owned copy per call"),
+    ("String::new", "allocates; hot paths must not build strings"),
+    (
+        "String::from",
+        "allocates; hot paths must not build strings",
+    ),
+    (
+        "Box::new",
+        "heap-allocates per call; preallocate at construction time",
+    ),
+];
+
+/// The marker attribute spellings the pass recognizes.
+const MARKERS: &[&str] = &[
+    "#[hot_path]",
+    "#[hotpath::hot_path]",
+    "#[mmwave_hotpath::hot_path]",
+];
+
+/// Byte ranges of every `#[hot_path]`-marked function (attribute through
+/// closing brace), on the scrubbed text.
+pub fn marked_fns(scrubbed: &Scrubbed) -> Vec<Region> {
+    let mut regions = Vec::new();
+    for marker in MARKERS {
+        let mut i = 0;
+        while let Some(off) = scrubbed.text[i..].find(marker) {
+            let start = i + off;
+            i = start + marker.len();
+            if let Some(end) = fn_extent(&scrubbed.text, start + marker.len()) {
+                regions.push(Region { start, end });
+            }
+        }
+    }
+    regions
+}
+
+/// End of the function item following a marker: skip stacked attributes
+/// and the signature, then match the body's braces.
+fn fn_extent(text: &str, from: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut j = from;
+    loop {
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if text[j..].starts_with("#[") {
+            let mut depth = 0usize;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Find the body's opening brace at paren-depth 0 (skips where-clauses
+    // and argument lists), then its match.
+    let mut depth = 0i64;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => {
+                let mut bd = 0usize;
+                for (k, &b) in bytes.iter().enumerate().skip(j) {
+                    match b {
+                        b'{' => bd += 1,
+                        b'}' => {
+                            bd -= 1;
+                            if bd == 0 {
+                                return Some(k + 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return None;
+            }
+            b';' if depth == 0 => return None, // trait method without body
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
+    let fns = marked_fns(scrubbed);
+    if fns.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (needle, why) in FORBIDDEN {
+        for off in find_token(&scrubbed.text, needle) {
+            if !fns.iter().any(|r| r.contains(off)) {
+                continue;
+            }
+            let (line, col) = scrubbed.line_col(off);
+            out.push(Finding {
+                lint: "hot-path-alloc",
+                file: rel.to_path_buf(),
+                line,
+                col,
+                snippet: snippet_at(src, scrubbed, off),
+                message: format!("`{needle}` inside a `#[hot_path]` function: {why}"),
+            });
+        }
+    }
+    out.sort_by_key(|f| (f.line, f.col));
+    out
+}

@@ -1,0 +1,81 @@
+//! `lifecycle-single-writer` — `LinkLifecycle::apply` is the only
+//! transition construction site.
+//!
+//! PR 1's state machine routes every link-state change through one
+//! decision point so the transition log is a complete, ordered record of
+//! the link's history. That collapses the moment any other module builds
+//! a [`Transition`] value by hand — the log would contain entries the
+//! state machine never decided. This pass forbids `Transition { … }`
+//! struct literals everywhere except:
+//!
+//! - `crates/core/src/linkstate.rs` itself (the state machine), and
+//! - test code (`tests/` files and `#[cfg(test)]` regions), which builds
+//!   transition tapes to drive property tests.
+//!
+//! Reading, matching, cloning, or draining transitions is unrestricted —
+//! only *construction* is single-writer.
+
+use crate::diag::Finding;
+use crate::lints::snippet_at;
+use crate::regions::{in_any, test_regions};
+use crate::scrub::Scrubbed;
+use std::path::Path;
+
+pub fn in_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if p == "crates/core/src/linkstate.rs" {
+        return false;
+    }
+    // Integration-test and fixture trees may construct transitions.
+    if p.contains("/tests/") {
+        return false;
+    }
+    p.starts_with("crates/") && p.contains("/src/")
+}
+
+pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
+    if !in_scope(rel) {
+        return Vec::new();
+    }
+    let tests = test_regions(scrubbed, src);
+    let mut out = Vec::new();
+    // Match `Transition {` with any spacing, word-bounded on the left so
+    // `TransitionCause {`-style names do not fire.
+    let text = scrubbed.text.as_bytes();
+    let mut i = 0;
+    while let Some(off) = scrubbed.text[i..].find("Transition") {
+        let start = i + off;
+        i = start + "Transition".len();
+        let before_ok =
+            start == 0 || !(text[start - 1].is_ascii_alphanumeric() || text[start - 1] == b'_');
+        let mut j = start + "Transition".len();
+        if !before_ok || j >= text.len() {
+            continue;
+        }
+        // Identifier continues (TransitionCause, Transitions) → not the type.
+        if text[j].is_ascii_alphanumeric() || text[j] == b'_' {
+            continue;
+        }
+        while j < text.len() && text[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= text.len() || text[j] != b'{' {
+            continue;
+        }
+        if in_any(&tests, start) {
+            continue;
+        }
+        let (line, col) = scrubbed.line_col(start);
+        out.push(Finding {
+            lint: "lifecycle-single-writer",
+            file: rel.to_path_buf(),
+            line,
+            col,
+            snippet: snippet_at(src, scrubbed, start),
+            message: "`Transition { … }` constructed outside `LinkLifecycle::apply` \
+                      (crates/core/src/linkstate.rs): the transition log must have one writer"
+                .to_string(),
+        });
+    }
+    out
+}

@@ -1,0 +1,61 @@
+//! The lint passes.
+//!
+//! Each pass takes one [`crate::SourceFile`] (already scrubbed) and
+//! returns raw findings; the engine in `lib.rs` then runs the
+//! `xtask-allow` suppression/staleness layer over the union. Scoping —
+//! which crates a pass applies to — lives with each pass, derived from
+//! the workspace-relative path, so fixture tests can exercise scoping by
+//! constructing virtual paths.
+
+pub mod determinism;
+pub mod hotpath;
+pub mod lifecycle;
+pub mod telemetry;
+
+use crate::scrub::Scrubbed;
+
+/// Byte offsets of word-bounded occurrences of `needle` in `text`.
+///
+/// A match is rejected when the needle starts (resp. ends) with an
+/// identifier character and the preceding (resp. following) character is
+/// also an identifier character — so `HashMap` does not match
+/// `MyHashMapLike`, while needles like `.clone()` match after any
+/// receiver.
+pub fn find_token(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let bytes = text.as_bytes();
+    let first_ident = needle.as_bytes().first().copied().map(is_ident) == Some(true);
+    let last_ident = needle.as_bytes().last().copied().map(is_ident) == Some(true);
+    let mut i = 0;
+    while let Some(off) = text[i..].find(needle) {
+        let start = i + off;
+        let end = start + needle.len();
+        let ok_before = !first_ident || start == 0 || !is_ident(bytes[start - 1]);
+        let ok_after = !last_ident || end >= bytes.len() || !is_ident(bytes[end]);
+        if ok_before && ok_after {
+            out.push(start);
+        }
+        i = start + 1;
+    }
+    out
+}
+
+/// Shared helper: the verbatim source line at `offset`, for snippets.
+pub fn snippet_at(src: &str, scrubbed: &Scrubbed, offset: usize) -> String {
+    scrubbed.line_of(src, offset).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(find_token("HashMap::new()", "HashMap").len(), 1);
+        assert_eq!(find_token("MyHashMap", "HashMap").len(), 0);
+        assert_eq!(find_token("HashMapLike", "HashMap").len(), 0);
+        assert_eq!(find_token("x.clone();", ".clone()").len(), 1);
+        assert_eq!(find_token("a.clone().clone()", ".clone()").len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! `telemetry-hygiene` — instrumentation call sites must be feature-gated.
+//!
+//! PR 4's guarantee: building without the `telemetry` feature produces a
+//! byte-identical hot path, because the instrumentation call sites simply
+//! do not exist. The `mmwave-telemetry` *types* are always available (the
+//! crate is an unconditional dependency so signatures like `set_tracer`
+//! stay stable), but the call sites that *record* — `tracer.begin()` /
+//! `.end(…)` / `.event(…)` / `.slot(…)` and construction of
+//! `Stage::` / `TraceEvent::` / `SlotTrace` values — must sit inside a
+//! `#[cfg(feature = "telemetry")]`-gated item, statement, field, or block
+//! (or the matching `#[cfg(not(...))]` fallback).
+//!
+//! Scope: the non-telemetry library crates whose hot paths carry the
+//! byte-identity promise (`core`, `baselines`, and the sim's
+//! runner/simulator/metrics). The campaign supervisor's trace *capture*
+//! layer (`campaign.rs`) is feature-independent by design — tracers are
+//! installed unconditionally and come back empty without the feature — so
+//! it is out of scope; binaries (`crates/bench`) opt in via cargo
+//! features, not cfg gates.
+
+use crate::diag::Finding;
+use crate::lints::{find_token, snippet_at};
+use crate::regions::{gated_regions, in_any, test_regions};
+use crate::scrub::Scrubbed;
+use std::path::Path;
+
+/// Instrumentation-shaped tokens that must be gated.
+const GATED_TOKENS: &[&str] = &[
+    ".begin()",
+    ".end(clock",
+    ".event(",
+    ".slot(",
+    "SlotTrace",
+    "mmwave_telemetry::Stage",
+    "mmwave_telemetry::TraceEvent",
+];
+
+pub fn in_scope(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if p.starts_with("crates/core/src/") || p.starts_with("crates/baselines/src/") {
+        return true;
+    }
+    p.starts_with("crates/sim/src/") && p != "crates/sim/src/campaign.rs"
+}
+
+pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
+    if !in_scope(rel) {
+        return Vec::new();
+    }
+    let gated = gated_regions(scrubbed, src, |attr| {
+        attr.contains("feature") && attr.contains("\"telemetry\"")
+    });
+    let tests = test_regions(scrubbed, src);
+    let mut out = Vec::new();
+    for needle in GATED_TOKENS {
+        for off in find_token(&scrubbed.text, needle) {
+            if in_any(&gated, off) || in_any(&tests, off) {
+                continue;
+            }
+            let (line, col) = scrubbed.line_col(off);
+            out.push(Finding {
+                lint: "telemetry-hygiene",
+                file: rel.to_path_buf(),
+                line,
+                col,
+                snippet: snippet_at(src, scrubbed, off),
+                message: format!(
+                    "`{needle}` instrumentation call site outside `#[cfg(feature = \"telemetry\")]`: \
+                     the feature-off build must stay byte-identical"
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|f| (f.line, f.col));
+    out.dedup_by_key(|f| (f.line, f.col));
+    out
+}

@@ -1,0 +1,92 @@
+//! `cargo xtask` — workspace automation. The only subcommand today is
+//! `lint`, the invariant lint engine (see `lib.rs` for the lint table).
+//!
+//! Exit status: 0 when the workspace is clean, 1 when any finding
+//! survives suppression, 2 on usage or I/O errors — so CI can tell
+//! "violations" from "the tool itself broke".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+    eprintln!();
+    eprintln!("  lint     run the invariant lints (determinism, hot-path-alloc,");
+    eprintln!("           telemetry-hygiene, lifecycle-single-writer) over crates/");
+    eprintln!("  --json   emit findings as a JSON array on stdout (for CI diffing)");
+    eprintln!("  --root   workspace root (default: parent of crates/xtask at build time,");
+    eprintln!("           i.e. the repo checkout the binary was built from)");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo xtask` runs from wherever the user is; the workspace root is
+    // two levels up from this crate's manifest.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("xtask lives at <root>/crates/xtask")
+            .to_path_buf()
+    });
+    let findings = match xtask::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", xtask::diag::report_json(&findings));
+    } else {
+        for f in &findings {
+            eprint!("{}", f.render());
+            eprintln!();
+        }
+    }
+    if findings.is_empty() {
+        if !json {
+            eprintln!("xtask lint: workspace clean (all invariants hold)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::from(1)
+    }
+}

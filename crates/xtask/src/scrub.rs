@@ -1,0 +1,287 @@
+//! A position-preserving Rust source scrubber.
+//!
+//! The lint engine does not parse Rust — the workspace builds offline and
+//! cannot pull in `syn` — so every lint works on a *scrubbed* copy of the
+//! source in which the contents of comments, string literals, char
+//! literals, and raw strings are replaced by spaces **of the same byte
+//! length**. Token searches on the scrubbed text therefore cannot be
+//! fooled by a forbidden name appearing inside a string or a comment, and
+//! every match's byte offset maps 1:1 back to the original file for
+//! rustc-style spans.
+//!
+//! Comments are additionally collected verbatim (with their line numbers)
+//! so the `xtask-allow` directive parser can read them.
+
+/// One comment from the original source, verbatim.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// The scrubbed view of one source file.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Same byte length as the original; comment bodies and literal
+    /// contents replaced by spaces (newlines inside them are kept so line
+    /// numbers stay aligned).
+    pub text: String,
+    /// All comments, in file order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+}
+
+impl Scrubbed {
+    /// 1-based (line, column) for a byte offset.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The original-length line containing `offset`, taken from `src`
+    /// (the caller passes the *original* text to show real snippets).
+    pub fn line_of<'a>(&self, src: &'a str, offset: usize) -> &'a str {
+        let (line, _) = self.line_col(offset);
+        let start = self.line_starts[line - 1];
+        let end = src[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(src.len());
+        src[start..end].trim_end_matches('\r')
+    }
+}
+
+fn push_blanked(out: &mut String, s: &str) {
+    for c in s.chars() {
+        if c == '\n' {
+            out.push('\n');
+        } else {
+            // Replace by one space per byte so offsets stay aligned even
+            // for multi-byte characters.
+            for _ in 0..c.len_utf8() {
+                out.push(' ');
+            }
+        }
+    }
+}
+
+/// Scrubs `src`. Handles line/block (nested) comments, string literals
+/// with escapes, raw strings `r"…"`/`r#"…"#…`, byte strings, char
+/// literals, and distinguishes lifetimes (`'a`) from char literals.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &src[i..];
+        if rest.starts_with("//") {
+            let end = rest.find('\n').map(|e| i + e).unwrap_or(src.len());
+            let (line, _) = line_col_raw(src, i);
+            comments.push(Comment {
+                line,
+                text: src[i..end].to_string(),
+            });
+            // Keep the `//` so "comment-shaped" positions stay visible.
+            out.push_str("//");
+            push_blanked(&mut out, &src[i + 2..end]);
+            i = end;
+        } else if rest.starts_with("/*") {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if src[j..].starts_with("/*") {
+                    depth += 1;
+                    j += 2;
+                } else if src[j..].starts_with("*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += src[j..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+                }
+            }
+            let (line, _) = line_col_raw(src, i);
+            comments.push(Comment {
+                line,
+                text: src[i..j].to_string(),
+            });
+            out.push_str("/*");
+            push_blanked(&mut out, &src[i + 2..j.saturating_sub(2).max(i + 2)]);
+            if j >= i + 4 {
+                out.push_str("*/");
+            }
+            i = j;
+        } else if rest.starts_with('"') {
+            let j = skip_string(src, i);
+            out.push('"');
+            push_blanked(&mut out, &src[i + 1..j.saturating_sub(1).max(i + 1)]);
+            if j > i + 1 {
+                out.push('"');
+            }
+            i = j;
+        } else if is_raw_string_start(rest) {
+            let j = skip_raw_string(src, i);
+            // Blank the whole raw string including its r#…# fencing; no
+            // lint cares about the fence characters.
+            push_blanked(&mut out, &src[i..j]);
+            i = j;
+        } else if rest.starts_with('\'') {
+            // Lifetime (`'a`, `'static`) vs char literal (`'x'`, `'\n'`).
+            let after: Vec<char> = rest.chars().skip(1).take(2).collect();
+            let is_lifetime = matches!(after.first(), Some(c) if c.is_alphabetic() || *c == '_')
+                && after.get(1) != Some(&'\'');
+            if is_lifetime {
+                out.push('\'');
+                i += 1;
+            } else {
+                let j = skip_char_literal(src, i);
+                push_blanked(&mut out, &src[i..j]);
+                i = j;
+            }
+        } else {
+            let c = rest.chars().next().unwrap();
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    let mut line_starts = vec![0usize];
+    for (idx, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    Scrubbed {
+        text: out,
+        comments,
+        line_starts,
+    }
+}
+
+fn line_col_raw(src: &str, offset: usize) -> (usize, usize) {
+    let line = src[..offset].bytes().filter(|&b| b == b'\n').count() + 1;
+    let start = src[..offset].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    (line, offset - start + 1)
+}
+
+fn is_raw_string_start(rest: &str) -> bool {
+    let r = rest.strip_prefix('b').unwrap_or(rest);
+    if let Some(r) = r.strip_prefix('r') {
+        let r = r.trim_start_matches('#');
+        r.starts_with('"') && (rest.starts_with('r') || rest.starts_with("br"))
+    } else {
+        false
+    }
+}
+
+/// Returns the offset one past the closing quote of the plain string
+/// starting at `i` (which must point at `"`).
+fn skip_string(src: &str, i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += src[j..].chars().next().map(|c| c.len_utf8()).unwrap_or(1),
+        }
+    }
+    src.len()
+}
+
+/// Returns the offset one past the closing fence of the raw string
+/// starting at `i` (which points at `r` or `b` of `r"`/`br"`/`r#"` …).
+fn skip_raw_string(src: &str, i: usize) -> usize {
+    let mut j = i;
+    if src[j..].starts_with('b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0usize;
+    while src[j..].starts_with('#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let closer: String = std::iter::once('"')
+        .chain("#".repeat(hashes).chars())
+        .collect();
+    match src[j..].find(&closer) {
+        Some(k) => j + k + closer.len(),
+        None => src.len(),
+    }
+}
+
+fn skip_char_literal(src: &str, i: usize) -> usize {
+    let bytes = src.as_bytes();
+    let mut j = i + 1;
+    if j < bytes.len() && bytes[j] == b'\\' {
+        j += 2;
+        // \u{…} escapes.
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1).min(src.len());
+    }
+    j += src[j..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+    if j < bytes.len() && bytes[j] == b'\'' {
+        j + 1
+    } else {
+        // Not actually a char literal (e.g. stray quote); move past the
+        // opening quote only.
+        i + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments_preserving_offsets() {
+        let src = "let x = \"Instant::now\"; // Instant::now\nuse std::time::Instant;\n";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        // The forbidden token survives only in real code position.
+        assert_eq!(s.text.matches("Instant").count(), 1);
+        assert!(s.text.contains("use std::time::Instant;"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("Instant::now"));
+        assert_eq!(s.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let y = r#\"HashMap\"#; let c = 'h'; }";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        assert!(!s.text.contains("HashMap"));
+        assert!(s.text.contains("<'a>"));
+        assert!(s.text.contains("&'a str"));
+        assert!(!s.text.contains('h'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* HashMap */ still */ b";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        assert!(!s.text.contains("HashMap"));
+        assert!(s.text.ends_with(" b"));
+        assert!(s.text.starts_with("a /*"));
+    }
+
+    #[test]
+    fn line_col_roundtrip() {
+        let src = "line one\nline two\nline three\n";
+        let s = scrub(src);
+        let off = src.find("two").unwrap();
+        assert_eq!(s.line_col(off), (2, 6));
+        assert_eq!(s.line_of(src, off), "line two");
+    }
+}

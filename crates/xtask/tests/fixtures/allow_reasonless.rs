@@ -1,0 +1,7 @@
+// Fixture: a reasonless allow is rejected AND does not suppress.
+// Linted at the virtual path crates/channel/src/fixture.rs — never compiled.
+pub fn timed() -> u64 {
+    // xtask-allow(determinism)
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

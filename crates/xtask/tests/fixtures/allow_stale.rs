@@ -1,0 +1,6 @@
+// Fixture: an allow whose excuse is gone must be flagged as stale.
+// Linted at the virtual path crates/channel/src/fixture.rs — never compiled.
+pub fn clean() -> u64 {
+    // xtask-allow(determinism): wall-clock removed in the workspace-buffer refactor
+    42
+}

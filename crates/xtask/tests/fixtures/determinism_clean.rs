@@ -1,0 +1,13 @@
+// Fixture: the deterministic idioms the lint must leave alone.
+// Linted at the virtual path crates/channel/src/fixture.rs — never compiled.
+use std::collections::BTreeMap;
+
+pub fn digest_path(seed: u64) -> u64 {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    m.insert(seed, seed ^ 0x9e37_79b9_7f4a_7c15);
+    m.values().sum()
+}
+
+// Forbidden names inside comments (HashMap, Instant::now) and inside
+// strings must not fire — the scrubber blanks both.
+pub const NAME: &str = "HashMap-free (Instant::now banned)";

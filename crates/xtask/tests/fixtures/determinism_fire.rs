@@ -1,0 +1,23 @@
+// Fixture: determinism violations in a digest-affecting path.
+// Linted at the virtual path crates/channel/src/fixture.rs — never compiled.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn digest_path() -> u64 {
+    let t = Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    t.elapsed().as_nanos() as u64 + m.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+}

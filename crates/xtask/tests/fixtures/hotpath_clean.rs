@@ -1,0 +1,18 @@
+// Fixture: the reuse idioms the hot-path lint must leave alone — never compiled.
+use mmwave_hotpath::hot_path;
+
+#[hot_path]
+pub fn slot_kernel(out: &mut [f64], input: &[f64]) {
+    out.copy_from_slice(input);
+    for v in out.iter_mut() {
+        *v *= 2.0;
+    }
+}
+
+#[hot_path]
+pub fn reuse(buf: &mut Vec<f64>, n: usize) {
+    buf.clear();
+    for i in 0..n {
+        buf.push(i as f64);
+    }
+}

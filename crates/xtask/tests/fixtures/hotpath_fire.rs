@@ -1,0 +1,16 @@
+// Fixture: allocating calls inside a #[hot_path] function — never compiled.
+use mmwave_hotpath::hot_path;
+
+#[hot_path]
+pub fn slot_kernel(out: &mut Vec<f64>, input: &[f64]) -> Vec<f64> {
+    let mut scratch = Vec::new();
+    scratch.extend(input.iter().map(|x| x * 2.0));
+    let label = format!("slot {}", scratch.len());
+    drop(label);
+    out.clone()
+}
+
+// Allocations in an unmarked function are legal and must not fire.
+pub fn cold_setup() -> Vec<f64> {
+    vec![0.0; 8]
+}

@@ -1,0 +1,18 @@
+// Fixture: reading/holding transitions is unrestricted; only construction
+// is single-writer. Never compiled.
+pub struct TransitionLog {
+    entries: Vec<Transition>,
+}
+
+impl TransitionLog {
+    pub fn push(&mut self, t: Transition) {
+        self.entries.push(t);
+    }
+
+    pub fn last_is_fault(&self) -> bool {
+        self.entries
+            .last()
+            .map(|t| matches!(t.cause, TransitionCause::FaultBudget))
+            .unwrap_or(false)
+    }
+}

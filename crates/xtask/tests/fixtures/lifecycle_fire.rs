@@ -1,0 +1,8 @@
+// Fixture: a Transition literal outside LinkLifecycle::apply.
+// Linted at the virtual path crates/core/src/fixture.rs — never compiled.
+pub fn forge() -> Option<Transition> {
+    Some(Transition {
+        from: LinkState::Up,
+        to: LinkState::Down,
+    })
+}

@@ -1,0 +1,19 @@
+// Fixture: properly gated instrumentation — never compiled.
+pub fn run_slot(tracer: &mmwave_telemetry::Tracer, clock: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        tracer.begin();
+        tracer.event("slot-start");
+        tracer.end(clock);
+    }
+    let _ = (tracer, clock);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_record_unconditionally() {
+        let tracer = mmwave_telemetry::Tracer::disabled();
+        tracer.event("from-a-test");
+    }
+}

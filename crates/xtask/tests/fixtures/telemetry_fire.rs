@@ -1,0 +1,7 @@
+// Fixture: ungated instrumentation call sites.
+// Linted at the virtual path crates/sim/src/fixture.rs — never compiled.
+pub fn run_slot(tracer: &mmwave_telemetry::Tracer, clock: u64) {
+    tracer.begin();
+    tracer.event("slot-start");
+    tracer.end(clock);
+}

@@ -1,0 +1,171 @@
+//! Fixture corpus for the lint engine: every lint has a firing case and a
+//! clean case, and the allow hatch has reject/stale/suppress cases. The
+//! fixtures live in `tests/fixtures/` (skipped by `collect_workspace`, so
+//! `cargo xtask lint` never sees them) and are linted here under *virtual*
+//! workspace-relative paths so the scoping rules are exercised too.
+
+use std::path::PathBuf;
+use xtask::diag::Finding;
+use xtask::{lint_file, SourceFile};
+
+fn lint(rel: &str, src: &str) -> Vec<Finding> {
+    lint_file(&SourceFile {
+        rel: PathBuf::from(rel),
+        src: src.to_string(),
+    })
+}
+
+fn lints_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn determinism_fires_on_hashmap_and_instant() {
+    let src = include_str!("fixtures/determinism_fire.rs");
+    let found = lint("crates/channel/src/fixture.rs", src);
+    assert_eq!(found.len(), 4, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.lint == "determinism"));
+    let instants = found
+        .iter()
+        .filter(|f| f.snippet.contains("Instant"))
+        .count();
+    assert_eq!(instants, 1, "exactly the Instant::now call");
+    // The #[cfg(test)] module's HashMap uses are exempt: every finding
+    // sits before the test module starts.
+    let mod_line = src.lines().position(|l| l.contains("mod tests")).unwrap() + 1;
+    assert!(
+        found.iter().all(|f| f.line < mod_line),
+        "findings: {found:#?}"
+    );
+}
+
+#[test]
+fn determinism_ignores_clean_idioms_and_scrubbed_text() {
+    let src = include_str!("fixtures/determinism_clean.rs");
+    let found = lint("crates/channel/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn determinism_is_scoped_to_digest_crates() {
+    // The same violating source outside the digest scope is legal.
+    let src = include_str!("fixtures/determinism_fire.rs");
+    let found = lint("crates/bench/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+    // campaign.rs is the documented supervisor exemption within sim.
+    let found = lint("crates/sim/src/campaign.rs", src);
+    assert!(found.iter().all(|f| f.lint != "determinism"));
+    // runner.rs is in scope.
+    let found = lint("crates/sim/src/runner.rs", src);
+    assert_eq!(found.len(), 4);
+}
+
+#[test]
+fn hotpath_fires_inside_marked_fn_only() {
+    let src = include_str!("fixtures/hotpath_fire.rs");
+    let found = lint("crates/dsp/src/fixture.rs", src);
+    assert_eq!(found.len(), 3, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.lint == "hot-path-alloc"));
+    // The vec! in the unmarked cold_setup must not be among them.
+    let cold_line = src
+        .lines()
+        .position(|l| l.contains("vec![0.0; 8]"))
+        .unwrap()
+        + 1;
+    assert!(found.iter().all(|f| f.line != cold_line));
+}
+
+#[test]
+fn hotpath_accepts_reuse_idioms() {
+    let src = include_str!("fixtures/hotpath_clean.rs");
+    let found = lint("crates/dsp/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn telemetry_fires_on_ungated_call_sites() {
+    let src = include_str!("fixtures/telemetry_fire.rs");
+    let found = lint("crates/sim/src/fixture.rs", src);
+    assert_eq!(found.len(), 3, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.lint == "telemetry-hygiene"));
+}
+
+#[test]
+fn telemetry_accepts_gated_and_test_call_sites() {
+    let src = include_str!("fixtures/telemetry_clean.rs");
+    let found = lint("crates/sim/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn telemetry_is_scoped_to_byte_identity_crates() {
+    let src = include_str!("fixtures/telemetry_fire.rs");
+    // campaign.rs installs tracers unconditionally by design.
+    let found = lint("crates/sim/src/campaign.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+    // The telemetry crate itself obviously records unconditionally.
+    let found = lint("crates/telemetry/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn lifecycle_fires_on_foreign_transition_literal() {
+    let src = include_str!("fixtures/lifecycle_fire.rs");
+    let found = lint("crates/core/src/fixture.rs", src);
+    assert_eq!(found.len(), 1, "findings: {found:#?}");
+    assert_eq!(found[0].lint, "lifecycle-single-writer");
+}
+
+#[test]
+fn lifecycle_permits_reads_and_the_state_machine_itself() {
+    let clean = include_str!("fixtures/lifecycle_clean.rs");
+    let found = lint("crates/core/src/fixture.rs", clean);
+    assert!(found.is_empty(), "findings: {found:#?}");
+    // The single writer is allowed to construct.
+    let fire = include_str!("fixtures/lifecycle_fire.rs");
+    let found = lint("crates/core/src/linkstate.rs", fire);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn reasonless_allow_is_rejected_and_does_not_suppress() {
+    let src = include_str!("fixtures/allow_reasonless.rs");
+    let found = lint("crates/channel/src/fixture.rs", src);
+    let mut lints = lints_of(&found);
+    lints.sort_unstable();
+    assert_eq!(
+        lints,
+        vec!["determinism", "malformed-allow"],
+        "findings: {found:#?}"
+    );
+}
+
+#[test]
+fn unused_allow_is_flagged_stale() {
+    let src = include_str!("fixtures/allow_stale.rs");
+    let found = lint("crates/channel/src/fixture.rs", src);
+    assert_eq!(
+        lints_of(&found),
+        vec!["stale-allow"],
+        "findings: {found:#?}"
+    );
+}
+
+#[test]
+fn reasoned_allow_suppresses_exactly_its_finding() {
+    let src = include_str!("fixtures/allow_good.rs");
+    let found = lint("crates/channel/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn findings_render_rustc_style_and_as_json() {
+    let src = include_str!("fixtures/lifecycle_fire.rs");
+    let found = lint("crates/core/src/fixture.rs", src);
+    let text = found[0].render();
+    assert!(text.contains("error[xtask::lifecycle-single-writer]"));
+    assert!(text.contains("crates/core/src/fixture.rs:"));
+    let json = xtask::diag::report_json(&found);
+    assert!(json.contains("\"lint\":\"lifecycle-single-writer\""));
+    assert!(json.contains("\"file\":\"crates/core/src/fixture.rs\""));
+}

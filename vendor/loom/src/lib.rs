@@ -1,0 +1,112 @@
+//! Offline stand-in for the [loom](https://crates.io/crates/loom) model
+//! checker, mirroring exactly the API surface this workspace's
+//! `--cfg loom` tests use: `loom::model`, `loom::thread`, and
+//! `loom::sync::{Arc, Mutex, Condvar, atomic}`.
+//!
+//! The container builds with no network access, so the real loom (and its
+//! exhaustive DPOR interleaving search) is unavailable. This shim keeps
+//! the tests *honest about their API* — they compile against loom's
+//! namespace and run under `RUSTFLAGS="--cfg loom"` — while executing as
+//! a **schedule-stress harness**: the model closure runs many times on
+//! real std threads with deliberate yield jitter derived from the
+//! iteration index, which perturbs interleavings far more than a single
+//! run would see. That catches ordering bugs probabilistically, not
+//! exhaustively; swapping in the real loom later is a one-line
+//! `Cargo.toml` change and no test edits, which is the point.
+//!
+//! Determinism note: the jitter schedule is a pure function of the
+//! iteration index (no wall clock, no OS entropy), so a failing iteration
+//! number reproduces the same yield pattern.
+
+/// Number of schedule-stress iterations per `model` call. Real loom
+/// explores interleavings exhaustively; the shim samples this many.
+pub const MODEL_ITERATIONS: usize = 256;
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Current model iteration, used by [`hint::yield_now_for`] to vary
+    /// schedules deterministically across iterations.
+    static ITERATION: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` [`MODEL_ITERATIONS`] times, propagating the first panic with
+/// its iteration number for reproduction.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for i in 0..MODEL_ITERATIONS {
+        ITERATION.with(|it| it.set(i));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = result {
+            eprintln!("loom(shim): model failed on iteration {i}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The iteration currently executing (0-based).
+pub fn current_iteration() -> usize {
+    ITERATION.with(|it| it.get())
+}
+
+pub mod hint {
+    /// Deterministic schedule jitter: yields `(iteration + salt) % 4`
+    /// times. Spawned threads inherit iteration 0; call sites pass a salt
+    /// so different program points still diverge.
+    pub fn yield_now_for(salt: usize) {
+        let n = (super::current_iteration().wrapping_add(salt)) % 4;
+        for _ in 0..n {
+            std::thread::yield_now();
+        }
+    }
+
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{current, sleep, spawn, yield_now, JoinHandle};
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_all_iterations() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        super::model(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), super::MODEL_ITERATIONS);
+    }
+
+    #[test]
+    fn iteration_is_visible_inside_model() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s = seen.clone();
+        super::model(move || {
+            s.store(super::current_iteration(), Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), super::MODEL_ITERATIONS - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn model_propagates_panics() {
+        super::model(|| panic!("deliberate"));
+    }
+}
