@@ -17,10 +17,13 @@
 //! - [`codebook`] — single-beam codebooks used for beam training,
 //! - [`multibeam`] — constructive multi-beam synthesis (Eq. 10 / Eq. 29),
 //! - [`delay_array`] — the delay-phased-array architecture for wideband
-//!   multi-beam operation (§3.4, Eq. 17).
+//!   multi-beam operation (§3.4, Eq. 17),
+//! - [`coupling`] — static mutual-coupling matrix for the hardware
+//!   impairment layer (`w ← C·w` on radiated weights).
 
 #![warn(missing_docs)]
 pub mod codebook;
+pub mod coupling;
 pub mod delay_array;
 pub mod geometry;
 pub mod multibeam;

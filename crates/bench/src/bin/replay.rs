@@ -15,7 +15,9 @@
 //! `scenario//strategy//seed//fault` id; `--failures-only` skips `ok`
 //! entries (the common debugging loop: replay just what broke).
 
-use mmwave_sim::campaign::{compiled_features, load_journal, replay_cell, JournalEntry};
+use mmwave_sim::campaign::{
+    compiled_features, impairment_note, load_journal, replay_cell, JournalEntry,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -40,6 +42,12 @@ fn replay_one(entry: &JournalEntry) -> bool {
              counters differ, payload bit-identical",
             entry.features
         );
+    }
+    // Same treatment for the hardware-impairment layer: a journal written
+    // before it existed, or a spec this binary cannot parse, deserves a
+    // caution before the digest comparison runs.
+    if let Some(note) = impairment_note(entry) {
+        println!("{key}: note: {note}");
     }
     match replay_cell(entry) {
         Ok((result, digest)) => {

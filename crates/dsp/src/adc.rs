@@ -1,0 +1,125 @@
+//! Mid-rise ADC quantization + clipping for probe measurements.
+//!
+//! The receive chain digitizes each subcarrier's I and Q with a `b`-bit
+//! mid-rise converter whose full-scale is set `headroom_db` above the RMS
+//! of the incoming block (an AGC that levels on average power). Samples
+//! inside full scale gain uniform quantization noise; samples outside are
+//! clipped to the rail, which is the nonlinearity that actually hurts —
+//! strong multipath taps saturate first.
+//!
+//! Deterministic (no dither), allocation-free, applied in place.
+
+use crate::complex::{c64, Complex64};
+use mmwave_hotpath::hot_path;
+
+/// Quantizes one real rail to a `levels`-step mid-rise grid over
+/// `[-full_scale, full_scale]`, returning the reconstruction value and
+/// whether the sample clipped.
+fn quantize_rail(x: f64, full_scale: f64, levels: f64) -> (f64, bool) {
+    let step = 2.0 * full_scale / levels;
+    // Mid-rise: decision boundaries at multiples of `step`, reconstruction
+    // at bin centres. Indices outside the grid pin to the outermost bin.
+    let idx = (x / step).floor();
+    let max_idx = levels / 2.0 - 1.0;
+    let clipped = idx > max_idx || idx < -levels / 2.0;
+    let idx = idx.clamp(-levels / 2.0, max_idx);
+    ((idx + 0.5) * step, clipped)
+}
+
+/// Quantizes the I/Q rails of every sample in place with a `bits`-bit
+/// mid-rise ADC of the given full-scale amplitude. Returns the number of
+/// rail-clip events (a sample whose I and Q both clip counts twice).
+#[hot_path]
+pub fn quantize_clip(csi: &mut [Complex64], full_scale: f64, bits: u32) -> usize {
+    if full_scale <= 0.0 || bits == 0 {
+        return 0;
+    }
+    let levels = (1u64 << bits.min(52)) as f64;
+    let mut clips = 0usize;
+    for h in csi.iter_mut() {
+        let (re, clip_re) = quantize_rail(h.re, full_scale, levels);
+        let (im, clip_im) = quantize_rail(h.im, full_scale, levels);
+        *h = c64(re, im);
+        clips += usize::from(clip_re) + usize::from(clip_im);
+    }
+    clips
+}
+
+/// RMS amplitude of a complex block (per rail, i.e. `√(P/2)` where `P` is
+/// mean complex power) — the AGC reference that [`quantize_clip`]'s
+/// full-scale is set against.
+#[hot_path]
+pub fn rail_rms(csi: &[Complex64]) -> f64 {
+    if csi.is_empty() {
+        return 0.0;
+    }
+    let pow: f64 = csi.iter().map(|h| h.norm_sqr()).sum();
+    (pow / (2.0 * csi.len() as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_resolution_is_nearly_transparent() {
+        let mut csi: Vec<Complex64> = (0..64)
+            .map(|i| {
+                c64(
+                    (i as f64 * 0.013).sin() * 0.4,
+                    (i as f64 * 0.029).cos() * 0.4,
+                )
+            })
+            .collect();
+        let orig = csi.clone();
+        let clips = quantize_clip(&mut csi, 1.0, 14);
+        assert_eq!(clips, 0);
+        for (q, o) in csi.iter().zip(&orig) {
+            assert!(
+                (*q - *o).abs() < 1e-3,
+                "14-bit ADC should be near-transparent"
+            );
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let full_scale = 1.0;
+        let bits = 6;
+        let step = 2.0 * full_scale / (1u64 << bits) as f64;
+        for i in 0..495 {
+            let x = -0.99 + i as f64 * 0.004; // inside full scale
+            let mut v = [c64(x, 0.0)];
+            quantize_clip(&mut v, full_scale, bits);
+            assert!((v[0].re - x).abs() <= 0.5 * step + 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_samples_clip_to_rail() {
+        let mut v = [c64(3.0, -5.0), c64(0.1, 0.1)];
+        let clips = quantize_clip(&mut v, 1.0, 8);
+        assert_eq!(clips, 2);
+        assert!(v[0].re < 1.0 && v[0].re > 0.9, "pinned just inside +rail");
+        assert!(v[0].im > -1.0 && v[0].im < -0.9, "pinned just inside -rail");
+    }
+
+    #[test]
+    fn deterministic_no_dither() {
+        let mk = || {
+            let mut v: Vec<Complex64> = (0..32)
+                .map(|i| c64((i as f64).sin(), (i as f64).cos()))
+                .collect();
+            quantize_clip(&mut v, 0.8, 7);
+            v
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn rail_rms_matches_definition() {
+        let csi = vec![c64(1.0, 1.0); 16]; // per-sample power 2 → per-rail RMS 1
+        assert!((rail_rms(&csi) - 1.0).abs() < 1e-12);
+        assert_eq!(rail_rms(&[]), 0.0);
+    }
+}

@@ -14,17 +14,23 @@
 //! - [`stats`] — summary statistics, CDFs, EWMA,
 //! - [`units`] — dB/linear conversions and RF constants,
 //! - [`rng`] — seeded Gaussian / complex-Gaussian sampling,
+//! - [`nonlinearity`] — Rapp PA AM/AM + AM/PM compression (impairment layer),
+//! - [`phase_noise`] — leaky-Wiener oscillator phase noise + ICI penalty,
+//! - [`adc`] — mid-rise ADC quantization and clipping for probe samples,
 //! - [`count_alloc`] — a counting global allocator backing the
 //!   zero-allocation hot-path regression tests.
 //!
 //! Everything is deterministic given a seed; no global state, no I/O.
 
 #![warn(missing_docs)]
+pub mod adc;
 pub mod complex;
 pub mod count_alloc;
 pub mod fft;
 pub mod fit;
 pub mod linalg;
+pub mod nonlinearity;
+pub mod phase_noise;
 pub mod rng;
 pub mod sinc;
 pub mod stats;

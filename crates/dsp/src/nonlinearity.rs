@@ -1,0 +1,163 @@
+//! Memoryless power-amplifier nonlinearity (Rapp AM/AM + AM/PM).
+//!
+//! Every element of a mmWave front end drives its own PA, and the PA's
+//! compression point is set relative to the *uniform* per-element drive of
+//! a constant-modulus beam. Constructive multi-beams are deliberately
+//! non-constant-modulus (the per-element amplitude taper is what steers
+//! power into two lobes at once), so the same back-off that leaves a single
+//! beam untouched pushes a multi-beam's amplitude peaks into compression —
+//! the hardware effect the impairment ablation quantifies.
+//!
+//! The model is the standard Rapp solid-state PA ("Performance and
+//! Impairment Modelling for Hardware Components in Millimetre-wave
+//! Transceivers", arXiv:1803.05665):
+//!
+//! - AM/AM: `g(a) = a / (1 + (a/a_sat)^{2p})^{1/(2p)}` — smooth limiting at
+//!   the saturation amplitude `a_sat`, knee sharpness `p`,
+//! - AM/PM: `φ(a) = φ_max · (a/a_sat)² / (1 + (a/a_sat)²)` — amplitude-
+//!   dependent phase rotation toward `φ_max` at deep saturation.
+//!
+//! Deterministic, allocation-free, applied in place.
+
+use crate::complex::Complex64;
+use mmwave_hotpath::hot_path;
+
+/// A Rapp-model PA shared by every element of the array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RappPa {
+    /// Saturation amplitude (same units as the weight amplitudes).
+    pub a_sat: f64,
+    /// Knee sharpness `p` (2–3 is typical for mmWave SSPAs; larger is
+    /// closer to an ideal hard limiter).
+    pub smoothness: f64,
+    /// Maximum AM/PM phase rotation at deep saturation, radians.
+    pub am_pm_max_rad: f64,
+}
+
+impl RappPa {
+    /// PA with `a_sat` referenced `backoff_db` above the uniform drive
+    /// `uniform_amp` (the per-element amplitude of a constant-modulus
+    /// unit-norm beam, `1/√N`). `backoff_db = 20` is essentially ideal;
+    /// `backoff_db = 0` saturates at the uniform drive itself.
+    pub fn with_backoff(
+        uniform_amp: f64,
+        backoff_db: f64,
+        smoothness: f64,
+        am_pm_deg: f64,
+    ) -> Self {
+        Self {
+            a_sat: uniform_amp * crate::units::amp_from_db(backoff_db),
+            smoothness,
+            am_pm_max_rad: am_pm_deg.to_radians(),
+        }
+    }
+
+    /// AM/AM compressed output amplitude for input amplitude `a`.
+    pub fn am_am(&self, a: f64) -> f64 {
+        if a <= 0.0 {
+            return 0.0;
+        }
+        let r = a / self.a_sat;
+        let p2 = 2.0 * self.smoothness;
+        a / (1.0 + r.powf(p2)).powf(1.0 / p2)
+    }
+
+    /// AM/PM phase rotation for input amplitude `a`, radians.
+    pub fn am_pm(&self, a: f64) -> f64 {
+        let r2 = (a / self.a_sat) * (a / self.a_sat);
+        self.am_pm_max_rad * r2 / (1.0 + r2)
+    }
+
+    /// Compression of a single sample, dB (input power over output power;
+    /// `0` for an uncompressed sample).
+    pub fn compression_db(&self, a: f64) -> f64 {
+        if a <= 0.0 {
+            return 0.0;
+        }
+        crate::units::db_from_pow((a / self.am_am(a)).powi(2))
+    }
+
+    /// Applies the PA element-wise in place and returns the worst
+    /// per-element compression observed, dB. Allocation-free: the per-slot
+    /// weight path runs this on the reused radiated-weight scratch.
+    #[hot_path]
+    pub fn apply(&self, w: &mut [Complex64]) -> f64 {
+        let mut worst_db = 0.0f64;
+        for x in w.iter_mut() {
+            let a = x.abs();
+            if a <= 0.0 {
+                continue;
+            }
+            let g = self.am_am(a);
+            let dphi = self.am_pm(a);
+            *x *= Complex64::cis(dphi).scale(g / a);
+            let c_db = crate::units::db_from_pow((a / g) * (a / g));
+            if c_db > worst_db {
+                worst_db = c_db;
+            }
+        }
+        worst_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn pa() -> RappPa {
+        RappPa::with_backoff(0.125, 3.0, 3.0, 5.0)
+    }
+
+    #[test]
+    fn small_signals_pass_linearly() {
+        let pa = pa();
+        let a = 0.01;
+        assert!((pa.am_am(a) - a).abs() / a < 1e-3);
+        assert!(pa.am_pm(a).abs() < 1e-3);
+        assert!(pa.compression_db(a) < 0.01);
+    }
+
+    #[test]
+    fn large_signals_saturate_at_a_sat() {
+        let pa = pa();
+        // Far above saturation the output pins to a_sat.
+        assert!((pa.am_am(10.0 * pa.a_sat) - pa.a_sat) / pa.a_sat < 0.02);
+        // AM/PM approaches its ceiling.
+        assert!(pa.am_pm(10.0 * pa.a_sat) > 0.9 * pa.am_pm_max_rad);
+    }
+
+    #[test]
+    fn am_am_is_monotone() {
+        let pa = pa();
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let out = pa.am_am(i as f64 * 0.005);
+            assert!(out >= prev, "AM/AM must be monotone");
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn apply_reports_worst_compression() {
+        let pa = pa();
+        // One strongly-driven element among weak ones.
+        let mut w = [c64(0.01, 0.0), c64(0.5, 0.0), c64(0.0, 0.02)];
+        let worst = pa.apply(&mut w);
+        assert!((worst - pa.compression_db(0.5)).abs() < 1e-9);
+        // Weak elements essentially untouched, strong one compressed.
+        assert!((w[0].abs() - 0.01).abs() < 1e-4);
+        assert!(w[1].abs() < 0.5 * 0.75);
+        // Phase rotated on the hot element.
+        assert!(w[1].arg().abs() > 1e-3);
+    }
+
+    #[test]
+    fn backoff_scales_saturation_point() {
+        let loose = RappPa::with_backoff(0.125, 10.0, 3.0, 0.0);
+        let tight = RappPa::with_backoff(0.125, 0.0, 3.0, 0.0);
+        assert!(loose.a_sat > tight.a_sat);
+        assert!(loose.compression_db(0.125) < 0.1);
+        assert!(tight.compression_db(0.125) > 1.0);
+    }
+}

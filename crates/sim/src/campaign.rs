@@ -49,6 +49,7 @@
 //! never perturbs a run that completes.
 
 use crate::faults::{FaultInjector, FaultSchedule};
+use crate::impairments::{ImpairedFrontEnd, ImpairmentConfig};
 use crate::metrics::RunResult;
 use crate::runner::panic_msg;
 use crate::scenario::{self, Scenario};
@@ -86,15 +87,28 @@ pub struct CellKey {
     pub seed: u64,
     /// Canonical fault-schedule spec ([`FaultSchedule::spec_string`]).
     pub fault_spec: String,
+    /// Canonical hardware-impairment spec
+    /// ([`ImpairmentConfig::spec_string`]); `"none"` for a clean front end.
+    pub impairment_spec: String,
 }
 
 impl CellKey {
-    /// Canonical one-line identity, used for journal deduplication.
+    /// Canonical one-line identity, used for journal deduplication. Cells
+    /// with a clean front end keep the historical four-segment form so old
+    /// journals (and pinned CI cell ids) still match; an impairment spec
+    /// adds a fifth segment.
     pub fn id(&self) -> String {
-        format!(
-            "{}//{}//{}//{}",
-            self.scenario, self.strategy, self.seed, self.fault_spec
-        )
+        if self.impairment_spec == "none" {
+            format!(
+                "{}//{}//{}//{}",
+                self.scenario, self.strategy, self.seed, self.fault_spec
+            )
+        } else {
+            format!(
+                "{}//{}//{}//{}//{}",
+                self.scenario, self.strategy, self.seed, self.fault_spec, self.impairment_spec
+            )
+        }
     }
 }
 
@@ -102,9 +116,13 @@ impl std::fmt::Display for CellKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} × {} (seed {}, faults {})",
+            "{} × {} (seed {}, faults {}",
             self.scenario, self.strategy, self.seed, self.fault_spec
-        )
+        )?;
+        if self.impairment_spec != "none" {
+            write!(f, ", impairments {}", self.impairment_spec)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -217,6 +235,7 @@ impl Job {
             strategy: strategy.to_string(),
             seed,
             fault_spec: fault.spec_string(),
+            impairment_spec: "none".to_string(),
         };
         Ok(Self {
             key,
@@ -224,6 +243,16 @@ impl Job {
             tick_budget: None,
             builder: Arc::new(registry_builder),
         })
+    }
+
+    /// Attaches a hardware-impairment configuration to a registry job. The
+    /// spec becomes part of the cell identity, so impaired and clean runs of
+    /// the same (scenario, strategy, seed, fault) are distinct journal
+    /// cells. Fails fast on an invalid configuration.
+    pub fn with_impairments(mut self, config: &ImpairmentConfig) -> Result<Self, String> {
+        config.validate()?;
+        self.key.impairment_spec = config.spec_string();
+        Ok(self)
     }
 
     /// A custom job built from an arbitrary setup closure. The key is the
@@ -258,9 +287,11 @@ impl Job {
 /// fault schedule from the key.
 fn registry_builder(key: &CellKey) -> Result<JobSetup, String> {
     let fault = FaultSchedule::parse_spec(&key.fault_spec)?;
+    let impairment = ImpairmentConfig::parse_spec(&key.impairment_spec)?;
     let scenario = build_scenario(&key.scenario, key.seed)
         .ok_or_else(|| format!("unknown scenario {:?}", key.scenario))?
-        .with_faults(fault)?;
+        .with_faults(fault)?
+        .with_impairments(impairment)?;
     let strategy = build_strategy(&key.strategy)
         .ok_or_else(|| format!("unknown strategy {:?}", key.strategy))?;
     Ok(JobSetup { scenario, strategy })
@@ -296,6 +327,7 @@ where
                     strategy: strategy_label.to_string(),
                     seed,
                     fault_spec: "none".to_string(),
+                    impairment_spec: "none".to_string(),
                 },
                 priority: 0,
                 tick_budget: None,
@@ -615,23 +647,33 @@ pub struct JournalEntry {
     /// Observability features the recording binary was compiled with
     /// ([`compiled_features`]; empty for entries from older journals).
     pub features: String,
+    /// Hardware-impairment spec the cell ran under (`"none"` for a clean
+    /// front end; empty for entries from journals that predate the
+    /// impairment layer).
+    pub impairment: String,
 }
 
 impl JournalEntry {
-    /// The cell key this entry records.
+    /// The cell key this entry records. A missing impairment field (journal
+    /// written before the impairment layer) reads as a clean front end.
     pub fn key(&self) -> CellKey {
         CellKey {
             scenario: self.scenario.clone(),
             strategy: self.strategy.clone(),
             seed: self.seed,
             fault_spec: self.fault.clone(),
+            impairment_spec: if self.impairment.is_empty() {
+                "none".to_string()
+            } else {
+                self.impairment.clone()
+            },
         }
     }
 
     /// Serializes to one JSONL line (no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"scenario":"{}","strategy":"{}","seed":{},"fault":"{}","status":"{}","attempts":{},"digest":"{:016x}","tick_budget":{},"reliability":{},"message":"{}","features":"{}"}}"#,
+            r#"{{"scenario":"{}","strategy":"{}","seed":{},"fault":"{}","status":"{}","attempts":{},"digest":"{:016x}","tick_budget":{},"reliability":{},"message":"{}","features":"{}","impairment":"{}"}}"#,
             json_escape(&self.scenario),
             json_escape(&self.strategy),
             self.seed,
@@ -644,6 +686,7 @@ impl JournalEntry {
             fmt_f64(self.reliability),
             json_escape(&self.message),
             json_escape(&self.features),
+            json_escape(&self.impairment),
         )
     }
 
@@ -671,8 +714,32 @@ impl JournalEntry {
             message: json_str(line, "message")?,
             // Absent from journals written before the telemetry layer.
             features: json_str(line, "features").unwrap_or_default(),
+            // Absent from journals written before the impairment layer.
+            impairment: json_str(line, "impairment").unwrap_or_default(),
         })
     }
+}
+
+/// Compares a journal entry's recorded impairment spec against the current
+/// binary's expectations and returns a human-readable caution when a replay
+/// of that line may not be faithful: the entry predates the impairment
+/// layer (field absent), or its spec no longer parses under the current
+/// grammar. `None` means the spec is present and well-formed.
+pub fn impairment_note(entry: &JournalEntry) -> Option<String> {
+    if entry.impairment.is_empty() {
+        return Some(
+            "journal predates the hardware-impairment layer; replay assumes a clean front end"
+                .to_string(),
+        );
+    }
+    if let Err(e) = ImpairmentConfig::parse_spec(&entry.impairment) {
+        return Some(format!(
+            "recorded impairment spec {:?} does not parse under this binary ({e}); \
+             replay will fail validation",
+            entry.impairment
+        ));
+    }
+    None
 }
 
 /// Loads a journal, tolerating a missing file and a torn trailing line.
@@ -1067,23 +1134,47 @@ fn run_setup(
         // stack, so this one installation covers every layer.
         sim.set_tracer(t);
     }
-    let result = if sc.fault.is_inert() {
-        sim.run_with_warmup(
+    let result = match (sc.fault.is_inert(), sc.impairment.is_inert()) {
+        (true, true) => sim.run_with_warmup(
             strategy.as_mut(),
             sc.duration_s,
             sc.tick_period_s,
             sc.name,
             sc.warmup_s,
-        )
-    } else {
-        let mut fe = FaultInjector::new(sim, sc.fault.clone())?;
-        fe.run_with_warmup(
-            strategy.as_mut(),
-            sc.duration_s,
-            sc.tick_period_s,
-            sc.name,
-            sc.warmup_s,
-        )
+        ),
+        (false, true) => {
+            let mut fe = FaultInjector::new(sim, sc.fault.clone())?;
+            fe.run_with_warmup(
+                strategy.as_mut(),
+                sc.duration_s,
+                sc.tick_period_s,
+                sc.name,
+                sc.warmup_s,
+            )
+        }
+        (true, false) => {
+            let mut fe = ImpairedFrontEnd::new(sim, sc.impairment.clone())?;
+            fe.run_with_warmup(
+                strategy.as_mut(),
+                sc.duration_s,
+                sc.tick_period_s,
+                sc.name,
+                sc.warmup_s,
+            )
+        }
+        // Impairments sit nearest the hardware; faults wrap them so a
+        // probe-loss window suppresses the impaired observation wholesale.
+        (false, false) => {
+            let impaired = ImpairedFrontEnd::new(sim, sc.impairment.clone())?;
+            let mut fe = FaultInjector::new(impaired, sc.fault.clone())?;
+            fe.run_with_warmup(
+                strategy.as_mut(),
+                sc.duration_s,
+                sc.tick_period_s,
+                sc.name,
+                sc.warmup_s,
+            )
+        }
     };
     result.validate()?;
     Ok(result)
@@ -1308,6 +1399,7 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                                     reliability: result.reliability(),
                                     message: String::new(),
                                     features: compiled_features(),
+                                    impairment: job.key.impairment_spec.clone(),
                                 },
                                 CellStatus::Completed {
                                     result: Box::new(result),
@@ -1327,6 +1419,7 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
                                     reliability: 0.0,
                                     message: failure.message.clone(),
                                     features: compiled_features(),
+                                    impairment: job.key.impairment_spec.clone(),
                                 },
                                 CellStatus::Failed { failure },
                             ),
@@ -1548,6 +1641,7 @@ mod tests {
             reliability: 0.97125,
             message: String::new(),
             features: "perf-counters,telemetry".into(),
+            impairment: "seed=3;pn=200000@0.001".into(),
         };
         let parsed = JournalEntry::parse(&e.to_json()).expect("parses");
         assert_eq!(parsed, e);
@@ -1669,6 +1763,7 @@ mod tests {
             reliability: 0.0,
             message: String::new(),
             features: compiled_features(),
+            impairment: "none".into(),
         };
         let (first, trace) = replay_cell_traced(&entry, &TelemetrySpec::default());
         let (r1, d1) = first.expect("replay completes");
@@ -1706,5 +1801,103 @@ mod tests {
             Job::from_registry("mobile-blockage", "mmreliable", 0, bad, 0).is_err(),
             "invalid fault schedule must fail job construction"
         );
+    }
+
+    #[test]
+    fn cell_key_id_keeps_four_segments_for_clean_front_ends() {
+        // The historical four-segment id is pinned by old journals and the
+        // CI soak cell; only an actual impairment spec may extend it.
+        let clean = Job::from_registry(
+            "mobile-blockage",
+            "mmreliable",
+            7000,
+            FaultSchedule::none(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(clean.key.id(), "mobile-blockage//mmreliable//7000//none");
+        let impaired = Job::from_registry(
+            "mobile-blockage",
+            "mmreliable",
+            7000,
+            FaultSchedule::none(),
+            0,
+        )
+        .unwrap()
+        .with_impairments(&ImpairmentConfig::mild(3))
+        .unwrap();
+        let id = impaired.key.id();
+        assert_eq!(id.split("//").count(), 5, "impaired id gains one segment");
+        assert!(id.starts_with("mobile-blockage//mmreliable//7000//none//seed=3;"));
+        let mut bad = ImpairmentConfig::mild(3);
+        bad.adc = Some(crate::impairments::AdcCfg {
+            bits: 0,
+            headroom_db: 9.0,
+        });
+        assert!(
+            Job::from_registry(
+                "mobile-blockage",
+                "mmreliable",
+                7000,
+                FaultSchedule::none(),
+                0
+            )
+            .unwrap()
+            .with_impairments(&bad)
+            .is_err(),
+            "invalid impairment config must fail job construction"
+        );
+    }
+
+    fn entry_with_impairment(impairment: &str) -> JournalEntry {
+        JournalEntry {
+            scenario: "mobile-blockage".into(),
+            strategy: "single-beam-reactive".into(),
+            seed: 5,
+            fault: "none".into(),
+            status: "ok".into(),
+            attempts: 1,
+            digest: 0,
+            tick_budget: None,
+            reliability: 0.0,
+            message: String::new(),
+            features: compiled_features(),
+            impairment: impairment.into(),
+        }
+    }
+
+    #[test]
+    fn impaired_cell_replays_deterministically_and_differs_from_clean() {
+        let clean = entry_with_impairment("none");
+        let spec = ImpairmentConfig::mild(11).spec_string();
+        let impaired = entry_with_impairment(&spec);
+        let (_, d_clean) = replay_cell(&clean).expect("clean replay completes");
+        let (_, d1) = replay_cell(&impaired).expect("impaired replay completes");
+        let (_, d2) = replay_cell(&impaired).expect("impaired replay repeats");
+        assert_eq!(d1, d2, "impaired replay must be deterministic");
+        assert_ne!(d1, d_clean, "enabled impairments must perturb the digest");
+        // A legacy entry (field absent from the journal line) replays as a
+        // clean front end.
+        let legacy = entry_with_impairment("");
+        assert_eq!(legacy.key().impairment_spec, "none");
+        let (_, d_legacy) = replay_cell(&legacy).expect("legacy replay completes");
+        assert_eq!(d_legacy, d_clean);
+    }
+
+    #[test]
+    fn impairment_note_flags_legacy_and_malformed_entries() {
+        let legacy = entry_with_impairment("");
+        assert!(
+            impairment_note(&legacy)
+                .expect("legacy entry warns")
+                .contains("predates"),
+            "missing field reads as a pre-impairment journal"
+        );
+        assert!(impairment_note(&entry_with_impairment("none")).is_none());
+        let spec = ImpairmentConfig::severe(1).spec_string();
+        assert!(impairment_note(&entry_with_impairment(&spec)).is_none());
+        assert!(impairment_note(&entry_with_impairment("pn=bogus"))
+            .expect("malformed spec warns")
+            .contains("does not parse"),);
     }
 }

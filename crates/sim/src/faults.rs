@@ -530,6 +530,13 @@ impl<F: SimFrontEnd> SimFrontEnd for FaultInjector<F> {
         evs.extend(self.take_events());
         evs
     }
+
+    fn drain_impairment_events(&mut self) -> Vec<crate::impairments::ImpairmentEvent> {
+        // The fault layer produces no impairment annotations of its own but
+        // must not swallow an impaired stack's (the usual composition is
+        // `FaultInjector<ImpairedFrontEnd<LinkSimulator>>`).
+        self.inner.drain_impairment_events()
+    }
 }
 
 impl<F: SimFrontEnd> FaultInjector<F> {

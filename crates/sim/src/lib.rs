@@ -19,6 +19,10 @@
 //! - [`faults`] — seeded fault injection over any front end: probe loss,
 //!   stale CSI, SNR glitches, element failures, gain drift, and
 //!   unavailability windows, each logged as a typed event.
+//! - [`impairments`] — seeded analog hardware impairments over any front
+//!   end: oscillator phase noise, PA AM/AM + AM/PM compression,
+//!   per-element mismatch, mutual coupling, ADC quantization/clipping, and
+//!   LO leakage — all-off is bit-identical to the bare front end.
 //! - [`runner`] — seeded multi-run sweeps across OS threads with
 //!   aggregation.
 //! - [`campaign`] — the resilient campaign supervisor: watchdogged
@@ -38,17 +42,21 @@
 #![warn(missing_docs)]
 pub mod campaign;
 pub mod faults;
+pub mod impairments;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod simulator;
 
 pub use campaign::{
-    backoff_delay, closure_jobs, load_journal, replay_cell, run_campaign, CampaignConfig,
-    CampaignFailure, CampaignReport, CellKey, CellOutcome, CellStatus, FailureKind, Job,
-    JournalEntry,
+    backoff_delay, closure_jobs, impairment_note, load_journal, replay_cell, run_campaign,
+    CampaignConfig, CampaignFailure, CampaignReport, CellKey, CellOutcome, CellStatus, FailureKind,
+    Job, JournalEntry,
 };
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
+pub use impairments::{
+    ImpairedFrontEnd, ImpairmentConfig, ImpairmentEvent, ImpairmentKind, ImpairmentStage,
+};
 pub use metrics::{csv_field, csv_parse_row, RunCounters, RunEvent, RunResult, Sample};
 pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
 pub use scenario::Scenario;

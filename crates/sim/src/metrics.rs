@@ -11,6 +11,7 @@
 //!   metric (mmReliable improves it 2.3× over the best reactive baseline).
 
 use crate::faults::FaultEvent;
+use crate::impairments::ImpairmentEvent;
 use mmreliable::linkstate::{LinkStateKind, Transition};
 use mmwave_phy::mcs::McsTable;
 use mmwave_telemetry::RunLatency;
@@ -61,15 +62,18 @@ pub fn csv_parse_row(record: &str) -> Vec<String> {
     fields
 }
 
-/// One typed entry in a run's event log: either a lifecycle transition of
-/// the strategy's link state machine, or a fault the injection layer hit
-/// the front end with.
+/// One typed entry in a run's event log: a lifecycle transition of the
+/// strategy's link state machine, a fault the injection layer hit the
+/// front end with, or a hardware-impairment annotation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RunEvent {
     /// A link lifecycle transition.
     Transition(Transition),
     /// An injected front-end fault.
     Fault(FaultEvent),
+    /// A hardware-impairment annotation (stage enabled, PA saturation,
+    /// ADC clipping).
+    Impairment(ImpairmentEvent),
 }
 
 impl RunEvent {
@@ -78,6 +82,7 @@ impl RunEvent {
         match self {
             RunEvent::Transition(tr) => tr.t_s,
             RunEvent::Fault(f) => f.t_s,
+            RunEvent::Impairment(im) => im.t_s,
         }
     }
 }
@@ -243,7 +248,7 @@ impl RunResult {
     pub fn transitions(&self) -> impl Iterator<Item = &Transition> {
         self.events.iter().filter_map(|e| match e {
             RunEvent::Transition(tr) => Some(tr),
-            RunEvent::Fault(_) => None,
+            _ => None,
         })
     }
 
@@ -251,7 +256,16 @@ impl RunResult {
     pub fn faults(&self) -> impl Iterator<Item = &FaultEvent> {
         self.events.iter().filter_map(|e| match e {
             RunEvent::Fault(f) => Some(f),
-            RunEvent::Transition(_) => None,
+            _ => None,
+        })
+    }
+
+    /// Hardware-impairment annotations recorded during the run, in time
+    /// order.
+    pub fn impairments(&self) -> impl Iterator<Item = &ImpairmentEvent> {
+        self.events.iter().filter_map(|e| match e {
+            RunEvent::Impairment(im) => Some(im),
+            _ => None,
         })
     }
 
@@ -283,6 +297,11 @@ impl RunResult {
                     "{:.6},fault,{}\n",
                     f.t_s,
                     csv_field(&f.kind.to_string())
+                )),
+                RunEvent::Impairment(im) => out.push_str(&format!(
+                    "{:.6},impairment,{}\n",
+                    im.t_s,
+                    csv_field(&im.kind.to_string())
                 )),
             }
         }
@@ -319,10 +338,12 @@ impl RunResult {
             }
             t_prev = s.t_s;
         }
-        // The log merges two independently-ordered streams (lifecycle
-        // transitions from the simulator, fault events from the injector),
-        // so time order is required per class, not globally.
-        let (mut tr_prev, mut f_prev) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        // The log merges independently-ordered streams (lifecycle
+        // transitions from the simulator, fault events from the injector,
+        // impairment annotations from the impairment layer), so time order
+        // is required per class, not globally.
+        let (mut tr_prev, mut f_prev, mut im_prev) =
+            (f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
         for (i, e) in self.events.iter().enumerate() {
             if !e.t_s().is_finite() {
                 return Err(format!("event {i} has non-finite time"));
@@ -330,6 +351,7 @@ impl RunResult {
             let prev = match e {
                 RunEvent::Transition(_) => &mut tr_prev,
                 RunEvent::Fault(_) => &mut f_prev,
+                RunEvent::Impairment(_) => &mut im_prev,
             };
             if e.t_s() < *prev {
                 return Err(format!("event {i} out of time order (t={})", e.t_s()));

@@ -5,6 +5,7 @@
 //! [`crate::LinkSimulator`] and run against any strategy.
 
 use crate::faults::{FaultInjector, FaultSchedule};
+use crate::impairments::{ImpairedFrontEnd, ImpairmentConfig};
 use crate::simulator::LinkSimulator;
 use mmwave_array::geometry::ArrayGeometry;
 use mmwave_channel::blockage::{BlockageEvent, BlockageProcess};
@@ -41,6 +42,11 @@ pub struct Scenario {
     /// produce the inert schedule; chaos campaigns attach a real one with
     /// [`Scenario::with_faults`], which validates it up front.
     pub fault: FaultSchedule,
+    /// Hardware impairment configuration for this experiment. Library
+    /// builders produce the inert configuration; impairment campaigns
+    /// attach a real one with [`Scenario::with_impairments`], which
+    /// validates it up front.
+    pub impairment: ImpairmentConfig,
 }
 
 impl Scenario {
@@ -64,6 +70,15 @@ impl Scenario {
         Ok(self)
     }
 
+    /// Attaches a hardware impairment configuration, failing fast on an
+    /// invalid one — the impairment counterpart of
+    /// [`Scenario::with_faults`].
+    pub fn with_impairments(mut self, impairment: ImpairmentConfig) -> Result<Self, String> {
+        impairment.validate()?;
+        self.impairment = impairment;
+        Ok(self)
+    }
+
     /// Instantiates the full faulted front-end stack: the seeded simulator
     /// wrapped in a [`FaultInjector`] driving this scenario's schedule.
     /// Campaign code that wants the zero-fault bit-identity guarantee
@@ -71,6 +86,15 @@ impl Scenario {
     /// instead.
     pub fn faulted_simulator(&self, seed: u64) -> Result<FaultInjector<LinkSimulator>, String> {
         FaultInjector::new(self.simulator(seed), self.fault.clone())
+    }
+
+    /// Instantiates the impaired front-end stack: the seeded simulator
+    /// wrapped in an [`ImpairedFrontEnd`] driving this scenario's
+    /// impairment configuration. Callers that also inject faults wrap the
+    /// result in a [`FaultInjector`] (impairments sit nearest the
+    /// hardware).
+    pub fn impaired_simulator(&self, seed: u64) -> Result<ImpairedFrontEnd<LinkSimulator>, String> {
+        ImpairedFrontEnd::new(self.simulator(seed), self.impairment.clone())
     }
 
     /// Total simulated time including warm-up.
@@ -113,6 +137,7 @@ pub fn static_walker() -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -140,6 +165,7 @@ pub fn mobile_blockage(seed: u64) -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -162,6 +188,7 @@ pub fn translation_1s() -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -182,6 +209,7 @@ pub fn gnb_rotation(rate_deg_s: f64) -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -207,6 +235,7 @@ pub fn rotation_blockage(seed: u64) -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -242,6 +271,7 @@ pub fn outdoor(dist_m: f64, seed: u64) -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -302,6 +332,7 @@ pub fn natural_motion(seed: u64) -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 
@@ -337,6 +368,7 @@ pub fn appendix_b(sixty_ghz: bool) -> Scenario {
         tick_period_s: 10e-3,
         warmup_s: DEFAULT_WARMUP_S,
         fault: FaultSchedule::none(),
+        impairment: ImpairmentConfig::none(),
     }
 }
 

@@ -9,6 +9,7 @@
 //! single per-slot record with no separate bookkeeping.
 
 use crate::faults::FaultEvent;
+use crate::impairments::ImpairmentEvent;
 use crate::metrics::{RunCounters, RunEvent, RunResult, Sample};
 use mmreliable::cancel::CancelToken;
 use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
@@ -322,6 +323,12 @@ pub trait SimFrontEnd: LinkFrontEnd {
     fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
         Vec::new()
     }
+
+    /// Takes the hardware-impairment annotations accumulated since the
+    /// last drain.
+    fn drain_impairment_events(&mut self) -> Vec<ImpairmentEvent> {
+        Vec::new()
+    }
 }
 
 impl SimFrontEnd for LinkSimulator {
@@ -397,6 +404,11 @@ pub fn run_front_end<H: SimFrontEnd>(
                     .map(RunEvent::Transition),
             );
             events.extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
+            events.extend(
+                h.drain_impairment_events()
+                    .into_iter()
+                    .map(RunEvent::Impairment),
+            );
             if h.sim().t_s > t0 {
                 samples.push(Sample {
                     t_s: t0,
@@ -416,6 +428,13 @@ pub fn run_front_end<H: SimFrontEnd>(
             }
             while next_tick <= h.sim().t_s {
                 next_tick += tick_period_s;
+            }
+            // A retrain scan can probe past the end of the run (heavy
+            // retraining under faults/impairments): there is no data slot
+            // left to radiate, and emitting one would record a
+            // non-positive interval.
+            if h.sim().t_s >= duration_s {
+                break;
             }
         }
         // Data slot under the strategy's current weights (as actually
@@ -466,6 +485,11 @@ pub fn run_front_end<H: SimFrontEnd>(
             .map(RunEvent::Transition),
     );
     events.extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
+    events.extend(
+        h.drain_impairment_events()
+            .into_iter()
+            .map(RunEvent::Impairment),
+    );
     let sim = h.sim();
     RunResult {
         strategy: strategy.name().to_string(),

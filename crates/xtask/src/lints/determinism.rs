@@ -54,8 +54,9 @@ const FORBIDDEN: &[(&str, &str)] = &[
 ];
 
 /// Digest-affecting scope: the pure-compute crates plus the sim's
-/// runner/simulator (the campaign supervisor is intentionally excluded —
-/// its wall clocks and maps never touch the payload).
+/// runner/simulator and the hardware-impairment layer (the campaign
+/// supervisor is intentionally excluded — its wall clocks and maps never
+/// touch the payload).
 pub fn in_scope(rel: &Path) -> bool {
     let p = rel.to_string_lossy().replace('\\', "/");
     for c in ["channel", "dsp", "array", "phy", "core"] {
@@ -63,7 +64,9 @@ pub fn in_scope(rel: &Path) -> bool {
             return true;
         }
     }
-    p == "crates/sim/src/runner.rs" || p == "crates/sim/src/simulator.rs"
+    p == "crates/sim/src/runner.rs"
+        || p == "crates/sim/src/simulator.rs"
+        || p == "crates/sim/src/impairments.rs"
 }
 
 pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {

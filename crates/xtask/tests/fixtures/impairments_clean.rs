@@ -1,0 +1,35 @@
+// Fixture: the impairment layer's intended idioms — per-stage salted
+// seeds, stack scratch, in-place per-slot transforms. Linted at the
+// virtual path crates/sim/src/impairments.rs — never compiled.
+use mmwave_hotpath::hot_path;
+
+const SEED_SALT_OBS: u64 = 0x1AFE_1AFE_1AFE_1AFE;
+const MAX_COUPLED_ELEMENTS: usize = 256;
+
+pub struct GoodImpairedStage {
+    gains: Vec<f64>,
+    seed: u64,
+}
+
+impl GoodImpairedStage {
+    // Construction-time allocation is fine; the tables are reused per slot.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            gains: vec![1.0; n],
+            seed: seed ^ SEED_SALT_OBS,
+        }
+    }
+
+    #[hot_path]
+    pub fn impair_weights(&self, w: &mut [f64]) -> f64 {
+        let mut scratch = [0.0f64; MAX_COUPLED_ELEMENTS];
+        let used = w.len().min(MAX_COUPLED_ELEMENTS);
+        scratch[..used].copy_from_slice(&w[..used]);
+        let mut worst = 0.0f64;
+        for (x, g) in w.iter_mut().zip(self.gains.iter()) {
+            *x *= g;
+            worst = worst.max(*x);
+        }
+        worst + self.seed as f64 * 0.0 + scratch[0] * 0.0
+    }
+}

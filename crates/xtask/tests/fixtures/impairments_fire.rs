@@ -1,0 +1,38 @@
+// Fixture: determinism and hot-path violations as they would look in the
+// hardware-impairment layer. Linted at the virtual path
+// crates/sim/src/impairments.rs — never compiled.
+use mmwave_hotpath::hot_path;
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadImpairedFrontEnd {
+    stage_draws: HashMap<u32, u64>,
+}
+
+impl BadImpairedFrontEnd {
+    // Wall-clock seeding breaks the per-stage salted-seed contract.
+    pub fn corrupt_probe(&mut self) -> u64 {
+        let t = Instant::now();
+        self.stage_draws.insert(0, 1);
+        t.elapsed().as_nanos() as u64
+    }
+}
+
+// A per-slot stage that allocates violates the steady-state contract.
+#[hot_path]
+pub fn impair_weights(w: &mut [f64]) -> f64 {
+    let scratch: Vec<f64> = w.to_vec();
+    scratch.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+}

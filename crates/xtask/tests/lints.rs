@@ -61,6 +61,29 @@ fn determinism_is_scoped_to_digest_crates() {
 }
 
 #[test]
+fn impairment_layer_is_determinism_and_hotpath_scoped() {
+    // The impairment module is digest-affecting: wall clocks, unordered
+    // maps, and per-slot allocation must all fire at its path.
+    let src = include_str!("fixtures/impairments_fire.rs");
+    let found = lint("crates/sim/src/impairments.rs", src);
+    let det = found.iter().filter(|f| f.lint == "determinism").count();
+    let hot = found.iter().filter(|f| f.lint == "hot-path-alloc").count();
+    assert_eq!(det, 3, "findings: {found:#?}");
+    assert_eq!(hot, 1, "findings: {found:#?}");
+    // The supervisor exemption must not leak to the impairment layer: the
+    // same source under campaign.rs raises no determinism findings.
+    let found = lint("crates/sim/src/campaign.rs", src);
+    assert!(found.iter().all(|f| f.lint != "determinism"));
+}
+
+#[test]
+fn impairment_idioms_stay_clean() {
+    let src = include_str!("fixtures/impairments_clean.rs");
+    let found = lint("crates/sim/src/impairments.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
 fn hotpath_fires_inside_marked_fn_only() {
     let src = include_str!("fixtures/hotpath_fire.rs");
     let found = lint("crates/dsp/src/fixture.rs", src);
