@@ -14,6 +14,7 @@ use mmwave_array::codebook::Codebook;
 use mmwave_array::steering::single_beam;
 use mmwave_array::weights::BeamWeights;
 use mmwave_hotpath::hot_path;
+use mmwave_phy::chanest::ProbeObservation;
 
 /// Configuration of the reactive baseline.
 #[derive(Clone, Debug)]
@@ -57,6 +58,9 @@ pub struct SingleBeamReactive {
     weights: Option<BeamWeights>,
     ticks_since_scan: usize,
     bad_ticks: usize,
+    /// Scratch for the per-tick maintenance probe: reused across ticks so
+    /// steady-state maintenance is allocation-free (DESIGN.md §8).
+    obs: ProbeObservation,
     /// Number of re-trainings triggered (exposed for evaluation).
     pub rescans: usize,
 }
@@ -70,6 +74,7 @@ impl SingleBeamReactive {
             weights: None,
             ticks_since_scan: usize::MAX / 2,
             bad_ticks: 0,
+            obs: ProbeObservation::empty(),
             rescans: 0,
         }
     }
@@ -122,9 +127,10 @@ impl BeamStrategy for SingleBeamReactive {
             self.fast_scan(fe);
             return;
         }
-        // One maintenance probe to measure link quality.
-        let obs = fe.probe(self.weights.as_ref().expect("trained"));
-        if obs.snr_db() < self.cfg.outage_snr_db {
+        // One maintenance probe to measure link quality, into reused
+        // scratch — this runs every tick for the life of the link.
+        fe.probe_into(self.weights.as_ref().expect("trained"), &mut self.obs);
+        if self.obs.snr_db() < self.cfg.outage_snr_db {
             self.bad_ticks += 1;
         } else {
             self.bad_ticks = 0;

@@ -14,10 +14,17 @@
 //! usage errors. `--cell` selects a single cell by its
 //! `scenario//strategy//seed//fault` id; `--failures-only` skips `ok`
 //! entries (the common debugging loop: replay just what broke).
+//!
+//! Fleet journals replay too: a `fleet:{base}:{n}:ue{k}` member line
+//! re-executes that one UE as a plain single-link cell (bit-identical to
+//! its in-fleet run), and a `fleet:{base}:{n}` aggregate line re-executes
+//! the whole fleet sequentially. Unrecognized fleet forms from newer
+//! writers warn and are skipped rather than failing the replay.
 
 use mmwave_sim::campaign::{
     compiled_features, impairment_note, load_journal, replay_cell, JournalEntry,
 };
+use mmwave_sim::fleet::{fleet_note, replay_fleet_entry, FleetReplay};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -26,6 +33,45 @@ fn usage() -> ExitCode {
         "usage: replay <journal.jsonl> [--cell <scenario//strategy//seed//fault>] [--failures-only]\n       replay --line '<journal json line>'"
     );
     ExitCode::from(2)
+}
+
+/// Replays a fleet journal entry: a per-UE member line re-executes as a
+/// plain single-link cell (bit-identical to its in-fleet run), an
+/// aggregate line re-executes the whole fleet on one worker and one
+/// shard. Returns `true` when the digest matches the journal.
+fn replay_fleet(entry: &JournalEntry, key: &mmwave_sim::campaign::CellKey) -> bool {
+    match replay_fleet_entry(entry) {
+        Ok(FleetReplay::PerUe { digest, .. }) => {
+            let same = digest == entry.digest;
+            println!(
+                "{key}: fleet member ok, digest {digest:016x} {}",
+                if same {
+                    "== journal (bit-identical)"
+                } else {
+                    "!= journal (DIVERGED)"
+                }
+            );
+            same
+        }
+        Ok(FleetReplay::Aggregate { report }) => {
+            let same = report.digest == entry.digest;
+            println!(
+                "{key}: fleet of {} ok, digest {:016x} {}",
+                report.outcomes.len(),
+                report.digest,
+                if same {
+                    "== journal (bit-identical)"
+                } else {
+                    "!= journal (DIVERGED)"
+                }
+            );
+            same
+        }
+        Err(msg) => {
+            println!("{key}: fleet replay failed: {msg} — NOT reproduced");
+            false
+        }
+    }
 }
 
 /// Replays one entry; returns `true` when the fresh outcome agrees with
@@ -48,6 +94,18 @@ fn replay_one(entry: &JournalEntry) -> bool {
     // caution before the digest comparison runs.
     if let Some(note) = impairment_note(entry) {
         println!("{key}: note: {note}");
+    }
+    // Fleet journal lines (`fleet:{base}:{n}` aggregates and
+    // `fleet:{base}:{n}:ue{k}` members) route through the fleet replayer.
+    // A fleet form from a future writer this binary cannot parse warns
+    // and is skipped, never an error: old replayers stay usable against
+    // newer journals (forward compatibility mirrors impairment specs).
+    if entry.scenario.starts_with("fleet:") {
+        if let Some(note) = fleet_note(entry) {
+            println!("{key}: note: {note} — skipping, not a divergence");
+            return true;
+        }
+        return replay_fleet(entry, &key);
     }
     match replay_cell(entry) {
         Ok((result, digest)) => {

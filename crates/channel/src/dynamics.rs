@@ -7,11 +7,13 @@
 //! beam-management algorithms never see it.
 
 use crate::blockage::BlockageProcess;
+use crate::cell::SharedSceneCache;
 use crate::channel::GeometricChannel;
 use crate::environment::Scene;
 use crate::mobility::{Pose, Trajectory};
 use crate::path::Path;
 use mmwave_hotpath::hot_path;
+use std::sync::Arc;
 
 /// A fully-specified dynamic link environment.
 #[derive(Clone, Debug)]
@@ -34,6 +36,10 @@ pub struct DynamicChannel {
     /// authored events begin — the paper trains *before* each 1-s
     /// measurement (§6).
     pub start_delay_s: f64,
+    /// Shared UE-independent ray-trace geometry (the fleet's cell cache).
+    /// `None` — the single-link default — recomputes the gNB images per
+    /// trace; the cached and uncached trace paths are bit-identical.
+    shared: Option<Arc<SharedSceneCache>>,
 }
 
 impl DynamicChannel {
@@ -45,7 +51,36 @@ impl DynamicChannel {
             blockage,
             gnb_rotation_deg_s: 0.0,
             start_delay_s: 0.0,
+            shared: None,
         }
+    }
+
+    /// Installs a shared cell-environment cache (built for this channel's
+    /// scene). Every subsequent trace is served through the cached gNB
+    /// image set — bit-identical to the uncached trace, but the
+    /// UE-independent mirror work is done once per cell instead of once
+    /// per (UE, pose).
+    pub fn set_shared_cache(&mut self, cache: Arc<SharedSceneCache>) {
+        assert_eq!(
+            cache.len(),
+            self.scene.walls.len(),
+            "shared cache built for a different scene"
+        );
+        self.shared = Some(cache);
+    }
+
+    /// The installed shared cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedSceneCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Pristine scene trace at `pose`, routed through the shared cell
+    /// cache when one is installed. The kernel behind both the per-slot
+    /// snapshot rebuild and the reference trace.
+    #[hot_path]
+    pub fn trace_pose_into(&self, pose: &Pose, out: &mut Vec<Path>) {
+        self.scene
+            .paths_to_cached_into(self.shared.as_deref(), pose.pos, pose.facing_deg, out);
     }
 
     /// Delays all authored dynamics (motion, blockage, rotation) by
@@ -92,7 +127,7 @@ impl DynamicChannel {
     #[hot_path]
     pub fn paths_at_into(&self, t_s: f64, reference: &[Path], out: &mut Vec<Path>) {
         let pose = self.pose_at(t_s);
-        self.scene.paths_to_into(pose.pos, pose.facing_deg, out);
+        self.trace_pose_into(&pose, out);
         self.apply_time_effects(t_s, reference, out);
     }
 
@@ -124,7 +159,7 @@ impl DynamicChannel {
     /// is time-invariant, so hot-path callers compute it once and cache it.
     pub fn reference_paths_into(&self, out: &mut Vec<Path>) {
         let pose = self.pose_at(0.0);
-        self.scene.paths_to_into(pose.pos, pose.facing_deg, out);
+        self.trace_pose_into(&pose, out);
     }
 
     /// Frozen channel snapshot at time `t_s`.

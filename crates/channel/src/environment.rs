@@ -13,6 +13,7 @@
 //! departure are bearings from +y (see [`crate::geom2d::Vec2::bearing_deg`]).
 //! The UE faces a configurable world bearing.
 
+use crate::cell::SharedSceneCache;
 use crate::geom2d::{v2, Segment, Vec2};
 use crate::path::{Path, PathKind};
 use mmwave_dsp::complex::Complex64;
@@ -215,6 +216,25 @@ impl Scene {
     /// reusing its allocation. The hot-path kernel behind
     /// [`crate::dynamics::DynamicChannel`]'s per-slot snapshot rebuild.
     pub fn paths_to_into(&self, ue: Vec2, ue_facing_deg: f64, out: &mut Vec<Path>) {
+        self.paths_to_cached_into(None, ue, ue_facing_deg, out);
+    }
+
+    /// [`Scene::paths_to_into`] with an optional precomputed gNB image set
+    /// (the fleet's shared cell environment). `Segment::mirror` is pure, so
+    /// the cached and freshly-computed images are bitwise equal and the two
+    /// trace paths produce identical results; the cache only removes the
+    /// per-trace mirror work that is UE-independent.
+    pub fn paths_to_cached_into(
+        &self,
+        cache: Option<&SharedSceneCache>,
+        ue: Vec2,
+        ue_facing_deg: f64,
+        out: &mut Vec<Path>,
+    ) {
+        if let Some(c) = cache {
+            debug_assert_eq!(c.len(), self.walls.len(), "cache built for another scene");
+            c.note_trace();
+        }
         out.clear();
         // LOS.
         let d = self.gnb.dist(ue);
@@ -232,7 +252,10 @@ impl Scene {
         }
         // First-order reflections.
         for (wi, wall) in self.walls.iter().enumerate() {
-            let image = wall.seg.mirror(self.gnb);
+            let image = match cache {
+                Some(c) => c.image(wi),
+                None => wall.seg.mirror(self.gnb),
+            };
             let Some(pt) = wall.seg.intersect(image, ue) else {
                 continue;
             };
@@ -259,16 +282,28 @@ impl Scene {
         }
         // Second-order reflections (image-of-image construction).
         if self.max_bounces >= 2 {
-            self.push_double_bounces(ue, ue_facing_deg, out);
+            self.push_double_bounces(cache, ue, ue_facing_deg, out);
         }
     }
 
     /// Appends valid wall-pair double bounces: gNB → wall `i` → wall `j`
     /// → UE, found by mirroring the gNB across wall `i`, then that image
-    /// across wall `j`, and unfolding the straight ray.
-    fn push_double_bounces(&self, ue: Vec2, ue_facing_deg: f64, out: &mut Vec<Path>) {
+    /// across wall `j`, and unfolding the straight ray. The first-order
+    /// image comes from the shared cache when one is installed; the
+    /// image-of-image stays per-trace (registry scenes are single-bounce,
+    /// so the pair table is not worth caching).
+    fn push_double_bounces(
+        &self,
+        cache: Option<&SharedSceneCache>,
+        ue: Vec2,
+        ue_facing_deg: f64,
+        out: &mut Vec<Path>,
+    ) {
         for (i, wi) in self.walls.iter().enumerate() {
-            let image1 = wi.seg.mirror(self.gnb);
+            let image1 = match cache {
+                Some(c) => c.image(i),
+                None => wi.seg.mirror(self.gnb),
+            };
             for (j, wj) in self.walls.iter().enumerate() {
                 if i == j {
                     continue;

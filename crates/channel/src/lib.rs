@@ -17,6 +17,9 @@
 //!   signature (10 dB over ~10 OFDM symbols, 100–500 ms durations),
 //! - [`mobility`] — UE trajectories (rotation at VR-headset rates,
 //!   translation at walking speed) with exact ground truth,
+//! - [`cell`] — the fleet's shared cell environment: the UE-independent
+//!   half of the image-source trace (per-wall gNB images) precomputed once
+//!   and shared read-only across every UE of a multi-user cell,
 //! - [`dynamics`] — the time-varying composition of all of the above,
 //! - [`snapshot`] — the per-slot [`ChannelSnapshot`]: evaluate the dynamic
 //!   channel once per time step, read the cached per-path quantities many
@@ -27,6 +30,7 @@
 
 #![warn(missing_docs)]
 pub mod blockage;
+pub mod cell;
 pub mod channel;
 pub mod dynamics;
 pub mod environment;
@@ -37,6 +41,7 @@ pub mod path;
 pub mod sampling;
 pub mod snapshot;
 
+pub use cell::{SharedSceneCache, SharedSceneCounters};
 pub use channel::{ChannelScratch, GeometricChannel, UeReceiver};
 pub use dynamics::DynamicChannel;
 pub use path::{Path, PathKind};

@@ -137,9 +137,10 @@ impl ChannelSnapshot {
             pose.facing_deg.to_bits(),
         );
         if self.traced_pose != Some(pose_key) {
-            dynamic
-                .scene
-                .paths_to_into(pose.pos, pose.facing_deg, &mut self.traced);
+            // Routed through the dynamic channel so a fleet's shared cell
+            // cache (precomputed gNB images) serves the trace when
+            // installed; bit-identical to the direct scene trace.
+            dynamic.trace_pose_into(&pose, &mut self.traced);
             self.traced_pose = Some(pose_key);
         }
         self.channel.paths.clear();

@@ -53,6 +53,25 @@ pub trait LinkFrontEnd {
         self.probe_kind(weights, ProbeKind::CsiRs)
     }
 
+    /// Like [`Self::probe_kind`], but writes the estimate into
+    /// caller-owned scratch so steady-state maintenance probes can run
+    /// allocation-free. The default delegates to the allocating path;
+    /// front ends on the zero-alloc contract (the simulator) override it
+    /// to fill `out`'s buffers in place.
+    fn probe_kind_into(
+        &mut self,
+        weights: &BeamWeights,
+        kind: ProbeKind,
+        out: &mut ProbeObservation,
+    ) {
+        *out = self.probe_kind(weights, kind);
+    }
+
+    /// Convenience: a CSI-RS-class probe into caller-owned scratch.
+    fn probe_into(&mut self, weights: &BeamWeights, out: &mut ProbeObservation) {
+        self.probe_kind_into(weights, ProbeKind::CsiRs, out);
+    }
+
     /// Blocks the link for `dur_s` of protocol dead time (e.g. waiting for
     /// the next SSB opportunity, RACH-based beam-failure recovery). Time
     /// advances; no data flows. Default: no-op for frozen front ends.

@@ -25,6 +25,10 @@
 //! 8. [`controller`] — the beam-maintenance controller tying it all
 //!    together over an abstract [`frontend::LinkFrontEnd`].
 //! 9. [`ue`] — extension to directional (multi-beam) UEs (§4.4).
+//! 10. [`statehandler`] — the fleet-scale generalization of the lifecycle:
+//!     a cell-level [`statehandler::StateHandler`] is the only writer of
+//!     per-UE lifecycle state; peers queue typed intents through
+//!     [`statehandler::Io`] and the handler drains them each pass.
 
 #![warn(missing_docs)]
 pub mod blockage;
@@ -35,6 +39,7 @@ pub mod frontend;
 pub mod linkstate;
 pub mod multibeam;
 pub mod probing;
+pub mod statehandler;
 pub mod superres;
 pub mod tracking;
 pub mod training;
@@ -45,3 +50,4 @@ pub use config::MmReliableConfig;
 pub use controller::MmReliableController;
 pub use frontend::{LinkFrontEnd, ProbeKind};
 pub use linkstate::{LinkState, LinkStateKind, Transition, TransitionCause};
+pub use statehandler::{Intent, IntentKind, IntentQueue, Io, PassStats, StateHandler, UeId};

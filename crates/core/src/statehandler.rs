@@ -1,0 +1,472 @@
+//! Cell-level state ownership: one handler, many UEs, typed intents.
+//!
+//! A fleet-scale cell serves thousands of UEs whose per-link
+//! [`LinkLifecycle`] state must be managed centrally at the array (the
+//! architecture multi-array beamforming testbeds converge on: per-user
+//! beam state lives in one place, everything else talks to it through a
+//! mailbox). This module is that shape:
+//!
+//! - [`StateHandler`] owns every per-UE [`LinkLifecycle`] in the cell and
+//!   is the **only** writer of that state — the same single-writer
+//!   discipline the `lifecycle-single-writer` xtask lint enforces for the
+//!   state machine itself, lifted one level up.
+//! - Peers (the fleet scheduler, probe planner, fault/impairment layers)
+//!   never touch a lifecycle. They queue typed [`Intent`]s through an
+//!   [`Io`] implementation, and the handler drains the queue once per
+//!   [`StateHandler::pass`], applying each intent at its timestamp and
+//!   accounting per-resource metrics.
+//!
+//! Determinism: a pass applies intents in exactly the order the [`Io`]
+//! yields them. Lanes (per-UE state) are independent, so any schedule
+//! that preserves each UE's own intent order produces bit-identical
+//! lifecycle evolutions — the property the fleet's shard-count-invariant
+//! digest rests on. Lane lookup is a binary search over a sorted id
+//! table, not a hash map, so iteration order is reproducible too.
+//!
+//! The steady-state pass is allocation-free: the drain buffer is owned by
+//! the handler and reused, and lifecycle logs only grow when a transition
+//! actually fires.
+
+use crate::linkstate::{LifecycleConfig, LinkLifecycle, LinkSignal, LinkState, Transition};
+use mmwave_hotpath::hot_path;
+
+/// Identity of one UE within a cell. Cell-local: the fleet layer maps
+/// global UE indices onto the ids it registered with the handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UeId(pub u32);
+
+impl std::fmt::Display for UeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ue{}", self.0)
+    }
+}
+
+/// What a peer wants the handler to feed a UE's lifecycle. Mirrors
+/// [`LinkSignal`] — intents are the *transport* form; the handler is the
+/// only code that turns them into signals and applies them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IntentKind {
+    /// A training/establishment attempt finished for this UE.
+    Establish {
+        /// The scan produced a usable link clearing the outage threshold.
+        ok: bool,
+        /// Post-establishment wideband SNR, dB.
+        snr_db: f64,
+    },
+    /// One maintenance window measured the live link.
+    SnrReport {
+        /// Wideband SNR over the window, dB.
+        snr_db: f64,
+        /// Healthy reference (best establishment SNR), dB.
+        ref_db: f64,
+        /// Maintenance lost the plot (deep unexplained drop).
+        unexplained_drop: bool,
+    },
+}
+
+/// One queued instruction: *which* UE, *when* (front-end clock), *what*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Intent {
+    /// Target UE.
+    pub ue: UeId,
+    /// Front-end timestamp the signal applies at, seconds.
+    pub t_s: f64,
+    /// The typed payload.
+    pub kind: IntentKind,
+}
+
+/// The mailbox interface between peers and the handler. Peers only ever
+/// [`Io::submit`]; the handler drains everything queued since the last
+/// pass with [`Io::drain_into`] (FIFO, preserving submission order).
+pub trait Io {
+    /// Queues one intent.
+    fn submit(&mut self, intent: Intent);
+
+    /// Moves every queued intent into `out` (appending, oldest first) and
+    /// leaves the queue empty. Implementations must preserve submission
+    /// order — the handler's determinism contract depends on it.
+    fn drain_into(&mut self, out: &mut Vec<Intent>);
+
+    /// Queued intents not yet drained.
+    fn pending(&self) -> usize;
+}
+
+/// The default FIFO queue: a reused `Vec`, allocation-free in steady
+/// state once it reaches its high-water mark.
+#[derive(Debug, Default)]
+pub struct IntentQueue {
+    queue: Vec<Intent>,
+}
+
+impl IntentQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Io for IntentQueue {
+    fn submit(&mut self, intent: Intent) {
+        self.queue.push(intent);
+    }
+
+    #[hot_path]
+    fn drain_into(&mut self, out: &mut Vec<Intent>) {
+        out.append(&mut self.queue);
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Per-UE resource accounting the handler emits as it drains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UeMetrics {
+    /// Intents applied to this UE's lifecycle.
+    pub intents: u64,
+    /// Transitions those intents fired.
+    pub transitions: u64,
+    /// Passes this UE ended in an established state (`Steady`/`Degraded`).
+    pub established_passes: u64,
+    /// Handler passes that touched this UE at all.
+    pub active_passes: u64,
+}
+
+/// What one [`StateHandler::pass`] did, in aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass sequence number (0-based).
+    pub pass: u64,
+    /// Intents drained and applied.
+    pub applied: u64,
+    /// Transitions fired across all lanes.
+    pub transitions: u64,
+    /// Intents addressed to an unregistered UE (dropped, never applied).
+    pub rejected: u64,
+}
+
+/// One UE's state lane: the lifecycle plus its running metrics.
+#[derive(Debug)]
+struct Lane {
+    ue: UeId,
+    lifecycle: LinkLifecycle,
+    metrics: UeMetrics,
+    touched: bool,
+}
+
+/// The single writer of per-UE lifecycle state in a cell.
+///
+/// Construction registers the full UE set up front; [`StateHandler::pass`]
+/// then drains an [`Io`] queue and applies each intent through
+/// [`LinkLifecycle::apply`] — the state machine's own sole mutation point
+/// — so the whole cell preserves the single-transition-point invariant of
+/// DESIGN.md §6 at fleet scale.
+#[derive(Debug)]
+pub struct StateHandler {
+    /// Sorted by id: lookup is a deterministic binary search.
+    lanes: Vec<Lane>,
+    passes: u64,
+    /// Reused drain buffer (steady-state passes never allocate).
+    scratch: Vec<Intent>,
+}
+
+impl StateHandler {
+    /// Registers `ues` (deduplicated, sorted internally) with one fresh
+    /// lifecycle per UE under a shared configuration.
+    pub fn new(ues: impl IntoIterator<Item = UeId>, cfg: LifecycleConfig) -> Self {
+        let mut ids: Vec<UeId> = ues.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let lanes = ids
+            .into_iter()
+            .map(|ue| Lane {
+                ue,
+                lifecycle: LinkLifecycle::new(cfg),
+                metrics: UeMetrics::default(),
+                touched: false,
+            })
+            .collect();
+        Self {
+            lanes,
+            passes: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Registered UE count.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when no UE is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Passes executed so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    fn lane_idx(&self, ue: UeId) -> Option<usize> {
+        self.lanes.binary_search_by_key(&ue, |l| l.ue).ok()
+    }
+
+    /// Current lifecycle state of a UE (`None` for unregistered ids).
+    pub fn state(&self, ue: UeId) -> Option<LinkState> {
+        self.lane_idx(ue).map(|i| self.lanes[i].lifecycle.state())
+    }
+
+    /// Whether the lifecycle wants a training scan for this UE now — the
+    /// probe planner reads this; it never writes.
+    pub fn should_scan(&self, ue: UeId, t_s: f64) -> bool {
+        self.lane_idx(ue)
+            .is_some_and(|i| self.lanes[i].lifecycle.should_scan(t_s))
+    }
+
+    /// Per-UE metrics accumulated so far (`None` for unregistered ids).
+    pub fn metrics(&self, ue: UeId) -> Option<&UeMetrics> {
+        self.lane_idx(ue).map(|i| &self.lanes[i].metrics)
+    }
+
+    /// The transition log a UE's lifecycle has accumulated (not drained).
+    pub fn transition_log(&self, ue: UeId) -> &[Transition] {
+        self.lane_idx(ue)
+            .map(|i| self.lanes[i].lifecycle.log())
+            .unwrap_or(&[])
+    }
+
+    /// Drains one UE's accumulated transitions (end-of-run export).
+    pub fn drain_transitions(&mut self, ue: UeId) -> Vec<Transition> {
+        match self.lane_idx(ue) {
+            Some(i) => self.lanes[i].lifecycle.drain_log(),
+            None => Vec::new(),
+        }
+    }
+
+    /// One handler pass: drains everything queued in `io`, applies each
+    /// intent to its lane in FIFO order, and updates per-resource metrics.
+    /// The only call site in the cell that mutates lifecycle state.
+    #[hot_path]
+    pub fn pass(&mut self, io: &mut dyn Io) -> PassStats {
+        let mut batch = std::mem::take(&mut self.scratch);
+        batch.clear();
+        io.drain_into(&mut batch);
+        let mut stats = PassStats {
+            pass: self.passes,
+            ..PassStats::default()
+        };
+        for lane in &mut self.lanes {
+            lane.touched = false;
+        }
+        for intent in &batch {
+            let Some(i) = self.lane_idx(intent.ue) else {
+                stats.rejected += 1;
+                continue;
+            };
+            let lane = &mut self.lanes[i];
+            let sig = match intent.kind {
+                IntentKind::Establish { ok, snr_db } => LinkSignal::EstablishResult { ok, snr_db },
+                IntentKind::SnrReport {
+                    snr_db,
+                    ref_db,
+                    unexplained_drop,
+                } => LinkSignal::SnrReport {
+                    snr_db,
+                    ref_db,
+                    unexplained_drop,
+                },
+            };
+            let fired = lane.lifecycle.apply(sig, intent.t_s);
+            lane.metrics.intents += 1;
+            lane.touched = true;
+            stats.applied += 1;
+            if fired.is_some() {
+                lane.metrics.transitions += 1;
+                stats.transitions += 1;
+            }
+        }
+        for lane in &mut self.lanes {
+            if lane.touched {
+                lane.metrics.active_passes += 1;
+                if lane.lifecycle.state().is_established() {
+                    lane.metrics.established_passes += 1;
+                }
+            }
+        }
+        self.passes += 1;
+        self.scratch = batch;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkstate::LinkStateKind;
+
+    fn handler(n: u32) -> StateHandler {
+        StateHandler::new((0..n).map(UeId), LifecycleConfig::default())
+    }
+
+    fn establish(io: &mut IntentQueue, ue: u32, t_s: f64, snr_db: f64) {
+        io.submit(Intent {
+            ue: UeId(ue),
+            t_s,
+            kind: IntentKind::Establish {
+                ok: snr_db > 6.0,
+                snr_db,
+            },
+        });
+    }
+
+    #[test]
+    fn establishes_independent_lanes() {
+        let mut h = handler(3);
+        let mut io = IntentQueue::new();
+        establish(&mut io, 0, 0.01, 25.0);
+        establish(&mut io, 2, 0.01, -60.0);
+        let stats = h.pass(&mut io);
+        assert_eq!(stats.applied, 2);
+        assert_eq!(stats.transitions, 2); // Established + AcquireFailed self-loop.
+        assert_eq!(h.state(UeId(0)).unwrap().kind(), LinkStateKind::Steady);
+        assert_eq!(h.state(UeId(1)).unwrap().kind(), LinkStateKind::Acquiring);
+        assert_eq!(h.state(UeId(2)).unwrap().kind(), LinkStateKind::Acquiring);
+        assert_eq!(h.metrics(UeId(0)).unwrap().established_passes, 1);
+        assert_eq!(h.metrics(UeId(1)).unwrap().active_passes, 0);
+    }
+
+    #[test]
+    fn snr_collapse_reaches_outage_via_handler_only() {
+        let mut h = handler(1);
+        let mut io = IntentQueue::new();
+        establish(&mut io, 0, 0.01, 25.0);
+        h.pass(&mut io);
+        io.submit(Intent {
+            ue: UeId(0),
+            t_s: 0.05,
+            kind: IntentKind::SnrReport {
+                snr_db: -10.0,
+                ref_db: 25.0,
+                unexplained_drop: false,
+            },
+        });
+        let stats = h.pass(&mut io);
+        assert_eq!(stats.transitions, 1);
+        assert_eq!(h.state(UeId(0)).unwrap().kind(), LinkStateKind::Outage);
+        assert_eq!(h.metrics(UeId(0)).unwrap().intents, 2);
+        assert_eq!(h.transition_log(UeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn unknown_ue_is_rejected_not_applied() {
+        let mut h = handler(1);
+        let mut io = IntentQueue::new();
+        establish(&mut io, 9, 0.01, 25.0);
+        let stats = h.pass(&mut io);
+        assert_eq!(stats.applied, 0);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn pass_order_within_a_lane_is_fifo() {
+        // Establish then collapse in one batch: the lane must end in
+        // Outage (collapse applied second), not Steady.
+        let mut h = handler(1);
+        let mut io = IntentQueue::new();
+        establish(&mut io, 0, 0.01, 25.0);
+        io.submit(Intent {
+            ue: UeId(0),
+            t_s: 0.02,
+            kind: IntentKind::SnrReport {
+                snr_db: -10.0,
+                ref_db: 25.0,
+                unexplained_drop: false,
+            },
+        });
+        h.pass(&mut io);
+        assert_eq!(h.state(UeId(0)).unwrap().kind(), LinkStateKind::Outage);
+    }
+
+    #[test]
+    fn interleaving_across_lanes_does_not_change_outcomes() {
+        // Same per-UE intent sequences, different cross-UE interleavings:
+        // identical per-lane end states and logs (the shard-invariance
+        // property at the handler level).
+        let run = |swap: bool| {
+            let mut h = handler(2);
+            let mut io = IntentQueue::new();
+            let a = Intent {
+                ue: UeId(0),
+                t_s: 0.01,
+                kind: IntentKind::Establish {
+                    ok: true,
+                    snr_db: 25.0,
+                },
+            };
+            let b = Intent {
+                ue: UeId(1),
+                t_s: 0.01,
+                kind: IntentKind::Establish {
+                    ok: true,
+                    snr_db: 18.0,
+                },
+            };
+            if swap {
+                io.submit(b);
+                io.submit(a);
+            } else {
+                io.submit(a);
+                io.submit(b);
+            }
+            h.pass(&mut io);
+            for ue in [UeId(0), UeId(1)] {
+                io.submit(Intent {
+                    ue,
+                    t_s: 0.04,
+                    kind: IntentKind::SnrReport {
+                        snr_db: 24.0,
+                        ref_db: 25.0,
+                        unexplained_drop: false,
+                    },
+                });
+            }
+            h.pass(&mut io);
+            (
+                h.drain_transitions(UeId(0)),
+                h.drain_transitions(UeId(1)),
+                *h.metrics(UeId(0)).unwrap(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn steady_state_pass_is_reusable_without_growth() {
+        let mut h = handler(4);
+        let mut io = IntentQueue::new();
+        for ue in 0..4 {
+            establish(&mut io, ue, 0.01, 25.0);
+        }
+        h.pass(&mut io);
+        for p in 1..50u64 {
+            for ue in 0..4 {
+                io.submit(Intent {
+                    ue: UeId(ue),
+                    t_s: 0.01 + p as f64 * 0.025,
+                    kind: IntentKind::SnrReport {
+                        snr_db: 24.0,
+                        ref_db: 25.0,
+                        unexplained_drop: false,
+                    },
+                });
+            }
+            let stats = h.pass(&mut io);
+            assert_eq!(stats.applied, 4);
+            assert_eq!(stats.transitions, 0);
+        }
+        assert_eq!(h.passes(), 50);
+        assert_eq!(h.metrics(UeId(3)).unwrap().established_passes, 50);
+    }
+}

@@ -37,6 +37,17 @@ pub struct ProbeObservation {
 }
 
 impl ProbeObservation {
+    /// An empty observation, suitable as reusable scratch for
+    /// [`ChannelSounder::probe_snapshot_into`]-style fillers: the `Vec`
+    /// buffers grow to the comb size on first use and are reused after.
+    pub fn empty() -> Self {
+        Self {
+            csi: Vec::new(),
+            freqs_hz: Vec::new(),
+            noise_power_mw: 0.0,
+        }
+    }
+
     /// Mean received power across the comb, mW, de-biased by the noise
     /// floor (floored at 0).
     pub fn mean_power_mw(&self) -> f64 {

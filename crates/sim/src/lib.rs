@@ -23,6 +23,12 @@
 //!   end: oscillator phase noise, PA AM/AM + AM/PM compression,
 //!   per-element mismatch, mutual coupling, ADC quantization/clipping, and
 //!   LO leakage — all-off is bit-identical to the bare front end.
+//! - [`fleet`] — the multi-UE cell: N independent per-UE links sharing
+//!   one precomputed environment ([`mmwave_channel::SharedSceneCache`]),
+//!   their lifecycle state owned by one [`mmreliable::StateHandler`] per
+//!   shard, scheduled deterministically so the fleet digest is invariant
+//!   to worker/shard count and a fleet of size 1 is bit-identical to the
+//!   single-link pipeline.
 //! - [`runner`] — seeded multi-run sweeps across OS threads with
 //!   aggregation.
 //! - [`campaign`] — the resilient campaign supervisor: watchdogged
@@ -42,6 +48,7 @@
 #![warn(missing_docs)]
 pub mod campaign;
 pub mod faults;
+pub mod fleet;
 pub mod impairments;
 pub mod metrics;
 pub mod runner;
@@ -54,10 +61,14 @@ pub use campaign::{
     Job, JournalEntry,
 };
 pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, ProbeLossWindow};
+pub use fleet::{
+    fleet_digest, fleet_note, parse_fleet_scenario, replay_fleet_entry, run_fleet, shard_of,
+    ue_seed, FleetConfig, FleetReplay, FleetReport, FleetScenarioRef, FleetShard, UeOutcome,
+};
 pub use impairments::{
     ImpairedFrontEnd, ImpairmentConfig, ImpairmentEvent, ImpairmentKind, ImpairmentStage,
 };
 pub use metrics::{csv_field, csv_parse_row, RunCounters, RunEvent, RunResult, Sample};
 pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
 pub use scenario::Scenario;
-pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd, SlotWorkspace};
+pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd, SlotLoop, SlotWorkspace};

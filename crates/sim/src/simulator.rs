@@ -341,10 +341,279 @@ impl SimFrontEnd for LinkSimulator {
     }
 }
 
+/// The run loop as an explicit, resumable state machine.
+///
+/// [`run_front_end`] drives it to completion in one call — the single-link
+/// path. The fleet scheduler instead interleaves many UEs by stepping each
+/// one's `SlotLoop` to the next handler-pass boundary with
+/// [`SlotLoop::advance_until`]: per-UE state (samples, events, weight
+/// scratch, tick phase) lives here, so a paused UE resumes exactly where
+/// it stopped and executes the identical iteration sequence a single
+/// uninterrupted run would — stepping is control-flow slicing, never an
+/// arithmetic change, which is what keeps a fleet of size 1 bit-identical
+/// to the pre-fleet pipeline.
+pub struct SlotLoop {
+    /// Total simulated span: warm-up + measured window, seconds.
+    total_s: f64,
+    tick_period_s: f64,
+    warmup_s: f64,
+    slot_s: f64,
+    scenario_name: String,
+    samples: Vec<Sample>,
+    events: Vec<RunEvent>,
+    // Per-slot weight scratch: allocated once at construction, reused
+    // every slot.
+    w_data: BeamWeights,
+    w_rad: BeamWeights,
+    next_tick: f64,
+    done: bool,
+    #[cfg(feature = "telemetry")]
+    tracer: mmwave_telemetry::Tracer,
+    #[cfg(feature = "telemetry")]
+    slot_idx: u64,
+}
+
+impl SlotLoop {
+    /// Prepares a run over `h` × `strategy`: resets the front end's
+    /// counters, installs the tracer across the strategy stack, and
+    /// allocates the per-run buffers at their high-water capacity.
+    pub fn new<H: SimFrontEnd>(
+        h: &mut H,
+        strategy: &mut dyn BeamStrategy,
+        duration_s: f64,
+        tick_period_s: f64,
+        scenario_name: &str,
+        warmup_s: f64,
+    ) -> Self {
+        assert!(duration_s > 0.0 && tick_period_s > 0.0 && warmup_s >= 0.0);
+        let total_s = warmup_s + duration_s;
+        let slot_s = h.sim().slot_s;
+        h.sim_mut().counters = RunCounters::default();
+        // One tracer covers every layer: clear its histograms for this run
+        // and hand it to the strategy (which forwards it to the controller
+        // and lifecycle machine).
+        #[cfg(feature = "telemetry")]
+        let tracer = {
+            let tracer = h.sim().tracer();
+            tracer.reset();
+            strategy.set_tracer(tracer.clone());
+            tracer
+        };
+        #[cfg(not(feature = "telemetry"))]
+        let _ = &strategy;
+        let samples = Vec::with_capacity(
+            (total_s / slot_s) as usize + (total_s / tick_period_s) as usize + 16,
+        );
+        let n_elements = h.sim().geom.num_elements();
+        Self {
+            total_s,
+            tick_period_s,
+            warmup_s,
+            slot_s,
+            scenario_name: scenario_name.to_string(),
+            samples,
+            events: Vec::new(),
+            w_data: BeamWeights::muted(n_elements),
+            w_rad: BeamWeights::muted(n_elements),
+            next_tick: 0.0,
+            done: true, // set false below; placates the uninit lint
+            #[cfg(feature = "telemetry")]
+            tracer,
+            #[cfg(feature = "telemetry")]
+            slot_idx: 0,
+        }
+        .started()
+    }
+
+    fn started(mut self) -> Self {
+        self.done = false;
+        self
+    }
+
+    /// True once the run has covered its full simulated span.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Samples recorded so far (the fleet's intent derivation reads the
+    /// tail of this between passes).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Total simulated span (warm-up + measurement), seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total_s
+    }
+
+    /// Runs loop iterations until simulated time reaches `t_end_s` (or the
+    /// run's end, whichever is first) and reports whether the run is done.
+    /// Passing `f64::INFINITY` runs to completion. Iterations are executed
+    /// in exactly the order an uninterrupted run would execute them.
+    #[hot_path]
+    pub fn advance_until<H: SimFrontEnd>(
+        &mut self,
+        h: &mut H,
+        strategy: &mut dyn BeamStrategy,
+        t_end_s: f64,
+    ) -> bool {
+        while !self.done && h.sim().t_s < self.total_s && h.sim().t_s < t_end_s {
+            // Supervisor checkpoint: a cancelled run (deadline or tick
+            // budget) unwinds here with the CancelUnwind payload rather
+            // than finishing the sweep — the campaign layer classifies
+            // that as a timeout.
+            h.sim().cancel.checkpoint();
+            // Maintenance tick: the strategy may probe (advancing time).
+            if h.sim().t_s >= self.next_tick {
+                h.sim().cancel.note_tick();
+                strategy.observe_truth(h.sim_mut().channel_now());
+                #[cfg(feature = "perf-counters")]
+                {
+                    h.sim_mut().counters.ticks += 1;
+                }
+                let t0 = h.sim().t_s;
+                #[cfg(feature = "telemetry")]
+                let clock = self.tracer.begin();
+                strategy.on_tick(h, t0);
+                #[cfg(feature = "telemetry")]
+                self.tracer
+                    .end(clock, mmwave_telemetry::Stage::TickCompute, t0);
+                self.events.extend(
+                    strategy
+                        .drain_transitions()
+                        .into_iter()
+                        .map(RunEvent::Transition),
+                );
+                self.events
+                    .extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
+                self.events.extend(
+                    h.drain_impairment_events()
+                        .into_iter()
+                        .map(RunEvent::Impairment),
+                );
+                if h.sim().t_s > t0 {
+                    self.samples.push(Sample {
+                        t_s: t0,
+                        dur_s: h.sim().t_s - t0,
+                        snr_db: f64::NAN,
+                        probing: true,
+                    });
+                    #[cfg(feature = "telemetry")]
+                    self.tracer.slot(mmwave_telemetry::SlotTrace {
+                        slot: self.slot_idx,
+                        t_s: t0,
+                        snr_db: f64::NAN,
+                        blockage_db: h.sim().blockage_severity_db(),
+                        probing: true,
+                        outage: false,
+                    });
+                }
+                while self.next_tick <= h.sim().t_s {
+                    self.next_tick += self.tick_period_s;
+                }
+                // A retrain scan can probe past the end of the run (heavy
+                // retraining under faults/impairments): there is no data
+                // slot left to radiate, and emitting one would record a
+                // non-positive interval.
+                if h.sim().t_s >= self.total_s {
+                    self.done = true;
+                    break;
+                }
+            }
+            // Data slot under the strategy's current weights (as actually
+            // radiated by the possibly-faulted hardware). The snapshot
+            // behind `channel_now` stays valid through the whole slot —
+            // the truth observer, fault layer, and SNR metric all read the
+            // same frozen channel without re-evaluating the environment.
+            #[cfg(feature = "telemetry")]
+            let clock = self.tracer.begin();
+            strategy.observe_truth(h.sim_mut().channel_now());
+            strategy.weights_into(&mut self.w_data);
+            h.radiated_weights_into(&self.w_data, &mut self.w_rad);
+            let snr = h.sim_mut().true_snr_db(&self.w_rad);
+            #[cfg(feature = "telemetry")]
+            self.tracer
+                .end(clock, mmwave_telemetry::Stage::DataSlot, h.sim().t_s);
+            #[cfg(feature = "perf-counters")]
+            {
+                h.sim_mut().counters.data_slots += 1;
+            }
+            let t_s = h.sim().t_s;
+            let dur = self
+                .slot_s
+                .min(self.total_s - t_s)
+                .min((self.next_tick - t_s).max(1e-9));
+            self.samples.push(Sample {
+                t_s,
+                dur_s: dur,
+                snr_db: snr,
+                probing: false,
+            });
+            #[cfg(feature = "telemetry")]
+            {
+                self.tracer.slot(mmwave_telemetry::SlotTrace {
+                    slot: self.slot_idx,
+                    t_s,
+                    snr_db: snr,
+                    blockage_db: h.sim().blockage_severity_db(),
+                    probing: false,
+                    outage: snr < h.sim().outage_snr_db,
+                });
+                self.slot_idx += 1;
+            }
+            h.sim_mut().t_s += dur;
+        }
+        if h.sim().t_s >= self.total_s {
+            self.done = true;
+        }
+        self.done
+    }
+
+    /// Final drains and record assembly. Valid at any point (the campaign
+    /// layer's cancellation unwinds instead of finishing), but the normal
+    /// caller steps the loop to completion first.
+    pub fn finish<H: SimFrontEnd>(
+        mut self,
+        h: &mut H,
+        strategy: &mut dyn BeamStrategy,
+    ) -> RunResult {
+        self.events.extend(
+            strategy
+                .drain_transitions()
+                .into_iter()
+                .map(RunEvent::Transition),
+        );
+        self.events
+            .extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
+        self.events.extend(
+            h.drain_impairment_events()
+                .into_iter()
+                .map(RunEvent::Impairment),
+        );
+        let sim = h.sim();
+        RunResult {
+            strategy: strategy.name().to_string(),
+            scenario: self.scenario_name,
+            samples: self.samples,
+            bandwidth_hz: sim.sounder.grid.occupied_bw_hz(),
+            outage_snr_db: sim.outage_snr_db,
+            probes: sim.probes,
+            probe_airtime_s: sim.probe_airtime_s,
+            measure_from_s: self.warmup_s,
+            events: self.events,
+            counters: sim.counters,
+            #[cfg(feature = "telemetry")]
+            latency: sim.tracer.latency(),
+            #[cfg(not(feature = "telemetry"))]
+            latency: mmwave_telemetry::RunLatency::default(),
+        }
+    }
+}
+
 /// The run loop, generic over the front-end stack: plays `strategy` for
 /// `warmup_s + duration_s`, ticking it every `tick_period_s`, recording
 /// per-slot samples plus every lifecycle transition and injected fault
-/// into the returned [`RunResult`].
+/// into the returned [`RunResult`]. A thin driver over [`SlotLoop`].
 pub fn run_front_end<H: SimFrontEnd>(
     h: &mut H,
     strategy: &mut dyn BeamStrategy,
@@ -353,160 +622,16 @@ pub fn run_front_end<H: SimFrontEnd>(
     scenario_name: &str,
     warmup_s: f64,
 ) -> RunResult {
-    assert!(duration_s > 0.0 && tick_period_s > 0.0 && warmup_s >= 0.0);
-    let duration_s = warmup_s + duration_s;
-    let slot_s = h.sim().slot_s;
-    h.sim_mut().counters = RunCounters::default();
-    // One tracer covers every layer: clear its histograms for this run
-    // and hand it to the strategy (which forwards it to the controller
-    // and lifecycle machine).
-    #[cfg(feature = "telemetry")]
-    let tracer = {
-        let tracer = h.sim().tracer();
-        tracer.reset();
-        strategy.set_tracer(tracer.clone());
-        tracer
-    };
-    #[cfg(feature = "telemetry")]
-    let mut slot_idx: u64 = 0;
-    let mut samples = Vec::with_capacity(
-        (duration_s / slot_s) as usize + (duration_s / tick_period_s) as usize + 16,
+    let mut sl = SlotLoop::new(
+        h,
+        strategy,
+        duration_s,
+        tick_period_s,
+        scenario_name,
+        warmup_s,
     );
-    let mut events: Vec<RunEvent> = Vec::new();
-    // Per-slot weight scratch: allocated once here, reused every slot.
-    let n_elements = h.sim().geom.num_elements();
-    let mut w_data = BeamWeights::muted(n_elements);
-    let mut w_rad = BeamWeights::muted(n_elements);
-    let mut next_tick = 0.0f64;
-    while h.sim().t_s < duration_s {
-        // Supervisor checkpoint: a cancelled run (deadline or tick budget)
-        // unwinds here with the CancelUnwind payload rather than finishing
-        // the sweep — the campaign layer classifies that as a timeout.
-        h.sim().cancel.checkpoint();
-        // Maintenance tick: the strategy may probe (advancing time).
-        if h.sim().t_s >= next_tick {
-            h.sim().cancel.note_tick();
-            strategy.observe_truth(h.sim_mut().channel_now());
-            #[cfg(feature = "perf-counters")]
-            {
-                h.sim_mut().counters.ticks += 1;
-            }
-            let t0 = h.sim().t_s;
-            #[cfg(feature = "telemetry")]
-            let clock = tracer.begin();
-            strategy.on_tick(h, t0);
-            #[cfg(feature = "telemetry")]
-            tracer.end(clock, mmwave_telemetry::Stage::TickCompute, t0);
-            events.extend(
-                strategy
-                    .drain_transitions()
-                    .into_iter()
-                    .map(RunEvent::Transition),
-            );
-            events.extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
-            events.extend(
-                h.drain_impairment_events()
-                    .into_iter()
-                    .map(RunEvent::Impairment),
-            );
-            if h.sim().t_s > t0 {
-                samples.push(Sample {
-                    t_s: t0,
-                    dur_s: h.sim().t_s - t0,
-                    snr_db: f64::NAN,
-                    probing: true,
-                });
-                #[cfg(feature = "telemetry")]
-                tracer.slot(mmwave_telemetry::SlotTrace {
-                    slot: slot_idx,
-                    t_s: t0,
-                    snr_db: f64::NAN,
-                    blockage_db: h.sim().blockage_severity_db(),
-                    probing: true,
-                    outage: false,
-                });
-            }
-            while next_tick <= h.sim().t_s {
-                next_tick += tick_period_s;
-            }
-            // A retrain scan can probe past the end of the run (heavy
-            // retraining under faults/impairments): there is no data slot
-            // left to radiate, and emitting one would record a
-            // non-positive interval.
-            if h.sim().t_s >= duration_s {
-                break;
-            }
-        }
-        // Data slot under the strategy's current weights (as actually
-        // radiated by the possibly-faulted hardware). The snapshot behind
-        // `channel_now` stays valid through the whole slot — the truth
-        // observer, fault layer, and SNR metric all read the same frozen
-        // channel without re-evaluating the environment.
-        #[cfg(feature = "telemetry")]
-        let clock = tracer.begin();
-        strategy.observe_truth(h.sim_mut().channel_now());
-        strategy.weights_into(&mut w_data);
-        h.radiated_weights_into(&w_data, &mut w_rad);
-        let snr = h.sim_mut().true_snr_db(&w_rad);
-        #[cfg(feature = "telemetry")]
-        tracer.end(clock, mmwave_telemetry::Stage::DataSlot, h.sim().t_s);
-        #[cfg(feature = "perf-counters")]
-        {
-            h.sim_mut().counters.data_slots += 1;
-        }
-        let t_s = h.sim().t_s;
-        let dur = slot_s
-            .min(duration_s - t_s)
-            .min((next_tick - t_s).max(1e-9));
-        samples.push(Sample {
-            t_s,
-            dur_s: dur,
-            snr_db: snr,
-            probing: false,
-        });
-        #[cfg(feature = "telemetry")]
-        {
-            tracer.slot(mmwave_telemetry::SlotTrace {
-                slot: slot_idx,
-                t_s,
-                snr_db: snr,
-                blockage_db: h.sim().blockage_severity_db(),
-                probing: false,
-                outage: snr < h.sim().outage_snr_db,
-            });
-            slot_idx += 1;
-        }
-        h.sim_mut().t_s += dur;
-    }
-    events.extend(
-        strategy
-            .drain_transitions()
-            .into_iter()
-            .map(RunEvent::Transition),
-    );
-    events.extend(h.drain_fault_events().into_iter().map(RunEvent::Fault));
-    events.extend(
-        h.drain_impairment_events()
-            .into_iter()
-            .map(RunEvent::Impairment),
-    );
-    let sim = h.sim();
-    RunResult {
-        strategy: strategy.name().to_string(),
-        scenario: scenario_name.to_string(),
-        samples,
-        bandwidth_hz: sim.sounder.grid.occupied_bw_hz(),
-        outage_snr_db: sim.outage_snr_db,
-        probes: sim.probes,
-        probe_airtime_s: sim.probe_airtime_s,
-        measure_from_s: warmup_s,
-        events,
-        counters: sim.counters,
-        #[cfg(feature = "telemetry")]
-        latency: sim.tracer.latency(),
-        #[cfg(not(feature = "telemetry"))]
-        latency: mmwave_telemetry::RunLatency::default(),
-    }
+    sl.advance_until(h, strategy, f64::INFINITY);
+    sl.finish(h, strategy)
 }
 
 impl LinkFrontEnd for LinkSimulator {
@@ -515,16 +640,22 @@ impl LinkFrontEnd for LinkSimulator {
     }
 
     fn probe_kind(&mut self, weights: &BeamWeights, kind: ProbeKind) -> ProbeObservation {
+        let mut obs = ProbeObservation::empty();
+        self.probe_kind_into(weights, kind, &mut obs);
+        obs
+    }
+
+    fn probe_kind_into(
+        &mut self,
+        weights: &BeamWeights,
+        kind: ProbeKind,
+        out: &mut ProbeObservation,
+    ) {
         #[cfg(feature = "telemetry")]
         let clock = self.tracer.begin();
         self.refresh_snapshot();
-        let mut obs = ProbeObservation {
-            csi: Vec::new(),
-            freqs_hz: Vec::new(),
-            noise_power_mw: 0.0,
-        };
         self.sounder
-            .probe_snapshot_into(&mut self.ws.snapshot, weights, &mut self.rng, &mut obs);
+            .probe_snapshot_into(&mut self.ws.snapshot, weights, &mut self.rng, out);
         self.t_s += kind.airtime_s();
         self.probes += 1;
         self.probe_airtime_s += kind.airtime_s();
@@ -539,11 +670,10 @@ impl LinkFrontEnd for LinkSimulator {
                         ProbeKind::Ssb => "ssb",
                         ProbeKind::CsiRs => "csi-rs",
                     },
-                    snr_db: obs.snr_db(),
+                    snr_db: out.snr_db(),
                 });
             }
         }
-        obs
     }
 
     fn wait(&mut self, dur_s: f64) {

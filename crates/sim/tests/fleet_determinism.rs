@@ -1,0 +1,108 @@
+//! Fleet digest determinism: for random small fleets, the fleet digest is
+//! bit-identical across worker/shard counts (1, 2, and the machine's
+//! available parallelism) and across a kill + resume through the
+//! crash-consistent journal — parallelism and crash recovery change
+//! wall-clock, never results.
+
+use mmwave_sim::fleet::{run_fleet, FleetConfig};
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_journal(tag: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "mmwave-fleet-{tag}-{}-{}.jsonl",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn cfg(scenario: &str, n_ues: u32, seed: u64, threads: usize, shards: usize) -> FleetConfig {
+    FleetConfig {
+        threads,
+        shards,
+        ..FleetConfig::new(scenario, "single-beam-reactive", n_ues, seed)
+    }
+}
+
+fn arb_scenario() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("translation-1s"), Just("mobile-blockage")]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Worker and shard counts are batching knobs only: 1 worker, 2
+    /// workers, and every available core produce the same fleet digest,
+    /// as do mismatched shard counts.
+    #[test]
+    fn digest_is_invariant_to_worker_and_shard_count(
+        scenario in arb_scenario(),
+        n_ues in 1u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let reference = run_fleet(&cfg(scenario, n_ues, seed, 1, 1)).expect("fleet runs");
+        for (threads, shards) in [(2, 2), (avail, avail), (2, n_ues as usize + 1)] {
+            let r = run_fleet(&cfg(scenario, n_ues, seed, threads, shards)).expect("fleet runs");
+            prop_assert_eq!(
+                reference.digest, r.digest,
+                "digest must not depend on threads={}/shards={}", threads, shards
+            );
+            prop_assert_eq!(reference.outcomes.len(), r.outcomes.len());
+        }
+    }
+
+    /// A fleet killed mid-flight resumes from its journal into exactly
+    /// the missing members, and the resumed fleet's digest is
+    /// bit-identical to an uninterrupted run — even with a torn trailing
+    /// journal line from the crash.
+    #[test]
+    fn kill_and_resume_reproduces_the_uninterrupted_digest(
+        scenario in arb_scenario(),
+        n_ues in 2u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let uninterrupted = run_fleet(&cfg(scenario, n_ues, seed, 1, 1)).expect("fleet runs");
+
+        // A completed journaled run gives us authentic journal lines to
+        // truncate into a "killed mid-flight" state.
+        let journal = temp_journal("resume");
+        let mut full = cfg(scenario, n_ues, seed, 2, 2);
+        full.journal = Some(journal.clone());
+        let complete = run_fleet(&full).expect("journaled fleet runs");
+        prop_assert_eq!(complete.digest, uninterrupted.digest);
+
+        // Keep only the first per-UE line (drop the rest and the
+        // aggregate), then append a torn half-line as a crash would.
+        let text = std::fs::read_to_string(&journal).expect("journal exists");
+        let keep: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains(":ue"))
+            .take(1)
+            .collect();
+        let kept = keep.len();
+        let mut body = keep.join("\n");
+        body.push('\n');
+        std::fs::write(&journal, body).expect("truncate journal");
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&journal)
+                .expect("journal exists");
+            f.write_all(b"{\"scenario\":\"fleet:trunc").expect("torn line");
+        }
+
+        let resumed = run_fleet(&full).expect("resumed fleet runs");
+        prop_assert_eq!(
+            resumed.digest, uninterrupted.digest,
+            "resume must reproduce the uninterrupted fleet digest"
+        );
+        prop_assert_eq!(resumed.resumed(), kept, "exactly the journaled members resume");
+        let _ = std::fs::remove_file(&journal);
+    }
+}

@@ -36,4 +36,4 @@ pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use hist::{LatencyHist, StageSummary, N_BUCKETS};
 pub use json::{field_f64, field_raw, field_str, field_u64, json_escape, validate_json_line};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, SlotTrace, TelemetrySink, TraceEvent};
-pub use tracer::{RunLatency, SpanClock, Stage, Tracer, STAGE_COUNT};
+pub use tracer::{RunLatency, SpanClock, Stage, StopWatch, Tracer, STAGE_COUNT};

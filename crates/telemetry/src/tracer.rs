@@ -126,6 +126,28 @@ impl std::fmt::Debug for Tracer {
 #[derive(Clone, Copy, Debug)]
 pub struct SpanClock(Option<Instant>);
 
+/// A plain wall-clock stopwatch for callers outside the [`Tracer`] span
+/// API — e.g. the fleet scheduler timing one handler pass per shard into
+/// a [`LatencyHist`]. Wall-clock readings must never feed back into
+/// simulation state (they are excluded from digests), so components under
+/// the determinism lint use this wrapper instead of naming `Instant`
+/// directly; keeping the clock behind this one type makes that rule
+/// auditable.
+#[derive(Clone, Copy, Debug)]
+pub struct StopWatch(Instant);
+
+impl StopWatch {
+    /// Starts (or restarts — just overwrite) the stopwatch.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Nanoseconds since [`StopWatch::start`], saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 impl Tracer {
     /// The no-op tracer: every call is a single branch.
     pub fn disabled() -> Self {

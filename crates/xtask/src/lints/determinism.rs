@@ -54,9 +54,12 @@ const FORBIDDEN: &[(&str, &str)] = &[
 ];
 
 /// Digest-affecting scope: the pure-compute crates plus the sim's
-/// runner/simulator and the hardware-impairment layer (the campaign
-/// supervisor is intentionally excluded — its wall clocks and maps never
-/// touch the payload).
+/// runner/simulator, the hardware-impairment layer, and the fleet
+/// scheduler — whose digest must stay invariant to worker/shard count,
+/// so it reads wall clocks only through `mmwave_telemetry::StopWatch`
+/// (latency-only, digest-excluded) and keys nothing on map order. The
+/// campaign supervisor is intentionally excluded — its wall clocks and
+/// maps never touch the payload.
 pub fn in_scope(rel: &Path) -> bool {
     let p = rel.to_string_lossy().replace('\\', "/");
     for c in ["channel", "dsp", "array", "phy", "core"] {
@@ -67,6 +70,7 @@ pub fn in_scope(rel: &Path) -> bool {
     p == "crates/sim/src/runner.rs"
         || p == "crates/sim/src/simulator.rs"
         || p == "crates/sim/src/impairments.rs"
+        || p == "crates/sim/src/fleet.rs"
 }
 
 pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {

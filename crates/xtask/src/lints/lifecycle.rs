@@ -14,9 +14,19 @@
 //!
 //! Reading, matching, cloning, or draining transitions is unrestricted —
 //! only *construction* is single-writer.
+//!
+//! The fleet refactor adds a second rule with the same shape one level
+//! up: in fleet mode, per-UE lifecycle state is written only by
+//! `StateHandler::pass` (crates/core/src/statehandler.rs), which is the
+//! sole site that converts queued intents into `LinkSignal`s. Any other
+//! module spelling `LinkSignal` outside `crates/core/src/` is driving a
+//! lifecycle machine directly instead of queueing an [`Intent`] — the
+//! exact back door the StateHandler/IO split closes. Core itself (the
+//! state machine, the single-link controller, the handler) is the
+//! allowed writer set; tests are exempt as above.
 
 use crate::diag::Finding;
-use crate::lints::snippet_at;
+use crate::lints::{find_token, snippet_at};
 use crate::regions::{in_any, test_regions};
 use crate::scrub::Scrubbed;
 use std::path::Path;
@@ -76,6 +86,29 @@ pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
                       (crates/core/src/linkstate.rs): the transition log must have one writer"
                 .to_string(),
         });
+    }
+    // Fleet-mode rule: outside core, lifecycle machines are driven only
+    // through the StateHandler's intent queue — naming `LinkSignal` at
+    // all means a module is feeding a lifecycle directly.
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if !p.starts_with("crates/core/src/") {
+        for off in find_token(&scrubbed.text, "LinkSignal") {
+            if in_any(&tests, off) {
+                continue;
+            }
+            let (line, col) = scrubbed.line_col(off);
+            out.push(Finding {
+                lint: "lifecycle-single-writer",
+                file: rel.to_path_buf(),
+                line,
+                col,
+                snippet: snippet_at(src, scrubbed, off),
+                message: "`LinkSignal` used outside crates/core/src/: fleet-mode lifecycle \
+                          state is written only by `StateHandler::pass` — queue an `Intent` \
+                          through the handler's `Io` instead of signalling a lifecycle directly"
+                    .to_string(),
+            });
+        }
     }
     out
 }

@@ -1,0 +1,53 @@
+// Fixture: determinism, hot-path, and lifecycle-single-writer violations
+// as they would look in the fleet scheduler. Linted at the virtual path
+// crates/sim/src/fleet.rs — never compiled.
+use mmwave_hotpath::hot_path;
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadFleetShard {
+    // Iteration order of per-UE lanes must not be process-seeded.
+    lanes: HashMap<u32, u64>,
+}
+
+impl BadFleetShard {
+    // Reading the wall clock into pass scheduling makes the fleet digest
+    // depend on machine load.
+    pub fn corrupt_pass(&mut self) -> u64 {
+        let t = Instant::now();
+        self.lanes.insert(0, 1);
+        t.elapsed().as_nanos() as u64
+    }
+
+    // Driving a lifecycle directly from the fleet loop bypasses the
+    // StateHandler — the single writer of per-UE lifecycle state.
+    pub fn corrupt_lifecycle(&mut self, lc: &mut mmreliable::linkstate::LinkLifecycle) {
+        let _ = lc.apply(
+            mmreliable::linkstate::LinkSignal::EstablishResult {
+                ok: true,
+                snr_db: 20.0,
+            },
+            0.0,
+        );
+    }
+}
+
+// A per-pass kernel that allocates violates the steady-state contract.
+#[hot_path]
+pub fn step_pass_badly(snrs: &mut [f64]) -> f64 {
+    let scratch: Vec<f64> = snrs.to_vec();
+    scratch.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        // Tests may drive lifecycles directly with LinkSignal values.
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -151,6 +151,61 @@ fn lifecycle_permits_reads_and_the_state_machine_itself() {
 }
 
 #[test]
+fn fleet_scheduler_is_determinism_hotpath_and_lifecycle_scoped() {
+    // The fleet module is digest-affecting (its digest must be invariant
+    // to worker/shard count): wall clocks, unordered maps, per-pass
+    // allocation, and direct lifecycle signalling must all fire at its
+    // path.
+    let src = include_str!("fixtures/fleet_fire.rs");
+    let found = lint("crates/sim/src/fleet.rs", src);
+    let det = found.iter().filter(|f| f.lint == "determinism").count();
+    let hot = found.iter().filter(|f| f.lint == "hot-path-alloc").count();
+    let lc = found
+        .iter()
+        .filter(|f| f.lint == "lifecycle-single-writer")
+        .count();
+    assert_eq!(det, 3, "findings: {found:#?}");
+    assert_eq!(hot, 1, "findings: {found:#?}");
+    assert_eq!(lc, 1, "findings: {found:#?}");
+    // The LinkSignal finding is the direct-drive call, not the exempt
+    // test module.
+    let signal = found
+        .iter()
+        .find(|f| f.lint == "lifecycle-single-writer")
+        .unwrap();
+    assert!(
+        signal.snippet.contains("LinkSignal"),
+        "findings: {found:#?}"
+    );
+    // The supervisor exemption must not leak to the fleet scheduler: the
+    // same source under campaign.rs raises no determinism findings.
+    let found = lint("crates/sim/src/campaign.rs", src);
+    assert!(found.iter().all(|f| f.lint != "determinism"));
+}
+
+#[test]
+fn fleet_idioms_stay_clean() {
+    // StopWatch wall time into a latency histogram, Vec-ordered lanes,
+    // and intents queued through Io are the sanctioned spellings.
+    let src = include_str!("fixtures/fleet_clean.rs");
+    let found = lint("crates/sim/src/fleet.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn core_owns_the_link_signal_vocabulary() {
+    // The state machine, controller, and StateHandler (crates/core/src/)
+    // are the allowed LinkSignal writers; everyone else must queue
+    // intents.
+    let src = include_str!("fixtures/fleet_fire.rs");
+    let found = lint("crates/core/src/fixture.rs", src);
+    assert!(
+        found.iter().all(|f| f.lint != "lifecycle-single-writer"),
+        "findings: {found:#?}"
+    );
+}
+
+#[test]
 fn reasonless_allow_is_rejected_and_does_not_suppress() {
     let src = include_str!("fixtures/allow_reasonless.rs");
     let found = lint("crates/channel/src/fixture.rs", src);
