@@ -19,12 +19,16 @@
 //! re-executes that one UE as a plain single-link cell (bit-identical to
 //! its in-fleet run), and a `fleet:{base}:{n}` aggregate line re-executes
 //! the whole fleet sequentially. Unrecognized fleet forms from newer
-//! writers warn and are skipped rather than failing the replay.
+//! writers warn and are skipped rather than failing the replay; unknown
+//! `spec:` scenario forms get the same treatment, deduped so one unknown
+//! form warns once per file.
 
 use mmwave_sim::campaign::{
     compiled_features, impairment_note, load_journal, replay_cell, JournalEntry,
 };
 use mmwave_sim::fleet::{fleet_note, replay_fleet_entry, FleetReplay};
+use mmwave_sim::spec::{spec_form_family, spec_note};
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -75,8 +79,9 @@ fn replay_fleet(entry: &JournalEntry, key: &mmwave_sim::campaign::CellKey) -> bo
 }
 
 /// Replays one entry; returns `true` when the fresh outcome agrees with
-/// the journal line.
-fn replay_one(entry: &JournalEntry) -> bool {
+/// the journal line. `warned_spec_forms` dedups unknown-spec-form notes
+/// so a journal full of one future form warns once, not per line.
+fn replay_one(entry: &JournalEntry, warned_spec_forms: &mut BTreeSet<String>) -> bool {
     let key = entry.key();
     // Observability features (perf counters, telemetry) are excluded from
     // the digest, so a feature mismatch is informational, not a
@@ -106,6 +111,19 @@ fn replay_one(entry: &JournalEntry) -> bool {
             return true;
         }
         return replay_fleet(entry, &key);
+    }
+    // Spec-form scenarios (`spec:v1:…` and beyond) get the same forward
+    // compatibility: a form from a newer writer this binary cannot parse
+    // warns and is skipped, and the warning dedups per spec family
+    // (`spec:v2:custom` warns once per file, not once per line).
+    if let Some(note) = spec_note(entry) {
+        let family = spec_form_family(&entry.scenario).to_string();
+        if warned_spec_forms.insert(family) {
+            println!("{key}: note: {note} — skipping, not a divergence");
+        } else {
+            println!("{key}: skipped (unknown spec form noted above)");
+        }
+        return true;
     }
     match replay_cell(entry) {
         Ok((result, digest)) => {
@@ -200,8 +218,9 @@ fn main() -> ExitCode {
     }
 
     let mut divergences = 0usize;
+    let mut warned_spec_forms = BTreeSet::new();
     for entry in &selected {
-        if !replay_one(entry) {
+        if !replay_one(entry, &mut warned_spec_forms) {
             divergences += 1;
         }
     }

@@ -138,6 +138,73 @@ pub fn is_legal_transition(from: LinkStateKind, to: LinkStateKind) -> bool {
     )
 }
 
+/// True when `kind` has at least one legal outgoing edge — the "machine
+/// never wedges" predicate. Every state in today's table has an exit; the
+/// predicate exists so run-level oracles (the scenario fuzzer, the
+/// `machine_never_wedges` property test) assert it against the table
+/// instead of hard-coding the table's current shape.
+pub fn has_legal_exit(kind: LinkStateKind) -> bool {
+    LinkStateKind::ALL
+        .into_iter()
+        .any(|to| is_legal_transition(kind, to))
+}
+
+/// Checks a recorded transition tape against the lifecycle contract: every
+/// edge is legal under [`is_legal_transition`], consecutive transitions
+/// chain (`to` of one is `from` of the next), timestamps never run
+/// backwards, and the final state is not wedged ([`has_legal_exit`]).
+///
+/// This is the run-level extension of the unit-tape `machine_never_wedges`
+/// property: the scenario fuzzer feeds it the full transition log of a
+/// simulated run (the sim crate's `RunResult::transitions`) so a lifecycle
+/// bug that only manifests under a particular channel/fault history still
+/// surfaces as a typed oracle failure. An empty tape is trivially legal.
+pub fn check_transition_tape<'a, I>(tape: I) -> Result<(), String>
+where
+    I: IntoIterator<Item = &'a Transition>,
+{
+    let mut prev: Option<&Transition> = None;
+    for tr in tape {
+        if !is_legal_transition(tr.from.kind(), tr.to.kind()) {
+            return Err(format!(
+                "illegal transition {} -> {} via {:?} at t={}",
+                tr.from.kind(),
+                tr.to.kind(),
+                tr.cause,
+                tr.t_s
+            ));
+        }
+        if let Some(p) = prev {
+            if p.to.kind() != tr.from.kind() {
+                return Err(format!(
+                    "transition chain broken: {} -> {} at t={} followed by {} -> {} at t={}",
+                    p.from.kind(),
+                    p.to.kind(),
+                    p.t_s,
+                    tr.from.kind(),
+                    tr.to.kind(),
+                    tr.t_s
+                ));
+            }
+            if tr.t_s < p.t_s {
+                return Err(format!(
+                    "transition stamped backwards in time: t={} after t={}",
+                    tr.t_s, p.t_s
+                ));
+            }
+        }
+        if !has_legal_exit(tr.to.kind()) {
+            return Err(format!(
+                "machine wedged: {} has no legal exits (entered at t={})",
+                tr.to.kind(),
+                tr.t_s
+            ));
+        }
+        prev = Some(tr);
+    }
+    Ok(())
+}
+
 /// Why a transition fired.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TransitionCause {

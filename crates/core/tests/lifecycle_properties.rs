@@ -103,11 +103,14 @@ proptest! {
             lc.apply(sig, t_s);
         }
         let kind = lc.state().kind();
-        let outgoing = mmreliable::linkstate::LinkStateKind::ALL
-            .into_iter()
-            .filter(|&to| is_legal_transition(kind, to))
-            .count();
-        prop_assert!(outgoing > 0, "{kind:?} has no legal exits");
+        prop_assert!(
+            mmreliable::linkstate::has_legal_exit(kind),
+            "{kind:?} has no legal exits"
+        );
+        prop_assert!(
+            mmreliable::linkstate::check_transition_tape(lc.log()).is_ok(),
+            "recorded tape violates the lifecycle contract"
+        );
         prop_assert_eq!(
             lc.state().is_established(),
             !matches!(lc.state(), LinkState::Acquiring)

@@ -166,6 +166,14 @@ pub fn build_scenario(name: &str, seed: u64) -> Option<Scenario> {
         "natural-motion" => scenario::natural_motion(seed),
         "appendix-b-28ghz" => scenario::appendix_b(false),
         "appendix-b-60ghz" => scenario::appendix_b(true),
+        // Serialized world specs (`spec:v1:…`) build through the same
+        // entry point, so spec cells journal, resume, and replay exactly
+        // like registry cells.
+        _ if name.starts_with("spec:") => {
+            return crate::spec::WorldSpec::parse(name)
+                .ok()
+                .and_then(|w| w.build(seed).ok())
+        }
         _ => return None,
     })
 }
@@ -245,6 +253,26 @@ impl Job {
         })
     }
 
+    /// A job built from a serialized scenario spec: the spec's cell key is
+    /// the job identity, and since [`build_scenario`] rebuilds `spec:`-form
+    /// worlds from their names, the cell stays replayable from its journal
+    /// line like any registry cell. Fleet specs are not campaign cells —
+    /// run those through [`crate::spec::ScenarioSpec::fleet_config`].
+    pub fn from_spec(spec: &crate::spec::ScenarioSpec, priority: u32) -> Result<Self, String> {
+        spec.validate().map_err(|e| e.to_string())?;
+        if spec.fleet.is_some() {
+            return Err(
+                "fleet specs run through run_fleet, not the campaign supervisor".to_string(),
+            );
+        }
+        Ok(Self {
+            key: spec.cell_key(),
+            priority,
+            tick_budget: None,
+            builder: Arc::new(registry_builder),
+        })
+    }
+
     /// Attaches a hardware-impairment configuration to a registry job. The
     /// spec becomes part of the cell identity, so impaired and clean runs of
     /// the same (scenario, strategy, seed, fault) are distinct journal
@@ -290,8 +318,10 @@ fn registry_builder(key: &CellKey) -> Result<JobSetup, String> {
     let impairment = ImpairmentConfig::parse_spec(&key.impairment_spec)?;
     let scenario = build_scenario(&key.scenario, key.seed)
         .ok_or_else(|| format!("unknown scenario {:?}", key.scenario))?
-        .with_faults(fault)?
-        .with_impairments(impairment)?;
+        .with_faults(fault)
+        .map_err(|e| e.to_string())?
+        .with_impairments(impairment)
+        .map_err(|e| e.to_string())?;
     let strategy = build_strategy(&key.strategy)
         .ok_or_else(|| format!("unknown strategy {:?}", key.strategy))?;
     Ok(JobSetup { scenario, strategy })
@@ -1143,7 +1173,7 @@ fn run_setup(
             sc.warmup_s,
         ),
         (false, true) => {
-            let mut fe = FaultInjector::new(sim, sc.fault.clone())?;
+            let mut fe = FaultInjector::new(sim, sc.fault.clone()).map_err(|e| e.to_string())?;
             fe.run_with_warmup(
                 strategy.as_mut(),
                 sc.duration_s,
@@ -1153,7 +1183,8 @@ fn run_setup(
             )
         }
         (true, false) => {
-            let mut fe = ImpairedFrontEnd::new(sim, sc.impairment.clone())?;
+            let mut fe =
+                ImpairedFrontEnd::new(sim, sc.impairment.clone()).map_err(|e| e.to_string())?;
             fe.run_with_warmup(
                 strategy.as_mut(),
                 sc.duration_s,
@@ -1165,8 +1196,10 @@ fn run_setup(
         // Impairments sit nearest the hardware; faults wrap them so a
         // probe-loss window suppresses the impaired observation wholesale.
         (false, false) => {
-            let impaired = ImpairedFrontEnd::new(sim, sc.impairment.clone())?;
-            let mut fe = FaultInjector::new(impaired, sc.fault.clone())?;
+            let impaired =
+                ImpairedFrontEnd::new(sim, sc.impairment.clone()).map_err(|e| e.to_string())?;
+            let mut fe =
+                FaultInjector::new(impaired, sc.fault.clone()).map_err(|e| e.to_string())?;
             fe.run_with_warmup(
                 strategy.as_mut(),
                 sc.duration_s,

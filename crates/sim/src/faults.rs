@@ -24,6 +24,7 @@
 //! log next to the controller's lifecycle transitions.
 
 use crate::metrics::RunResult;
+use crate::scenario::ScenarioError;
 use crate::simulator::{run_front_end, LinkSimulator, SimFrontEnd};
 use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::geometry::ArrayGeometry;
@@ -322,9 +323,11 @@ pub struct FaultInjector<F> {
 impl<F: LinkFrontEnd> FaultInjector<F> {
     /// Wraps `inner` under `schedule`, failing fast on an invalid schedule
     /// — a mis-specified campaign cell surfaces here as a `Validation`
-    /// failure instead of corrupting a sweep halfway through.
-    pub fn new(inner: F, schedule: FaultSchedule) -> Result<Self, String> {
-        schedule.validate()?;
+    /// failure instead of corrupting a sweep halfway through. The typed
+    /// [`ScenarioError`] lets the scenario fuzzer tell this reject apart
+    /// from a real run failure.
+    pub fn new(inner: F, schedule: FaultSchedule) -> Result<Self, ScenarioError> {
+        schedule.validate().map_err(ScenarioError::fault)?;
         let mut rng = Rng64::seed(schedule.seed ^ 0xFA17_FA17_FA17_FA17);
         let n = inner.geometry().num_elements();
         let drift_phase = if schedule.gain_drift_db > 0.0 {

@@ -43,13 +43,20 @@ use crate::campaign::{
     build_scenario, build_strategy, compiled_features, load_journal, write_lines_atomic,
     JournalEntry, SCENARIO_NAMES, STRATEGY_NAMES,
 };
+use crate::faults::{FaultEvent, FaultInjector, FaultSchedule};
+use crate::impairments::{ImpairedFrontEnd, ImpairmentConfig, ImpairmentEvent};
 use crate::metrics::RunResult;
-use crate::simulator::{LinkSimulator, SlotLoop};
+use crate::simulator::{LinkSimulator, SimFrontEnd, SlotLoop};
+use crate::spec::{mix_fields, parse_mix_fields, MixGroup};
+use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmreliable::linkstate::LifecycleConfig;
 use mmreliable::{Intent, IntentKind, IntentQueue, Io, StateHandler, UeId};
+use mmwave_array::geometry::ArrayGeometry;
+use mmwave_array::weights::BeamWeights;
 use mmwave_baselines::strategy::BeamStrategy;
 use mmwave_channel::{SharedSceneCache, SharedSceneCounters};
 use mmwave_hotpath::hot_path;
+use mmwave_phy::chanest::ProbeObservation;
 use mmwave_telemetry::{LatencyHist, StopWatch};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -97,6 +104,148 @@ pub fn fleet_digest(outcomes: &[UeOutcome]) -> u64 {
         h = fnv_u64(h, o.digest);
     }
     h
+}
+
+/// The fault/impairment pair fleet member `ue` runs under, derived from
+/// the fleet's mix groups: group `ue % groups.len()`, with both seeds
+/// offset by `ue` so every member of a group draws its own fault and
+/// impairment realization while staying a pure function of `(mix, ue)`.
+/// `None` for the clean fleet (empty mix).
+pub fn ue_mix(mix: &[MixGroup], ue: u32) -> Option<(FaultSchedule, ImpairmentConfig)> {
+    if mix.is_empty() {
+        return None;
+    }
+    let g = &mix[ue as usize % mix.len()];
+    let mut fault = g.fault.clone();
+    fault.seed = fault.seed.wrapping_add(ue as u64);
+    let mut impairment = g.impairment.clone();
+    impairment.seed = impairment.seed.wrapping_add(ue as u64);
+    Some((fault, impairment))
+}
+
+/// The canonical `(fault, impairment)` spec strings member `ue` journals
+/// under — [`ue_mix`]'s derived pair serialized, `("none", "none")` for a
+/// clean fleet. Per-UE journal lines carry these, which is what makes a
+/// mixed member's line replayable as a plain single-link faulted cell.
+pub fn ue_mix_specs(mix: &[MixGroup], ue: u32) -> (String, String) {
+    match ue_mix(mix, ue) {
+        None => ("none".to_string(), "none".to_string()),
+        Some((f, i)) => (f.spec_string(), i.spec_string()),
+    }
+}
+
+/// A fleet lane's front-end stack: the bare simulator or the same
+/// decorator chains the single-link campaign builds, chosen per UE by the
+/// fleet mix. An enum rather than a trait object so [`SlotLoop`]'s generic
+/// stepping stays statically dispatched — the match is control flow only,
+/// so an in-fleet decorated run is bit-identical to the standalone
+/// decorated run at the same derived seed.
+// One value per lane for the whole run, so the variant size spread costs
+// nothing; boxing the decorated variants would add a pointer chase to
+// every per-slot probe instead.
+#[allow(clippy::large_enum_variant)]
+enum LaneFrontEnd {
+    Bare(LinkSimulator),
+    Faulted(FaultInjector<LinkSimulator>),
+    Impaired(ImpairedFrontEnd<LinkSimulator>),
+    Both(FaultInjector<ImpairedFrontEnd<LinkSimulator>>),
+}
+
+macro_rules! lane_delegate {
+    ($self:ident, $inner:ident => $e:expr) => {
+        match $self {
+            LaneFrontEnd::Bare($inner) => $e,
+            LaneFrontEnd::Faulted($inner) => $e,
+            LaneFrontEnd::Impaired($inner) => $e,
+            LaneFrontEnd::Both($inner) => $e,
+        }
+    };
+}
+
+impl LaneFrontEnd {
+    /// Wraps `sim` in the decorator stack the mix calls for — the same
+    /// nesting order as the campaign's `run_setup` (impairments nearest
+    /// the hardware, faults outermost).
+    fn build(
+        sim: LinkSimulator,
+        fault: FaultSchedule,
+        impairment: ImpairmentConfig,
+    ) -> Result<Self, String> {
+        Ok(match (fault.is_inert(), impairment.is_inert()) {
+            (true, true) => LaneFrontEnd::Bare(sim),
+            (false, true) => {
+                LaneFrontEnd::Faulted(FaultInjector::new(sim, fault).map_err(|e| e.to_string())?)
+            }
+            (true, false) => LaneFrontEnd::Impaired(
+                ImpairedFrontEnd::new(sim, impairment).map_err(|e| e.to_string())?,
+            ),
+            (false, false) => {
+                let impaired = ImpairedFrontEnd::new(sim, impairment).map_err(|e| e.to_string())?;
+                LaneFrontEnd::Both(FaultInjector::new(impaired, fault).map_err(|e| e.to_string())?)
+            }
+        })
+    }
+}
+
+impl LinkFrontEnd for LaneFrontEnd {
+    fn geometry(&self) -> &ArrayGeometry {
+        lane_delegate!(self, f => f.geometry())
+    }
+
+    fn probe_kind(&mut self, weights: &BeamWeights, kind: ProbeKind) -> ProbeObservation {
+        lane_delegate!(self, f => f.probe_kind(weights, kind))
+    }
+
+    fn probe_kind_into(
+        &mut self,
+        weights: &BeamWeights,
+        kind: ProbeKind,
+        out: &mut ProbeObservation,
+    ) {
+        lane_delegate!(self, f => f.probe_kind_into(weights, kind, out))
+    }
+
+    fn wait(&mut self, dur_s: f64) {
+        lane_delegate!(self, f => f.wait(dur_s))
+    }
+
+    fn now_s(&self) -> f64 {
+        lane_delegate!(self, f => f.now_s())
+    }
+
+    fn cancel_requested(&self) -> bool {
+        lane_delegate!(self, f => f.cancel_requested())
+    }
+
+    fn probes_used(&self) -> usize {
+        lane_delegate!(self, f => f.probes_used())
+    }
+}
+
+impl SimFrontEnd for LaneFrontEnd {
+    fn sim(&self) -> &LinkSimulator {
+        lane_delegate!(self, f => f.sim())
+    }
+
+    fn sim_mut(&mut self) -> &mut LinkSimulator {
+        lane_delegate!(self, f => f.sim_mut())
+    }
+
+    fn radiated_weights_into(&self, w: &BeamWeights, out: &mut BeamWeights) {
+        lane_delegate!(self, f => f.radiated_weights_into(w, out))
+    }
+
+    fn apply_radiated_faults(&self, w: &mut BeamWeights) {
+        lane_delegate!(self, f => f.apply_radiated_faults(w))
+    }
+
+    fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        lane_delegate!(self, f => f.drain_fault_events())
+    }
+
+    fn drain_impairment_events(&mut self) -> Vec<ImpairmentEvent> {
+        lane_delegate!(self, f => f.drain_impairment_events())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -200,6 +349,12 @@ pub fn fleet_note(entry: &JournalEntry) -> Option<String> {
                  the entry cannot belong to the fleet it names"
             ));
         }
+    } else if let Err(e) = parse_mix_fields(&entry.fault, &entry.impairment) {
+        return Some(format!(
+            "fleet aggregate entry carries a mix this binary cannot parse ({}); \
+             replay cannot rebuild the fleet",
+            e.reason()
+        ));
     }
     None
 }
@@ -231,6 +386,10 @@ pub struct FleetConfig {
     /// Crash-consistent JSONL journal for kill + resume; `None` disables
     /// journaling.
     pub journal: Option<PathBuf>,
+    /// Heterogeneous per-UE fault/impairment mix groups, assigned
+    /// round-robin ([`ue_mix`]). Empty = every UE clean (the pre-mix
+    /// fleet, bit-identically).
+    pub mix: Vec<MixGroup>,
 }
 
 impl FleetConfig {
@@ -245,6 +404,7 @@ impl FleetConfig {
             shards: 0,
             pass_period_s: PASS_PERIOD_S,
             journal: None,
+            mix: Vec::new(),
         }
     }
 
@@ -270,6 +430,14 @@ impl FleetConfig {
         if self.pass_period_s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("pass period must be positive".to_string());
         }
+        for (i, g) in self.mix.iter().enumerate() {
+            g.fault
+                .validate()
+                .map_err(|e| format!("mix group {i}: {e}"))?;
+            g.impairment
+                .validate()
+                .map_err(|e| format!("mix group {i}: {e}"))?;
+        }
         Ok(())
     }
 }
@@ -280,7 +448,7 @@ impl FleetConfig {
 
 struct UeLane {
     ue: u32,
-    sim: LinkSimulator,
+    sim: LaneFrontEnd,
     strategy: Box<dyn BeamStrategy + Send>,
     /// `Some` until [`FleetShard::finish`] consumes it.
     sl: Option<SlotLoop>,
@@ -334,12 +502,16 @@ impl FleetShard {
                 .ok_or_else(|| format!("unknown scenario {:?}", cfg.scenario))?;
             let mut strategy = build_strategy(&cfg.strategy)
                 .ok_or_else(|| format!("unknown strategy {:?}", cfg.strategy))?;
-            let mut sim = sc.simulator(seed);
+            let mut raw = sc.simulator(seed);
             if let Some(c) = cache {
-                if c.len() == sim.dynamic.scene.walls.len() {
-                    sim.dynamic.set_shared_cache(Arc::clone(c));
+                if c.len() == raw.dynamic.scene.walls.len() {
+                    raw.dynamic.set_shared_cache(Arc::clone(c));
                 }
             }
+            let mut sim = match ue_mix(&cfg.mix, ue) {
+                None => LaneFrontEnd::Bare(raw),
+                Some((fault, impairment)) => LaneFrontEnd::build(raw, fault, impairment)?,
+            };
             let sl = SlotLoop::new(
                 &mut sim,
                 strategy.as_mut(),
@@ -565,11 +737,12 @@ impl FleetReport {
 }
 
 fn per_ue_entry(cfg: &FleetConfig, ue: u32, r: &RunResult) -> JournalEntry {
+    let (fault, impairment) = ue_mix_specs(&cfg.mix, ue);
     JournalEntry {
         scenario: fleet_ue_scenario_id(&cfg.scenario, cfg.n_ues, ue),
         strategy: cfg.strategy.clone(),
         seed: ue_seed(cfg.seed, ue),
-        fault: "none".to_string(),
+        fault,
         status: "ok".to_string(),
         attempts: 1,
         digest: r.digest(),
@@ -577,16 +750,17 @@ fn per_ue_entry(cfg: &FleetConfig, ue: u32, r: &RunResult) -> JournalEntry {
         reliability: r.reliability(),
         message: String::new(),
         features: compiled_features(),
-        impairment: "none".to_string(),
+        impairment,
     }
 }
 
 fn aggregate_entry(cfg: &FleetConfig, report: &FleetReport) -> JournalEntry {
+    let (fault, impairment) = mix_fields(&cfg.mix);
     JournalEntry {
         scenario: fleet_scenario_id(&cfg.scenario, cfg.n_ues),
         strategy: cfg.strategy.clone(),
         seed: cfg.seed,
-        fault: "none".to_string(),
+        fault,
         status: "ok".to_string(),
         attempts: 1,
         digest: report.digest,
@@ -594,7 +768,7 @@ fn aggregate_entry(cfg: &FleetConfig, report: &FleetReport) -> JournalEntry {
         reliability: report.mean_reliability(),
         message: String::new(),
         features: compiled_features(),
-        impairment: "none".to_string(),
+        impairment,
     }
 }
 
@@ -615,26 +789,29 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, String> {
     let shards = if cfg.shards == 0 { threads } else { cfg.shards };
 
     // Resume: a journaled ok per-UE line with the exact identity this
-    // fleet would write (scenario form, seed, strategy, clean front end)
-    // supplies that member's digest without re-running it.
+    // fleet would write (scenario form, seed, strategy, and the member's
+    // derived fault/impairment specs) supplies that member's digest
+    // without re-running it. Pre-mix journals wrote empty schedule fields;
+    // those match a clean member.
+    let spec_matches =
+        |field: &str, expected: &str| field == expected || (expected == "none" && field.is_empty());
     let n = cfg.n_ues as usize;
     let mut resumed: Vec<Option<(u64, f64)>> = vec![None; n];
     let mut journal_lines: Vec<String> = Vec::new();
     if let Some(path) = &cfg.journal {
         for e in load_journal(path)? {
             let keep = e.to_json();
-            if e.status == "ok"
-                && e.strategy == cfg.strategy
-                && (e.impairment.is_empty() || e.impairment == "none")
-                && (e.fault.is_empty() || e.fault == "none")
-            {
+            if e.status == "ok" && e.strategy == cfg.strategy {
                 if let Some(FleetScenarioRef::PerUe { base, n_ues, ue }) =
                     parse_fleet_scenario(&e.scenario)
                 {
+                    let (exp_fault, exp_imp) = ue_mix_specs(&cfg.mix, ue);
                     if base == cfg.scenario
                         && n_ues == cfg.n_ues
                         && ue < cfg.n_ues
                         && e.seed == ue_seed(cfg.seed, ue)
+                        && spec_matches(&e.fault, &exp_fault)
+                        && spec_matches(&e.impairment, &exp_imp)
                     {
                         resumed[ue as usize] = Some((e.digest, e.reliability));
                     }
@@ -828,6 +1005,8 @@ pub fn replay_fleet_entry(entry: &JournalEntry) -> Result<FleetReplay, String> {
             })
         }
         FleetScenarioRef::Aggregate { base, n_ues } => {
+            let mix = parse_mix_fields(&entry.fault, &entry.impairment)
+                .map_err(|e| format!("aggregate entry mix fields: {e}"))?;
             let cfg = FleetConfig {
                 scenario: base,
                 strategy: entry.strategy.clone(),
@@ -837,6 +1016,7 @@ pub fn replay_fleet_entry(entry: &JournalEntry) -> Result<FleetReplay, String> {
                 shards: 1,
                 pass_period_s: PASS_PERIOD_S,
                 journal: None,
+                mix,
             };
             let report = run_fleet(&cfg)?;
             Ok(FleetReplay::Aggregate {

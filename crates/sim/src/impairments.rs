@@ -38,6 +38,7 @@
 
 use crate::faults::FaultEvent;
 use crate::metrics::RunResult;
+use crate::scenario::ScenarioError;
 use crate::simulator::{run_front_end, LinkSimulator, SimFrontEnd};
 use mmreliable::frontend::{LinkFrontEnd, ProbeKind};
 use mmwave_array::coupling::{MutualCoupling, MAX_COUPLED_ELEMENTS};
@@ -531,15 +532,16 @@ pub struct ImpairedFrontEnd<F> {
 impl<F: LinkFrontEnd> ImpairedFrontEnd<F> {
     /// Wraps `inner` under `config`, failing fast on invalid parameters —
     /// a mis-specified campaign cell surfaces as a `Validation` failure
-    /// before any sweep time is spent.
-    pub fn new(inner: F, config: ImpairmentConfig) -> Result<Self, String> {
-        config.validate()?;
+    /// before any sweep time is spent. The typed [`ScenarioError`] lets
+    /// the scenario fuzzer tell this reject apart from a real run failure.
+    pub fn new(inner: F, config: ImpairmentConfig) -> Result<Self, ScenarioError> {
+        config.validate().map_err(ScenarioError::impairment)?;
         let geom = inner.geometry();
         let n = geom.num_elements();
         if n > MAX_COUPLED_ELEMENTS {
-            return Err(format!(
+            return Err(ScenarioError::impairment(format!(
                 "impairment layer supports at most {MAX_COUPLED_ELEMENTS} elements, got {n}"
-            ));
+            )));
         }
         let phase = config
             .phase_noise

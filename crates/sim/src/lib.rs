@@ -29,6 +29,14 @@
 //!   shard, scheduled deterministically so the fleet digest is invariant
 //!   to worker/shard count and a fleet of size 1 is bit-identical to the
 //!   single-link pipeline.
+//! - [`spec`] — deterministic, serializable scenario descriptions: every
+//!   curated scenario (and declarative custom worlds, and per-UE fleet
+//!   mixes) as a one-line plain-text spec that round-trips and rebuilds
+//!   the exact same [`scenario::Scenario`] values, bit-identical digests
+//!   included.
+//! - [`fuzz`] — the property-based scenario fuzzer: random-but-valid
+//!   specs run against lifecycle/recovery/determinism oracles, with
+//!   greedy shrinking and replayable counterexample journal lines.
 //! - [`runner`] — seeded multi-run sweeps across OS threads with
 //!   aggregation.
 //! - [`campaign`] — the resilient campaign supervisor: watchdogged
@@ -49,11 +57,13 @@
 pub mod campaign;
 pub mod faults;
 pub mod fleet;
+pub mod fuzz;
 pub mod impairments;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod simulator;
+pub mod spec;
 
 pub use campaign::{
     backoff_delay, closure_jobs, impairment_note, load_journal, replay_cell, run_campaign,
@@ -70,5 +80,6 @@ pub use impairments::{
 };
 pub use metrics::{csv_field, csv_parse_row, RunCounters, RunEvent, RunResult, Sample};
 pub use runner::{run_many, try_run_many, Aggregate, FailedRun};
-pub use scenario::Scenario;
+pub use scenario::{Scenario, ScenarioError, ValidationMessage};
 pub use simulator::{run_front_end, LinkSimulator, SimFrontEnd, SlotLoop, SlotWorkspace};
+pub use spec::{spec_note, CustomWorld, FleetMixSpec, MixGroup, ScenarioSpec, WorldSpec};

@@ -18,6 +18,91 @@ use mmwave_dsp::rng::Rng64;
 use mmwave_dsp::units::{FC_28GHZ, FC_60GHZ};
 use mmwave_phy::chanest::ChannelSounder;
 
+/// The underlying validation message an invalid scenario component was
+/// rejected with — the `source` of a [`ScenarioError`], so callers walking
+/// the standard error chain see both the classification and the raw reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationMessage(String);
+
+impl ValidationMessage {
+    /// The raw validation message.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ValidationMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValidationMessage {}
+
+/// Why a scenario could not be assembled. Typed so callers — the campaign
+/// supervisor, and especially the scenario fuzzer — can tell a *rejected*
+/// configuration (an invalid fault schedule or impairment config, which a
+/// generator simply discards) from a malformed *spec* (a parse error in a
+/// serialized scenario description, which is a bug in whatever produced
+/// it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The fault schedule failed [`FaultSchedule::validate`].
+    InvalidFault(ValidationMessage),
+    /// The impairment config failed [`ImpairmentConfig::validate`] (or the
+    /// geometry-dependent checks in `ImpairedFrontEnd::new`).
+    InvalidImpairment(ValidationMessage),
+    /// A serialized scenario spec failed to parse or to build.
+    InvalidSpec(ValidationMessage),
+}
+
+impl ScenarioError {
+    /// Constructs an [`ScenarioError::InvalidFault`] from a raw message.
+    pub fn fault(msg: impl Into<String>) -> Self {
+        ScenarioError::InvalidFault(ValidationMessage(msg.into()))
+    }
+
+    /// Constructs an [`ScenarioError::InvalidImpairment`] from a raw
+    /// message.
+    pub fn impairment(msg: impl Into<String>) -> Self {
+        ScenarioError::InvalidImpairment(ValidationMessage(msg.into()))
+    }
+
+    /// Constructs an [`ScenarioError::InvalidSpec`] from a raw message.
+    pub fn spec(msg: impl Into<String>) -> Self {
+        ScenarioError::InvalidSpec(ValidationMessage(msg.into()))
+    }
+
+    /// The raw validation message, without the classification prefix.
+    pub fn reason(&self) -> &str {
+        match self {
+            ScenarioError::InvalidFault(m)
+            | ScenarioError::InvalidImpairment(m)
+            | ScenarioError::InvalidSpec(m) => m.as_str(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::InvalidFault(m) => write!(f, "invalid fault schedule: {m}"),
+            ScenarioError::InvalidImpairment(m) => write!(f, "invalid impairment config: {m}"),
+            ScenarioError::InvalidSpec(m) => write!(f, "invalid scenario spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::InvalidFault(m)
+            | ScenarioError::InvalidImpairment(m)
+            | ScenarioError::InvalidSpec(m) => Some(m),
+        }
+    }
+}
+
 /// A fully-specified experiment.
 #[derive(Clone, Debug)]
 pub struct Scenario {
@@ -64,8 +149,8 @@ impl Scenario {
 
     /// Attaches a fault schedule, failing fast on an invalid one so a
     /// mis-specified campaign cell is rejected before any airtime is spent.
-    pub fn with_faults(mut self, fault: FaultSchedule) -> Result<Self, String> {
-        fault.validate()?;
+    pub fn with_faults(mut self, fault: FaultSchedule) -> Result<Self, ScenarioError> {
+        fault.validate().map_err(ScenarioError::fault)?;
         self.fault = fault;
         Ok(self)
     }
@@ -73,8 +158,8 @@ impl Scenario {
     /// Attaches a hardware impairment configuration, failing fast on an
     /// invalid one — the impairment counterpart of
     /// [`Scenario::with_faults`].
-    pub fn with_impairments(mut self, impairment: ImpairmentConfig) -> Result<Self, String> {
-        impairment.validate()?;
+    pub fn with_impairments(mut self, impairment: ImpairmentConfig) -> Result<Self, ScenarioError> {
+        impairment.validate().map_err(ScenarioError::impairment)?;
         self.impairment = impairment;
         Ok(self)
     }
@@ -84,7 +169,10 @@ impl Scenario {
     /// Campaign code that wants the zero-fault bit-identity guarantee
     /// checks [`FaultSchedule::is_inert`] and runs the bare simulator
     /// instead.
-    pub fn faulted_simulator(&self, seed: u64) -> Result<FaultInjector<LinkSimulator>, String> {
+    pub fn faulted_simulator(
+        &self,
+        seed: u64,
+    ) -> Result<FaultInjector<LinkSimulator>, ScenarioError> {
         FaultInjector::new(self.simulator(seed), self.fault.clone())
     }
 
@@ -93,7 +181,10 @@ impl Scenario {
     /// impairment configuration. Callers that also inject faults wrap the
     /// result in a [`FaultInjector`] (impairments sit nearest the
     /// hardware).
-    pub fn impaired_simulator(&self, seed: u64) -> Result<ImpairedFrontEnd<LinkSimulator>, String> {
+    pub fn impaired_simulator(
+        &self,
+        seed: u64,
+    ) -> Result<ImpairedFrontEnd<LinkSimulator>, ScenarioError> {
         ImpairedFrontEnd::new(self.simulator(seed), self.impairment.clone())
     }
 

@@ -58,8 +58,11 @@ const FORBIDDEN: &[(&str, &str)] = &[
 /// scheduler — whose digest must stay invariant to worker/shard count,
 /// so it reads wall clocks only through `mmwave_telemetry::StopWatch`
 /// (latency-only, digest-excluded) and keys nothing on map order. The
-/// campaign supervisor is intentionally excluded — its wall clocks and
-/// maps never touch the payload.
+/// spec/fuzz modules are in scope too: spec round-trips promise
+/// bit-identical rebuilds and the fuzzer promises same-name-same-specs,
+/// so neither may touch a wall clock, a randomized-order map, or OS
+/// entropy. The campaign supervisor is intentionally excluded — its wall
+/// clocks and maps never touch the payload.
 pub fn in_scope(rel: &Path) -> bool {
     let p = rel.to_string_lossy().replace('\\', "/");
     for c in ["channel", "dsp", "array", "phy", "core"] {
@@ -71,6 +74,8 @@ pub fn in_scope(rel: &Path) -> bool {
         || p == "crates/sim/src/simulator.rs"
         || p == "crates/sim/src/impairments.rs"
         || p == "crates/sim/src/fleet.rs"
+        || p == "crates/sim/src/spec.rs"
+        || p == "crates/sim/src/fuzz.rs"
 }
 
 pub fn run(rel: &Path, src: &str, scrubbed: &Scrubbed) -> Vec<Finding> {

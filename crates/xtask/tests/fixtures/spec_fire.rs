@@ -1,0 +1,41 @@
+// Fixture: determinism violations as they would look in the scenario
+// spec/fuzz modules. Linted at the virtual paths crates/sim/src/spec.rs
+// and crates/sim/src/fuzz.rs — never compiled.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadSpecRegistry {
+    // Parse/serialize order of world forms must not be process-seeded:
+    // the corpus artifact and error ordering must be stable.
+    forms: HashMap<String, u32>,
+}
+
+impl BadSpecRegistry {
+    // Stamping generated specs with wall-clock time makes the corpus
+    // differ between two runs of the same named stream.
+    pub fn corrupt_case_label(&mut self, spec: &str) -> u128 {
+        let t = Instant::now();
+        self.forms.insert(spec.to_string(), 1);
+        t.elapsed().as_nanos()
+    }
+
+    // Seeding the generator from OS entropy breaks same-name-same-specs.
+    pub fn corrupt_stream_seed(&self) -> u64 {
+        use rand::SeedableRng;
+        let rng = rand::rngs::StdRng::from_entropy();
+        let _ = rng;
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -193,6 +193,35 @@ fn fleet_idioms_stay_clean() {
 }
 
 #[test]
+fn spec_and_fuzz_modules_are_determinism_scoped() {
+    // Spec round-trips promise bit-identical rebuilds and the fuzzer
+    // promises same-name-same-specs: wall clocks, unordered maps, and OS
+    // entropy must all fire at both module paths.
+    let src = include_str!("fixtures/spec_fire.rs");
+    for path in ["crates/sim/src/spec.rs", "crates/sim/src/fuzz.rs"] {
+        let found = lint(path, src);
+        let det = found.iter().filter(|f| f.lint == "determinism").count();
+        // HashMap (use + field), Instant::now, from_entropy.
+        assert_eq!(det, 4, "at {path}, findings: {found:#?}");
+    }
+    // The supervisor exemption must not leak: the same source under
+    // campaign.rs raises no determinism findings.
+    let found = lint("crates/sim/src/campaign.rs", src);
+    assert!(found.iter().all(|f| f.lint != "determinism"));
+}
+
+#[test]
+fn spec_and_fuzz_idioms_stay_clean() {
+    // BTreeMap registries, Vec corpora, and named TestRng streams are the
+    // sanctioned spellings.
+    let src = include_str!("fixtures/spec_clean.rs");
+    for path in ["crates/sim/src/spec.rs", "crates/sim/src/fuzz.rs"] {
+        let found = lint(path, src);
+        assert!(found.is_empty(), "at {path}, findings: {found:#?}");
+    }
+}
+
+#[test]
 fn core_owns_the_link_signal_vocabulary() {
     // The state machine, controller, and StateHandler (crates/core/src/)
     // are the allowed LinkSignal writers; everyone else must queue

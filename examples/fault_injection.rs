@@ -40,7 +40,8 @@ fn main() {
         100.0 * loss_prob
     );
 
-    let mut fe = FaultInjector::new(sc.simulator(17), schedule).expect("valid fault schedule");
+    let mut fe = FaultInjector::new(sc.simulator(17), schedule)
+        .unwrap_or_else(|e| panic!("valid fault schedule: {e}"));
     let mut strategy =
         MmReliableStrategy::new(MmReliableController::new(MmReliableConfig::paper_default()));
     let result = fe.run_with_warmup(
