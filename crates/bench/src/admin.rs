@@ -1,0 +1,756 @@
+//! The library half of the `mmwave-admin` operator CLI.
+//!
+//! Everything the binary (`src/bin/admin.rs`) prints is produced here as
+//! plain strings or typed reports, so the test suite can drive the whole
+//! surface — status rollups, transition-tape history, metrics merging,
+//! journal diffing, live tailing — against synthetic journals without
+//! spawning a process.
+//!
+//! Design rules:
+//!
+//! * **Tolerant reads.** Operators point this tool at journals from
+//!   crashed or live runs. A torn trailing line, a legacy 4-segment cell
+//!   id, or a fleet form from a newer binary must never panic — they are
+//!   counted, noted, and skipped.
+//! * **Last entry wins.** A journal appends; re-runs supersede earlier
+//!   lines for the same cell. Every rollup and diff dedups by cell id
+//!   keeping the final line, mirroring the campaign's own resume logic.
+//! * **Replay is the source of truth for history.** `history` re-executes
+//!   the journaled cell (bit-identical by construction) and prints the
+//!   lifecycle transition tape the run actually produced, cross-checked
+//!   against [`check_transition_tape`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use mmreliable::linkstate::check_transition_tape;
+use mmreliable::Transition;
+use mmwave_sim::campaign::{replay_cell, JournalEntry};
+use mmwave_sim::fleet::{parse_fleet_scenario, replay_fleet_entry, FleetReplay, FleetScenarioRef};
+use mmwave_sim::RunResult;
+use mmwave_telemetry::MetricsRegistry;
+
+// ---------------------------------------------------------------------------
+// Journal scanning
+// ---------------------------------------------------------------------------
+
+/// A tolerant read of a journal: parseable entries plus a count of the
+/// lines that did not parse (torn tail of a live/crashed writer, foreign
+/// garbage). [`mmwave_sim::campaign::load_journal`] by contrast stops at
+/// the first malformed line — correct for resume (a torn line invalidates everything after
+/// it), too strict for inspection.
+pub struct JournalScan {
+    /// Entries in file order (duplicates preserved).
+    pub entries: Vec<JournalEntry>,
+    /// Lines that failed to parse.
+    pub torn: usize,
+}
+
+/// Reads a journal tolerantly (see [`JournalScan`]). A missing file is an
+/// empty scan, matching `load_journal`.
+pub fn scan_journal(path: &Path) -> Result<JournalScan, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(JournalScan {
+                entries: Vec::new(),
+                torn: 0,
+            })
+        }
+        Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+    };
+    let mut scan = JournalScan {
+        entries: Vec::new(),
+        torn: 0,
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalEntry::parse(line) {
+            Some(e) => scan.entries.push(e),
+            None => scan.torn += 1,
+        }
+    }
+    Ok(scan)
+}
+
+/// The canonical cell id of a journal entry: `CellKey::id()` form —
+/// 4-segment for clean-front-end cells, 5-segment when an impairment spec
+/// is present. Legacy entries with an empty impairment field normalize to
+/// the 4-segment form, so a pre-impairment journal diffs cleanly against
+/// a modern re-run of the same grid.
+pub fn entry_id(e: &JournalEntry) -> String {
+    e.key().id()
+}
+
+/// Dedups a scan by cell id, keeping the *last* entry for each id (the
+/// journal is append-only; later lines supersede earlier ones). Returns
+/// ids in first-seen order alongside the superseded-line count.
+pub fn dedup_last_wins(entries: &[JournalEntry]) -> (Vec<(String, &JournalEntry)>, usize) {
+    let mut order: Vec<String> = Vec::new();
+    let mut last: BTreeMap<String, &JournalEntry> = BTreeMap::new();
+    let mut superseded = 0;
+    for e in entries {
+        let id = entry_id(e);
+        if last.insert(id.clone(), e).is_some() {
+            superseded += 1;
+        } else {
+            order.push(id);
+        }
+    }
+    (
+        order
+            .into_iter()
+            .map(|id| {
+                let e = last[&id];
+                (id, e)
+            })
+            .collect(),
+        superseded,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// status
+// ---------------------------------------------------------------------------
+
+/// Campaign/cell/UE rollup of a journal, one report string.
+pub fn status_report(scan: &JournalScan) -> String {
+    let (cells, superseded) = dedup_last_wins(&scan.entries);
+    let mut by_status: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut singles = 0usize;
+    let mut aggregates = 0usize;
+    let mut members = 0usize;
+    // base scenario -> (members seen, members ok, aggregate line present)
+    let mut fleets: BTreeMap<String, (u32, u32, bool)> = BTreeMap::new();
+    let mut ok_rel: Vec<f64> = Vec::new();
+    for (_, e) in &cells {
+        *by_status.entry(e.status.as_str()).or_default() += 1;
+        if e.status == "ok" {
+            ok_rel.push(e.reliability);
+        }
+        match parse_fleet_scenario(&e.scenario) {
+            None => singles += 1,
+            Some(FleetScenarioRef::Aggregate { base, n_ues }) => {
+                aggregates += 1;
+                fleets.entry(format!("fleet:{base}:{n_ues}")).or_default().2 = true;
+            }
+            Some(FleetScenarioRef::PerUe { base, n_ues, .. }) => {
+                members += 1;
+                let f = fleets.entry(format!("fleet:{base}:{n_ues}")).or_default();
+                f.0 += 1;
+                if e.status == "ok" {
+                    f.1 += 1;
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "journal: {} lines -> {} cells ({} superseded, {} torn)",
+        scan.entries.len(),
+        cells.len(),
+        superseded,
+        scan.torn
+    );
+    let status_line = by_status
+        .iter()
+        .map(|(k, v)| format!("{k} {v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        out,
+        "status: {}",
+        if status_line.is_empty() {
+            "empty".to_string()
+        } else {
+            status_line
+        }
+    );
+    let _ = writeln!(
+        out,
+        "kinds: {singles} single-link, {aggregates} fleet aggregates, {members} fleet members"
+    );
+    if !ok_rel.is_empty() {
+        let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &r in &ok_rel {
+            lo = lo.min(r);
+            hi = hi.max(r);
+            sum += r;
+        }
+        let _ = writeln!(
+            out,
+            "reliability (ok cells): mean {:.4}, min {:.4}, max {:.4}",
+            sum / ok_rel.len() as f64,
+            lo,
+            hi
+        );
+    }
+    for (fleet, (seen, ok, agg)) in &fleets {
+        let _ = writeln!(
+            out,
+            "{fleet}: {seen} members journaled ({ok} ok), aggregate {}",
+            if *agg { "present" } else { "missing" }
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// history
+// ---------------------------------------------------------------------------
+
+/// Resolves a `history` resource argument against a scan: exact cell id
+/// first, then exact scenario-field match (`fleet:...:ue3` without the
+/// strategy/seed segments) when that is unambiguous.
+pub fn find_resource<'a>(
+    cells: &'a [(String, &'a JournalEntry)],
+    resource: &str,
+) -> Result<&'a JournalEntry, String> {
+    if let Some((_, e)) = cells.iter().find(|(id, _)| id == resource) {
+        return Ok(e);
+    }
+    let by_scenario: Vec<&&JournalEntry> = cells
+        .iter()
+        .filter(|(_, e)| e.scenario == resource)
+        .map(|(_, e)| e)
+        .collect();
+    match by_scenario.as_slice() {
+        [e] => Ok(**e),
+        [] => Err(format!(
+            "no journaled cell matches {resource:?} (try `mmwave-admin status` for the cell list)"
+        )),
+        many => Err(format!(
+            "{resource:?} is ambiguous: {} journaled cells share that scenario; pass a full cell id",
+            many.len()
+        )),
+    }
+}
+
+/// Replays the journaled cell behind one resource and renders its
+/// lifecycle transition tape — the exact tape `check_transition_tape`
+/// validates, cross-checked here before printing. Errors on aggregate
+/// fleet lines (their members own the tapes) and on entries whose replay
+/// reproduces a recorded failure (the failure class is reported instead).
+pub fn history_report(scan: &JournalScan, resource: &str) -> Result<String, String> {
+    let (cells, _) = dedup_last_wins(&scan.entries);
+    let entry = find_resource(&cells, resource)?;
+    if let Some(FleetScenarioRef::Aggregate { base, n_ues }) = parse_fleet_scenario(&entry.scenario)
+    {
+        return Err(format!(
+            "{resource:?} is a fleet aggregate; ask a member instead (e.g. fleet:{base}:{n_ues}:ue0)"
+        ));
+    }
+    if entry.status != "ok" {
+        return Err(format!(
+            "cell {} journaled as {:?} ({}); only completed cells have a replayable tape",
+            entry_id(entry),
+            entry.status,
+            if entry.message.is_empty() {
+                "no message"
+            } else {
+                &entry.message
+            }
+        ));
+    }
+    let (result, digest) = replay_entry(entry)?;
+    let tape: Vec<&Transition> = result.transitions().collect();
+    check_transition_tape(tape.iter().copied())
+        .map_err(|e| format!("replayed tape violates the lifecycle contract: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "cell {}", entry_id(entry));
+    let _ = writeln!(
+        out,
+        "digest {digest:016x} ({})",
+        if digest == entry.digest {
+            "matches journal"
+        } else {
+            "JOURNAL MISMATCH"
+        }
+    );
+    let _ = writeln!(out, "transitions: {} (tape legal, not wedged)", tape.len());
+    for (i, tr) in tape.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "#{i:<3} t={:>9.3}s  {:>10} -> {:<10} cause={}",
+            tr.t_s,
+            tr.from.kind().name(),
+            tr.to.kind().name(),
+            tr.cause.name()
+        );
+    }
+    Ok(out)
+}
+
+/// Replays one ok entry to its `RunResult`, routing fleet member lines
+/// through the fleet replay machinery and everything else through
+/// [`replay_cell`].
+fn replay_entry(entry: &JournalEntry) -> Result<(RunResult, u64), String> {
+    match parse_fleet_scenario(&entry.scenario) {
+        Some(FleetScenarioRef::PerUe { .. }) => match replay_fleet_entry(entry)? {
+            FleetReplay::PerUe { result, digest } => Ok((*result, digest)),
+            FleetReplay::Aggregate { .. } => {
+                Err("internal: per-UE line replayed as aggregate".to_string())
+            }
+        },
+        Some(FleetScenarioRef::Aggregate { .. }) => {
+            Err("aggregate lines have no single transition tape".to_string())
+        }
+        None => replay_cell(entry)
+            .map_err(|f| format!("replay reproduces {}: {}", f.kind.as_str(), f.message)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// metrics
+// ---------------------------------------------------------------------------
+
+/// Merges any number of metrics snapshots (JSONL, as written by the fleet
+/// and campaign capture layers) into one registry: counters add, gauges
+/// last-write-win in argument order, histograms merge bucket-for-bucket.
+/// Unparseable lines error with their path and line number.
+pub fn merge_snapshots(paths: &[impl AsRef<Path>]) -> Result<MetricsRegistry, String> {
+    let mut reg = MetricsRegistry::new();
+    for p in paths {
+        let p = p.as_ref();
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read snapshot {}: {e}", p.display()))?;
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            reg.absorb_line(line)
+                .map_err(|e| format!("{}:{}: {e}", p.display(), n + 1))?;
+        }
+    }
+    Ok(reg)
+}
+
+/// One line per histogram in a registry: count, p50/p95/p99, max. The
+/// `tail` subcommand reprints this as snapshots evolve.
+pub fn hist_summary(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (res, metric, h) in reg.histograms() {
+        let _ = writeln!(
+            out,
+            "{metric}[{res}]: n={} p50={}ns p95={}ns p99={}ns max={}ns",
+            h.count(),
+            h.percentile_ns(50.0),
+            h.percentile_ns(95.0),
+            h.percentile_ns(99.0),
+            h.max_ns()
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+/// How one cell id compares across two journals (or across a journal and
+/// its own replay).
+#[derive(Debug, PartialEq)]
+pub enum CellDiff {
+    /// Same digest, same status — bit-identical.
+    Identical,
+    /// Both completed but with different digests; when replays of both
+    /// sides disagree sample-for-sample, `first_divergent_slot` holds the
+    /// first differing sample index.
+    DivergentDigest {
+        /// Digest on side A.
+        a: u64,
+        /// Digest on side B.
+        b: u64,
+        /// First sample index where replays of the two sides differ;
+        /// `None` when the replays are bit-identical (the recorded
+        /// digests disagree with what the cell reproduces today) or when
+        /// localization was not attempted.
+        first_divergent_slot: Option<usize>,
+    },
+    /// The journals record different statuses (e.g. `ok` vs `timeout`).
+    DivergentStatus {
+        /// Status on side A.
+        a: String,
+        /// Status on side B.
+        b: String,
+    },
+    /// Present only in journal A.
+    OnlyInA,
+    /// Present only in journal B.
+    OnlyInB,
+}
+
+/// A full journal-vs-journal comparison.
+pub struct DiffReport {
+    /// `(cell id, classification)`, sorted by id.
+    pub rows: Vec<(String, CellDiff)>,
+    /// Torn line counts for the two sides.
+    pub torn: (usize, usize),
+}
+
+impl DiffReport {
+    /// True when every common cell is bit-identical and neither side has
+    /// cells the other lacks.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|(_, d)| *d == CellDiff::Identical)
+    }
+
+    /// Renders the report; identical cells compress to a count.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let identical = self
+            .rows
+            .iter()
+            .filter(|(_, d)| *d == CellDiff::Identical)
+            .count();
+        let _ = writeln!(
+            out,
+            "{} cells compared: {} identical, {} divergent/missing (torn lines: {} vs {})",
+            self.rows.len(),
+            identical,
+            self.rows.len() - identical,
+            self.torn.0,
+            self.torn.1
+        );
+        for (id, d) in &self.rows {
+            match d {
+                CellDiff::Identical => {}
+                CellDiff::DivergentDigest {
+                    a,
+                    b,
+                    first_divergent_slot,
+                } => {
+                    let at = match first_divergent_slot {
+                        Some(n) => format!("divergent at slot {n}"),
+                        None => "replays bit-identical; recorded digests differ".to_string(),
+                    };
+                    let _ = writeln!(out, "divergent  {id}: {a:016x} vs {b:016x} ({at})");
+                }
+                CellDiff::DivergentStatus { a, b } => {
+                    let _ = writeln!(out, "divergent  {id}: status {a:?} vs {b:?}");
+                }
+                CellDiff::OnlyInA => {
+                    let _ = writeln!(out, "missing-in-b  {id}");
+                }
+                CellDiff::OnlyInB => {
+                    let _ = writeln!(out, "missing-in-a  {id}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// First sample index at which two runs differ bit-for-bit, `None` when
+/// the tapes are identical. Floats compare by bit pattern so NaN probing
+/// gaps compare equal and a 1-ulp drift still registers.
+pub fn first_divergent_slot(a: &RunResult, b: &RunResult) -> Option<usize> {
+    let (sa, sb) = (&a.samples, &b.samples);
+    for i in 0..sa.len().min(sb.len()) {
+        let (x, y) = (&sa[i], &sb[i]);
+        if x.t_s.to_bits() != y.t_s.to_bits()
+            || x.dur_s.to_bits() != y.dur_s.to_bits()
+            || x.snr_db.to_bits() != y.snr_db.to_bits()
+            || x.probing != y.probing
+        {
+            return Some(i);
+        }
+    }
+    (sa.len() != sb.len()).then(|| sa.len().min(sb.len()))
+}
+
+/// Diffs two journal scans cell-by-cell (last entry wins on both sides).
+/// With `localize`, divergent-digest cells are replayed on both sides to
+/// pin the first divergent sample; aggregate fleet lines skip
+/// localization (their digest is a fold over member digests — diff the
+/// members instead).
+pub fn diff_journals(a: &JournalScan, b: &JournalScan, localize: bool) -> DiffReport {
+    let (cells_a, _) = dedup_last_wins(&a.entries);
+    let (cells_b, _) = dedup_last_wins(&b.entries);
+    let map_a: BTreeMap<&str, &JournalEntry> =
+        cells_a.iter().map(|(id, e)| (id.as_str(), *e)).collect();
+    let map_b: BTreeMap<&str, &JournalEntry> =
+        cells_b.iter().map(|(id, e)| (id.as_str(), *e)).collect();
+    let mut ids: Vec<&str> = map_a.keys().chain(map_b.keys()).copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut rows = Vec::with_capacity(ids.len());
+    for id in ids {
+        let d = match (map_a.get(id), map_b.get(id)) {
+            (Some(ea), Some(eb)) => {
+                if ea.status != eb.status {
+                    CellDiff::DivergentStatus {
+                        a: ea.status.clone(),
+                        b: eb.status.clone(),
+                    }
+                } else if ea.digest == eb.digest {
+                    CellDiff::Identical
+                } else {
+                    let is_aggregate = matches!(
+                        parse_fleet_scenario(&ea.scenario),
+                        Some(FleetScenarioRef::Aggregate { .. })
+                    );
+                    let slot = if localize && ea.status == "ok" && !is_aggregate {
+                        match (replay_entry(ea), replay_entry(eb)) {
+                            (Ok((ra, _)), Ok((rb, _))) => first_divergent_slot(&ra, &rb),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    CellDiff::DivergentDigest {
+                        a: ea.digest,
+                        b: eb.digest,
+                        first_divergent_slot: slot,
+                    }
+                }
+            }
+            (Some(_), None) => CellDiff::OnlyInA,
+            (None, Some(_)) => CellDiff::OnlyInB,
+            (None, None) => unreachable!("id came from one of the maps"),
+        };
+        rows.push((id.to_string(), d));
+    }
+    DiffReport {
+        rows,
+        torn: (a.torn, b.torn),
+    }
+}
+
+/// Diffs a journal against its own fresh replay: every deduped entry is
+/// re-executed and the reproduced digest (for ok cells) or failure class
+/// (for failed cells) is compared against what the journal recorded. This
+/// is the self-consistency check the CI smoke runs — a bit-identical
+/// codebase yields an all-identical report.
+pub fn self_replay_diff(scan: &JournalScan) -> DiffReport {
+    let (cells, _) = dedup_last_wins(&scan.entries);
+    let mut rows = Vec::with_capacity(cells.len());
+    for (id, e) in cells {
+        let d = if e.status == "ok" {
+            let replayed = match parse_fleet_scenario(&e.scenario) {
+                Some(FleetScenarioRef::Aggregate { .. }) => {
+                    replay_fleet_entry(e).map(|r| match r {
+                        FleetReplay::Aggregate { report } => report.digest,
+                        FleetReplay::PerUe { digest, .. } => digest,
+                    })
+                }
+                _ => replay_entry(e).map(|(_, d)| d),
+            };
+            match replayed {
+                Ok(digest) if digest == e.digest => CellDiff::Identical,
+                Ok(digest) => CellDiff::DivergentDigest {
+                    a: e.digest,
+                    b: digest,
+                    first_divergent_slot: None,
+                },
+                Err(msg) => CellDiff::DivergentStatus {
+                    a: e.status.clone(),
+                    b: msg,
+                },
+            }
+        } else {
+            // A recorded failure replays to the same classification.
+            match replay_cell(e) {
+                Err(f) if f.kind.as_str() == e.status => CellDiff::Identical,
+                Err(f) => CellDiff::DivergentStatus {
+                    a: e.status.clone(),
+                    b: f.kind.as_str().to_string(),
+                },
+                Ok((_, digest)) => CellDiff::DivergentStatus {
+                    a: e.status.clone(),
+                    b: format!("ok ({digest:016x})"),
+                },
+            }
+        };
+        rows.push((id, d));
+    }
+    DiffReport {
+        rows,
+        torn: (scan.torn, scan.torn),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tail
+// ---------------------------------------------------------------------------
+
+/// Incremental journal follower: feed it raw chunks as the file grows and
+/// it yields complete parsed entries, holding a trailing partial line
+/// until its newline arrives (a live writer's torn tail is *pending*, not
+/// torn — only a completed line that fails to parse counts as torn).
+#[derive(Default)]
+pub struct TailState {
+    partial: String,
+    /// Completed lines that failed to parse.
+    pub torn: usize,
+    /// Entries yielded so far.
+    pub seen: usize,
+}
+
+impl TailState {
+    /// Consumes one chunk of appended journal bytes.
+    pub fn feed(&mut self, chunk: &str) -> Vec<JournalEntry> {
+        self.partial.push_str(chunk);
+        let mut out = Vec::new();
+        while let Some(nl) = self.partial.find('\n') {
+            let line: String = self.partial.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match JournalEntry::parse(line) {
+                Some(e) => {
+                    self.seen += 1;
+                    out.push(e);
+                }
+                None => self.torn += 1,
+            }
+        }
+        out
+    }
+}
+
+/// One-line rendering of a journal entry for `tail` and `status -v`.
+pub fn entry_line(e: &JournalEntry) -> String {
+    if e.status == "ok" {
+        format!(
+            "ok         {}  digest {:016x}  rel {:.4}",
+            entry_id(e),
+            e.digest,
+            e.reliability
+        )
+    } else {
+        format!(
+            "{:<10} {}  attempts {}  {}",
+            e.status,
+            entry_id(e),
+            e.attempts,
+            e.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(scenario: &str, seed: u64, status: &str, digest: u64) -> JournalEntry {
+        JournalEntry {
+            scenario: scenario.to_string(),
+            strategy: "mmreliable".to_string(),
+            seed,
+            fault: "none".to_string(),
+            status: status.to_string(),
+            attempts: 1,
+            digest,
+            tick_budget: None,
+            reliability: if status == "ok" { 0.99 } else { 0.0 },
+            message: String::new(),
+            features: String::new(),
+            impairment: "none".to_string(),
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_the_last_entry_per_cell() {
+        let entries = vec![
+            entry("a", 1, "timeout", 0),
+            entry("b", 2, "ok", 7),
+            entry("a", 1, "ok", 5),
+        ];
+        let (cells, superseded) = dedup_last_wins(&entries);
+        assert_eq!(superseded, 1);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].1.status, "ok");
+        assert_eq!(cells[0].1.digest, 5);
+    }
+
+    #[test]
+    fn legacy_and_modern_clean_ids_coincide() {
+        let mut legacy = entry("a", 1, "ok", 5);
+        legacy.impairment = String::new(); // pre-impairment journal line
+        let modern = entry("a", 1, "ok", 5);
+        assert_eq!(entry_id(&legacy), entry_id(&modern));
+        assert_eq!(entry_id(&modern).matches("//").count(), 3);
+        let mut impaired = entry("a", 1, "ok", 5);
+        impaired.impairment = "pn-strong".to_string();
+        assert_eq!(entry_id(&impaired).matches("//").count(), 4);
+    }
+
+    #[test]
+    fn tail_holds_partial_lines_until_complete() {
+        let line = entry("a", 1, "ok", 5).to_json();
+        let (head, rest) = line.split_at(10);
+        let mut tail = TailState::default();
+        assert!(tail.feed(head).is_empty());
+        assert!(tail.feed(rest).is_empty()); // newline not yet written
+        let got = tail.feed("\n");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].scenario, "a");
+        assert_eq!(tail.torn, 0);
+        // A completed garbage line is torn; a trailing fragment is not.
+        assert!(tail.feed("garbage\n{\"scen").is_empty());
+        assert_eq!(tail.torn, 1);
+    }
+
+    #[test]
+    fn diff_classifies_without_replaying() {
+        let a = JournalScan {
+            entries: vec![
+                entry("x", 1, "ok", 10),
+                entry("y", 2, "ok", 20),
+                entry("z", 3, "timeout", 0),
+                entry("only-a", 4, "ok", 40),
+            ],
+            torn: 1,
+        };
+        let b = JournalScan {
+            entries: vec![
+                entry("x", 1, "ok", 10),
+                entry("y", 2, "ok", 21),
+                entry("z", 3, "ok", 30),
+                entry("only-b", 5, "ok", 50),
+            ],
+            torn: 0,
+        };
+        let report = diff_journals(&a, &b, false);
+        assert!(!report.all_identical());
+        let by_id: BTreeMap<&str, &CellDiff> = report
+            .rows
+            .iter()
+            .map(|(id, d)| (id.split("//").next().unwrap(), d))
+            .collect();
+        assert_eq!(by_id["x"], &CellDiff::Identical);
+        assert!(matches!(
+            by_id["y"],
+            CellDiff::DivergentDigest { a: 20, b: 21, .. }
+        ));
+        assert!(matches!(by_id["z"], CellDiff::DivergentStatus { .. }));
+        assert_eq!(by_id["only-a"], &CellDiff::OnlyInA);
+        assert_eq!(by_id["only-b"], &CellDiff::OnlyInB);
+        assert_eq!(report.torn, (1, 0));
+    }
+
+    #[test]
+    fn status_report_rolls_up_fleet_members() {
+        let scan = JournalScan {
+            entries: vec![
+                entry("fleet:static-walker:2:ue0", 100, "ok", 1),
+                entry("fleet:static-walker:2:ue1", 101, "ok", 2),
+                entry("fleet:static-walker:2", 42, "ok", 3),
+                entry("plain", 7, "panic", 0),
+            ],
+            torn: 0,
+        };
+        let report = status_report(&scan);
+        assert!(report.contains("1 single-link, 1 fleet aggregates, 2 fleet members"));
+        assert!(
+            report.contains("fleet:static-walker:2: 2 members journaled (2 ok), aggregate present")
+        );
+        assert!(report.contains("ok 3, panic 1"));
+    }
+}

@@ -1,0 +1,211 @@
+//! `mmwave-admin` — the operator CLI over campaign journals and metrics
+//! snapshots.
+//!
+//! ```text
+//! mmwave-admin status  <journal>                      cell/fleet rollup
+//! mmwave-admin history <resource> --journal <path>    lifecycle transition tape
+//! mmwave-admin metrics <snapshot>... [--jsonl]        merge + dump registries
+//! mmwave-admin tail    <journal> [--metrics <path>] [--once] [--interval-ms N]
+//! mmwave-admin diff    <journal-a> <journal-b> [--no-locate]
+//! mmwave-admin diff    <journal> --replay             journal vs its own replay
+//! ```
+//!
+//! `diff` exits 0 only when every cell is bit-identical; every other
+//! subcommand exits 0 unless its inputs are unreadable. All the logic
+//! lives in `mmwave_bench::admin` where the test suite drives it
+//! directly.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mmwave_bench::admin::{
+    diff_journals, entry_line, hist_summary, history_report, merge_snapshots, scan_journal,
+    self_replay_diff, status_report, TailState,
+};
+
+const USAGE: &str = "usage: mmwave-admin <status|history|metrics|tail|diff> ...
+  status  <journal>
+  history <resource> --journal <path>
+  metrics <snapshot.jsonl>... [--jsonl]
+  tail    <journal> [--metrics <snapshot>] [--once] [--interval-ms N]
+  diff    <journal-a> <journal-b> [--no-locate]
+  diff    <journal> --replay";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("mmwave-admin: {msg}");
+    ExitCode::FAILURE
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Positional (non-flag) arguments; flags listed in `valued` consume the
+/// following argument.
+fn positionals<'a>(args: &'a [String], valued: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if valued.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            out.push(a.as_str());
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return fail(USAGE);
+    };
+    let rest = &args[1..];
+    match cmd {
+        "status" => {
+            let pos = positionals(rest, &[]);
+            let [journal] = pos.as_slice() else {
+                return fail("status takes exactly one journal path");
+            };
+            match scan_journal(Path::new(journal)) {
+                Ok(scan) => {
+                    print!("{}", status_report(&scan));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "history" => {
+            let pos = positionals(rest, &["--journal"]);
+            let [resource] = pos.as_slice() else {
+                return fail("history takes exactly one resource (a cell id or fleet member)");
+            };
+            let Some(journal) = flag_value(rest, "--journal") else {
+                return fail("history needs --journal <path>");
+            };
+            let report =
+                scan_journal(Path::new(journal)).and_then(|scan| history_report(&scan, resource));
+            match report {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "metrics" => {
+            let paths: Vec<PathBuf> = positionals(rest, &[])
+                .into_iter()
+                .map(PathBuf::from)
+                .collect();
+            if paths.is_empty() {
+                return fail("metrics needs at least one snapshot path");
+            }
+            match merge_snapshots(&paths) {
+                Ok(reg) => {
+                    if rest.iter().any(|a| a == "--jsonl") {
+                        for line in reg.snapshot_jsonl() {
+                            println!("{line}");
+                        }
+                    } else {
+                        print!("{}", reg.prometheus_text());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "tail" => {
+            let pos = positionals(rest, &["--metrics", "--interval-ms"]);
+            let [journal] = pos.as_slice() else {
+                return fail("tail takes exactly one journal path");
+            };
+            let metrics = flag_value(rest, "--metrics").map(PathBuf::from);
+            let once = rest.iter().any(|a| a == "--once");
+            let interval_ms: u64 = flag_value(rest, "--interval-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500);
+            tail_loop(Path::new(journal), metrics.as_deref(), once, interval_ms)
+        }
+        "diff" => {
+            let pos = positionals(rest, &[]);
+            let replay = rest.iter().any(|a| a == "--replay");
+            let localize = !rest.iter().any(|a| a == "--no-locate");
+            let report = match (pos.as_slice(), replay) {
+                ([journal], true) => scan_journal(Path::new(journal)).map(|s| self_replay_diff(&s)),
+                ([a, b], false) => match (scan_journal(Path::new(a)), scan_journal(Path::new(b))) {
+                    (Ok(sa), Ok(sb)) => Ok(diff_journals(&sa, &sb, localize)),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                },
+                _ => {
+                    return fail("diff takes two journals, or one journal with --replay");
+                }
+            };
+            match report {
+                Ok(r) => {
+                    print!("{}", r.render());
+                    if r.all_identical() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        _ => fail(USAGE),
+    }
+}
+
+/// Follows a journal by byte offset, printing each completed entry as it
+/// lands; a torn trailing line stays pending until its newline arrives.
+/// With `--metrics`, reprints the merged histogram summary whenever the
+/// snapshot file changes. `--once` drains what exists and returns — the
+/// CI smoke uses it; interactively the loop runs until interrupted.
+fn tail_loop(journal: &Path, metrics: Option<&Path>, once: bool, interval_ms: u64) -> ExitCode {
+    let mut state = TailState::default();
+    let mut offset = 0u64;
+    let mut last_metrics = String::new();
+    loop {
+        match std::fs::read(journal) {
+            Ok(bytes) => {
+                if (bytes.len() as u64) < offset {
+                    // Truncated/rotated: start over.
+                    offset = 0;
+                    state = TailState::default();
+                    println!("-- journal truncated; following from the top --");
+                }
+                let chunk = String::from_utf8_lossy(&bytes[offset as usize..]).into_owned();
+                offset = bytes.len() as u64;
+                for e in state.feed(&chunk) {
+                    println!("{}", entry_line(&e));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return fail(&format!("cannot read {}: {e}", journal.display())),
+        }
+        if let Some(m) = metrics {
+            if let Ok(reg) = merge_snapshots(&[m]) {
+                let summary = hist_summary(&reg);
+                if !summary.is_empty() && summary != last_metrics {
+                    print!("{summary}");
+                    last_metrics = summary;
+                }
+            }
+        }
+        if once {
+            if state.torn > 0 {
+                println!("-- {} torn line(s) skipped --", state.torn);
+            }
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}

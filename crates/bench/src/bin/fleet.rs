@@ -32,13 +32,14 @@ const N_UES: u32 = 64;
 /// per wall second even on a small runner.
 const MIN_UE_SLOTS_PER_S: f64 = 1e4;
 
-fn run(threads: usize, shards: usize, journal: Option<&str>) -> FleetReport {
+fn run(threads: usize, shards: usize, journal: Option<&str>, metrics: Option<&str>) -> FleetReport {
     let mut cfg = FleetConfig {
         threads,
         shards,
         ..FleetConfig::new("static-walker", "single-beam-reactive", N_UES, 42)
     };
     cfg.journal = journal.map(std::path::PathBuf::from);
+    cfg.metrics = metrics.map(std::path::PathBuf::from);
     run_fleet(&cfg).expect("fleet runs")
 }
 
@@ -50,6 +51,11 @@ fn main() {
         .position(|a| a == "--journal")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str);
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
     let mode = if smoke { "smoke" } else { "full" };
     let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
@@ -57,8 +63,8 @@ fn main() {
     // parallel run must reproduce bit-for-bit. The journal (if any) is
     // written by this run; re-running against an existing journal resumes
     // instead of recomputing, so point `--journal` at a fresh path.
-    let seq = run(1, 1, journal);
-    let par = run(avail, avail, None);
+    let seq = run(1, 1, journal, None);
+    let par = run(avail, avail, None, metrics);
     assert_eq!(
         seq.digest, par.digest,
         "fleet digest must be invariant to worker/shard count"

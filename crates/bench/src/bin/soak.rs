@@ -124,6 +124,15 @@ fn main() -> ExitCode {
             PathBuf::from,
         );
     let _ = std::fs::remove_file(&journal);
+    let metrics: PathBuf = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || journal.with_file_name("soak-metrics.jsonl"),
+            PathBuf::from,
+        );
+    let _ = std::fs::remove_file(&metrics);
 
     let jobs = build_jobs();
     let cfg = chaos_config(&journal);
@@ -259,6 +268,7 @@ fn main() -> ExitCode {
             decimation: 16,
             ..TelemetrySpec::default()
         }),
+        metrics: Some(metrics.clone()),
         ..CampaignConfig::default()
     };
     let trace_report = run_campaign(&trace_jobs, &trace_cfg).expect("telemetry campaign");
@@ -316,6 +326,32 @@ fn main() -> ExitCode {
     } else {
         println!("[skip] telemetry feature off: trace content checks skipped");
     }
+
+    // Metrics snapshot: the campaign capture layer runs regardless of the
+    // telemetry feature; every line must be strict JSON and the snapshot
+    // must re-absorb into a registry losslessly.
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap_or_default();
+    let mut reabsorbed = mmwave_telemetry::MetricsRegistry::new();
+    let mut metrics_ok = !metrics_text.trim().is_empty();
+    for line in metrics_text.lines().filter(|l| !l.trim().is_empty()) {
+        if mmwave_telemetry::validate_json_line(line).is_err()
+            || reabsorbed.absorb_line(line).is_err()
+        {
+            eprintln!("soak: bad metrics line: {line}");
+            metrics_ok = false;
+        }
+    }
+    check(
+        metrics_ok && !reabsorbed.is_empty(),
+        "metrics snapshot is strict JSON and re-absorbs into a registry",
+    );
+    check(
+        reabsorbed
+            .find_counter("campaign", "completed")
+            .map(|id| reabsorbed.counter_value(id))
+            == Some(trace_jobs.len() as u64),
+        "metrics snapshot counts every telemetry cell as completed",
+    );
 
     // Backoff determinism: the same (campaign seed, cell, attempt) always
     // yields the same delay.

@@ -5,6 +5,7 @@
 //! `figures` binary (see `src/bin/figures.rs`) regenerates each figure's
 //! data as CSV rows on stdout and under `results/`.
 
+pub mod admin;
 pub mod figures;
 pub mod supervised;
 

@@ -50,4 +50,7 @@ pub use config::MmReliableConfig;
 pub use controller::MmReliableController;
 pub use frontend::{LinkFrontEnd, ProbeKind};
 pub use linkstate::{LinkState, LinkStateKind, Transition, TransitionCause};
-pub use statehandler::{Intent, IntentKind, IntentQueue, Io, PassStats, StateHandler, UeId};
+pub use statehandler::{
+    HistoryRecord, Intent, IntentKind, IntentQueue, Io, PassStats, StateHandler, UeId, UeMetrics,
+    UeStats,
+};

@@ -88,6 +88,13 @@ impl LinkStateKind {
             LinkStateKind::Recovering => "recovering",
         }
     }
+
+    /// Inverse of [`LinkStateKind::name`]: the stable serde names history
+    /// lines are written with. `None` for anything else — callers decide
+    /// whether an unknown name (a newer writer) is a skip or an error.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl std::fmt::Display for LinkStateKind {
@@ -228,6 +235,63 @@ pub enum TransitionCause {
     RetrainFailed,
     /// The episode's retry budget is spent; wide-beam fallback engages.
     RetryBudgetExhausted,
+}
+
+impl TransitionCause {
+    /// Every cause, for exhaustive table tests and name round-trips.
+    pub const ALL: [TransitionCause; 10] = [
+        TransitionCause::Established,
+        TransitionCause::AcquireFailed,
+        TransitionCause::SnrCollapsed,
+        TransitionCause::DegradationPersisted,
+        TransitionCause::LinkRecovered,
+        TransitionCause::PartialRecovery,
+        TransitionCause::RetrainScheduled,
+        TransitionCause::ConditionsImproved,
+        TransitionCause::RetrainFailed,
+        TransitionCause::RetryBudgetExhausted,
+    ];
+
+    /// Stable kebab-case serde name. These are a wire format: state
+    /// history lines (`StateHandler::history_json`) and the admin CLI's
+    /// transition tapes are diffed across binary versions, so renaming a
+    /// variant must not rename its serialized form.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionCause::Established => "established",
+            TransitionCause::AcquireFailed => "acquire-failed",
+            TransitionCause::SnrCollapsed => "snr-collapsed",
+            TransitionCause::DegradationPersisted => "degradation-persisted",
+            TransitionCause::LinkRecovered => "link-recovered",
+            TransitionCause::PartialRecovery => "partial-recovery",
+            TransitionCause::RetrainScheduled => "retrain-scheduled",
+            TransitionCause::ConditionsImproved => "conditions-improved",
+            TransitionCause::RetrainFailed => "retrain-failed",
+            TransitionCause::RetryBudgetExhausted => "retry-budget-exhausted",
+        }
+    }
+
+    /// Inverse of [`TransitionCause::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// True for the causes that represent a failed attempt to leave a
+    /// bad state (the handler's per-resource exit-failure counter).
+    pub fn is_exit_failure(self) -> bool {
+        matches!(
+            self,
+            TransitionCause::AcquireFailed
+                | TransitionCause::RetrainFailed
+                | TransitionCause::RetryBudgetExhausted
+        )
+    }
+}
+
+impl std::fmt::Display for TransitionCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// One recorded state change.
@@ -1004,6 +1068,36 @@ mod tests {
         let drained = lc.drain_log();
         assert_eq!(drained.len(), 1);
         assert!(lc.log().is_empty());
+    }
+
+    #[test]
+    fn serde_names_are_stable_and_round_trip() {
+        // These strings are a wire format (history lines, admin tapes):
+        // the literals are pinned here so a rename shows up as a test
+        // diff, not a silent format change.
+        let expected_states = ["acquiring", "steady", "degraded", "outage", "recovering"];
+        for (k, want) in LinkStateKind::ALL.into_iter().zip(expected_states) {
+            assert_eq!(k.name(), want);
+            assert_eq!(LinkStateKind::parse(want), Some(k));
+        }
+        assert_eq!(LinkStateKind::parse("warp-drive"), None);
+        let expected_causes = [
+            "established",
+            "acquire-failed",
+            "snr-collapsed",
+            "degradation-persisted",
+            "link-recovered",
+            "partial-recovery",
+            "retrain-scheduled",
+            "conditions-improved",
+            "retrain-failed",
+            "retry-budget-exhausted",
+        ];
+        for (c, want) in TransitionCause::ALL.into_iter().zip(expected_causes) {
+            assert_eq!(c.name(), want);
+            assert_eq!(TransitionCause::parse(want), Some(c));
+        }
+        assert_eq!(TransitionCause::parse("nope"), None);
     }
 
     #[test]

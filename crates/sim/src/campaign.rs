@@ -465,6 +465,10 @@ pub struct CampaignConfig {
     /// Emit a live heartbeat line on stderr (~2 Hz): cells done / retried
     /// / shed, busy workers, and an ETA extrapolated from throughput.
     pub progress: bool,
+    /// Metrics-registry snapshot (JSONL) output path: per-cell attempts
+    /// and reliability, campaign-level completion counters, and the
+    /// merged per-stage latency histograms. `None` skips the capture.
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -483,6 +487,7 @@ impl Default for CampaignConfig {
             pre_run_hook: None,
             telemetry: None,
             progress: false,
+            metrics: None,
         }
     }
 }
@@ -1494,16 +1499,53 @@ pub fn run_campaign(jobs: &[Job], cfg: &CampaignConfig) -> Result<CampaignReport
         cells.sort_by(|a, b| a.0.cmp(&b.0));
         mmwave_telemetry::write_chrome_trace(path, &cells)?;
     }
-    let outcomes = slots
+    let outcomes: Vec<CellOutcome> = slots
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|o| o.expect("every cell resolved"))
         .collect();
-    Ok(CampaignReport {
-        outcomes,
-        hists: merged.into_inner().unwrap(),
-    })
+    let hists = merged.into_inner().unwrap();
+    // The campaign is the capture layer: the registry is populated here
+    // unconditionally (no feature gate) from data the run already produced.
+    if let Some(path) = &cfg.metrics {
+        let mut reg = mmwave_telemetry::MetricsRegistry::new();
+        let campaign = reg.resource("campaign");
+        let (mut ok, mut resumed, mut failed) = (0u64, 0u64, 0u64);
+        for o in &outcomes {
+            let cell = reg.resource(&o.key.id());
+            let attempts = reg.counter(cell, "attempts");
+            reg.set_counter(attempts, u64::from(o.attempts));
+            match &o.status {
+                CellStatus::Completed { result, .. } => {
+                    ok += 1;
+                    let g = reg.gauge(cell, "reliability");
+                    reg.set_gauge(g, result.reliability());
+                }
+                CellStatus::Resumed { entry } => {
+                    resumed += 1;
+                    let g = reg.gauge(cell, "reliability");
+                    reg.set_gauge(g, entry.reliability);
+                }
+                CellStatus::Failed { .. } | CellStatus::Shed => failed += 1,
+            }
+        }
+        for (counter, value) in [
+            ("cells", outcomes.len() as u64),
+            ("completed", ok),
+            ("resumed", resumed),
+            ("failed", failed),
+        ] {
+            let c = reg.counter(campaign, counter);
+            reg.set_counter(c, value);
+        }
+        for (stage, hist) in mmwave_telemetry::Stage::ALL.iter().zip(hists.iter()) {
+            let h = reg.histogram(campaign, stage.name());
+            reg.merge_hist(h, hist);
+        }
+        write_lines_atomic(path, &reg.snapshot_jsonl())?;
+    }
+    Ok(CampaignReport { outcomes, hists })
 }
 
 #[cfg(test)]

@@ -163,6 +163,21 @@ macro_rules! lane_delegate {
 }
 
 impl LaneFrontEnd {
+    /// Stable annotation for the decorator stack wrapping this lane
+    /// (empty for a clean front-end) — rides on the lane's state-history
+    /// lines so an operator reading a transition tape sees which
+    /// environment produced it.
+    fn note(&self) -> &'static str {
+        match self {
+            LaneFrontEnd::Bare(_) => "",
+            LaneFrontEnd::Faulted(_) => "faulted",
+            LaneFrontEnd::Impaired(_) => "impaired",
+            LaneFrontEnd::Both(_) => "faulted+impaired",
+        }
+    }
+}
+
+impl LaneFrontEnd {
     /// Wraps `sim` in the decorator stack the mix calls for — the same
     /// nesting order as the campaign's `run_setup` (impairments nearest
     /// the hardware, faults outermost).
@@ -390,6 +405,12 @@ pub struct FleetConfig {
     /// round-robin ([`ue_mix`]). Empty = every UE clean (the pre-mix
     /// fleet, bit-identically).
     pub mix: Vec<MixGroup>,
+    /// Metrics-registry snapshot (JSONL) output path: per-UE handler
+    /// stats, fleet pass-latency histogram, and shared-cache counters,
+    /// in the mergeable form `mmwave-admin metrics` reads. Requires the
+    /// `telemetry` feature — without it the run notes the skip on stderr
+    /// (the simulation payload is identical either way).
+    pub metrics: Option<PathBuf>,
 }
 
 impl FleetConfig {
@@ -405,6 +426,7 @@ impl FleetConfig {
             pass_period_s: PASS_PERIOD_S,
             journal: None,
             mix: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -531,8 +553,18 @@ impl FleetShard {
                 done: false,
             });
         }
+        let mut handler =
+            StateHandler::new(ues.iter().map(|&u| UeId(u)), LifecycleConfig::default());
+        // Label each lane with its decorator stack so history lines say
+        // which environment (clean/faulted/impaired) produced the tape.
+        for lane in &lanes {
+            let note = lane.sim.note();
+            if !note.is_empty() {
+                handler.set_note(UeId(lane.ue), note);
+            }
+        }
         Ok(Self {
-            handler: StateHandler::new(ues.iter().map(|&u| UeId(u)), LifecycleConfig::default()),
+            handler,
             lanes,
             io: IntentQueue::new(),
             pass: 0,
@@ -903,6 +935,15 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, String> {
     let mut data_slots = 0u64;
     let mut pass_latency = LatencyHist::new();
     let mut passes = 0u64;
+    #[cfg(feature = "telemetry")]
+    let mut registry = cfg
+        .metrics
+        .as_ref()
+        .map(|_| mmwave_telemetry::MetricsRegistry::new());
+    #[cfg(not(feature = "telemetry"))]
+    if cfg.metrics.is_some() {
+        eprintln!("note: --metrics requested but the `telemetry` feature is off; skipping");
+    }
     for out in outputs.into_inner().expect("poisoned") {
         let ShardOutput {
             results,
@@ -910,6 +951,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, String> {
             pass_latency: shard_hist,
             passes: shard_passes,
         } = out;
+        #[cfg(feature = "telemetry")]
+        if let Some(reg) = registry.as_mut() {
+            handler.publish_metrics(reg);
+        }
         pass_latency.merge(&shard_hist);
         passes = passes.max(shard_passes);
         for (ue, r) in results {
@@ -950,6 +995,23 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, String> {
         let (path, lines) = &mut *guard;
         lines.push(aggregate_entry(cfg, &report).to_json());
         write_lines_atomic(path, lines)?;
+    }
+    #[cfg(feature = "telemetry")]
+    if let (Some(path), Some(mut reg)) = (cfg.metrics.as_ref(), registry.take()) {
+        let fleet = reg.resource(&report.scenario);
+        let c_passes = reg.counter(fleet, "passes");
+        let c_data = reg.counter(fleet, "data_slots");
+        let c_imgs = reg.counter(fleet, "cache_images_built");
+        let c_traces = reg.counter(fleet, "cache_traces_served");
+        let c_mirror = reg.counter(fleet, "cache_mirror_ops_saved");
+        let h_pass = reg.histogram(fleet, "pass_latency_ns");
+        reg.set_counter(c_passes, report.passes);
+        reg.set_counter(c_data, report.data_slots);
+        reg.set_counter(c_imgs, report.cache.images_built);
+        reg.set_counter(c_traces, report.cache.traces_served);
+        reg.set_counter(c_mirror, report.cache.mirror_ops_saved);
+        reg.merge_hist(h_pass, &report.pass_latency);
+        write_lines_atomic(path, &reg.snapshot_jsonl())?;
     }
     Ok(report)
 }
@@ -1017,6 +1079,7 @@ pub fn replay_fleet_entry(entry: &JournalEntry) -> Result<FleetReplay, String> {
                 pass_period_s: PASS_PERIOD_S,
                 journal: None,
                 mix,
+                metrics: None,
             };
             let report = run_fleet(&cfg)?;
             Ok(FleetReplay::Aggregate {

@@ -69,9 +69,10 @@ impl LatencyHist {
 
     #[inline]
     pub fn record(&mut self, ns: u64) {
-        self.counts[Self::bucket_index(ns)] += 1;
-        self.count += 1;
-        self.sum_ns += ns as u128;
+        let b = Self::bucket_index(ns);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum_ns = self.sum_ns.saturating_add(ns as u128);
         if ns > self.max_ns {
             self.max_ns = ns;
         }
@@ -79,15 +80,49 @@ impl LatencyHist {
 
     /// Fold `other` into `self`. Equivalent (bucket-for-bucket) to having
     /// recorded the union of both sample tapes into one histogram.
+    ///
+    /// All additions saturate, so a bucket pinned at `u64::MAX` stays
+    /// pinned instead of wrapping — and because saturating addition of
+    /// unsigned values is `min(true sum, MAX)`, merge order never changes
+    /// the result: merging is commutative and associative even at the
+    /// saturation boundary. Merging an empty histogram is a no-op
+    /// (including `max_ns`, which an empty histogram holds at 0).
     pub fn merge(&mut self, other: &Self) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += *b;
+        if other.count == 0 {
+            return;
         }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
         if other.max_ns > self.max_ns {
             self.max_ns = other.max_ns;
         }
+    }
+
+    /// Rebuilds a histogram from exporter parts: sparse `(bucket, count)`
+    /// pairs plus the exact sample sum and maximum the exporter carried
+    /// alongside (neither is recoverable from bucket counts alone). Pairs
+    /// with an out-of-range bucket index are ignored rather than panicking
+    /// — snapshot files cross version boundaries. Repeated indices
+    /// accumulate; the total count is the saturating sum of the pairs.
+    pub fn from_parts(
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+        sum_ns: u128,
+        max_ns: u64,
+    ) -> Self {
+        let mut h = Self::new();
+        for (b, n) in buckets {
+            if b >= N_BUCKETS {
+                continue;
+            }
+            h.counts[b] = h.counts[b].saturating_add(n);
+            h.count = h.count.saturating_add(n);
+        }
+        h.sum_ns = sum_ns;
+        h.max_ns = max_ns;
+        h
     }
 
     pub fn clear(&mut self) {
@@ -105,6 +140,11 @@ impl LatencyHist {
     /// Largest recorded value, exact (not bucket-quantised).
     pub fn max_ns(&self) -> u64 {
         self.max_ns
+    }
+
+    /// Exact sum of all recorded values (saturating at `u128::MAX`).
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
     }
 
     pub fn mean_ns(&self) -> f64 {
@@ -256,6 +296,115 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, u);
+    }
+
+    /// Three deterministic sample tapes with different shapes, plus a
+    /// histogram pre-loaded to the saturation boundary.
+    fn merge_fixtures() -> [LatencyHist; 4] {
+        let mut a = LatencyHist::new();
+        for v in [3u64, 900, 12_000, 1 << 30] {
+            a.record(v);
+        }
+        let mut b = LatencyHist::new();
+        for v in [0u64, 900, 77, u64::MAX] {
+            b.record(v);
+        }
+        let mut c = LatencyHist::new();
+        for v in 1..=50u64 {
+            c.record(v * 333);
+        }
+        // Near-saturated: one bucket and the totals pinned just below MAX,
+        // so any further merge crosses the boundary.
+        let sat = LatencyHist::from_parts(
+            [(LatencyHist::bucket_index(900), u64::MAX - 1)],
+            u128::MAX - 1,
+            u64::MAX,
+        );
+        [a, b, c, sat]
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        for h in merge_fixtures() {
+            let empty = LatencyHist::new();
+            let mut lhs = h.clone();
+            lhs.merge(&empty);
+            assert_eq!(lhs, h, "h.merge(empty) must leave h unchanged");
+            let mut rhs = LatencyHist::new();
+            rhs.merge(&h);
+            assert_eq!(rhs, h, "empty.merge(h) must equal h");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let fx = merge_fixtures();
+        for x in &fx {
+            for y in &fx {
+                let mut xy = x.clone();
+                xy.merge(y);
+                let mut yx = y.clone();
+                yx.merge(x);
+                assert_eq!(xy, yx);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let fx = merge_fixtures();
+        for x in &fx {
+            for y in &fx {
+                for z in &fx {
+                    let mut left = x.clone();
+                    left.merge(y);
+                    left.merge(z);
+                    let mut yz = y.clone();
+                    yz.merge(z);
+                    let mut right = x.clone();
+                    right.merge(&yz);
+                    assert_eq!(left, right);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_saturates_at_bucket_max_instead_of_wrapping() {
+        let b = LatencyHist::bucket_index(900);
+        let sat = LatencyHist::from_parts([(b, u64::MAX - 1)], u128::MAX - 1, u64::MAX);
+        let mut two = LatencyHist::new();
+        two.record(900);
+        two.record(900);
+        let mut m = sat.clone();
+        m.merge(&two);
+        assert_eq!(m.bucket_counts()[b], u64::MAX);
+        assert_eq!(m.count(), u64::MAX);
+        assert_eq!(m.max_ns(), u64::MAX);
+        // Recording into a pinned histogram saturates too.
+        m.record(900);
+        assert_eq!(m.bucket_counts()[b], u64::MAX);
+        assert_eq!(m.count(), u64::MAX);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_bucket_counts() {
+        let mut h = LatencyHist::new();
+        for v in [5u64, 900, 900, 1 << 20] {
+            h.record(v);
+        }
+        let sparse: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect();
+        let r = LatencyHist::from_parts(sparse, 5 + 900 + 900 + (1u128 << 20), 1 << 20);
+        assert_eq!(r, h);
+        // Out-of-range indices are skipped, not a panic.
+        let odd = LatencyHist::from_parts([(N_BUCKETS, 7), (N_BUCKETS + 40, 1)], 0, 0);
+        assert!(odd.is_empty());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`sink`] — `NullSink` (histograms only, provably allocation-free),
 //!   `RingBufferSink` (bounded, per-worker, drained post-run), and
 //!   `JsonlSink` (crash-consistent tmp+rename JSONL).
+//! * [`metrics::MetricsRegistry`] — typed counters/gauges/histograms
+//!   registered per resource (a UE, a worker, a campaign cell), with a
+//!   Prometheus text exporter and a JSONL snapshot form that re-merges
+//!   losslessly across workers and runs (`mmwave-admin metrics`).
 //! * [`chrome`] — Chrome-trace-format export so a whole campaign loads
 //!   in Perfetto as a flamegraph.
 //! * [`json`] — the hand-rolled JSON escape/validate/extract helpers the
@@ -29,11 +33,13 @@
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod sink;
 pub mod tracer;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use hist::{LatencyHist, StageSummary, N_BUCKETS};
 pub use json::{field_f64, field_raw, field_str, field_u64, json_escape, validate_json_line};
+pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry, ResourceId};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, SlotTrace, TelemetrySink, TraceEvent};
 pub use tracer::{RunLatency, SpanClock, Stage, StopWatch, Tracer, STAGE_COUNT};

@@ -10,6 +10,12 @@
 //! `#[cfg(feature = "telemetry")]`-gated item, statement, field, or block
 //! (or the matching `#[cfg(not(...))]` fallback).
 //!
+//! The metrics registry (PR 9) follows the same contract: populating or
+//! exporting a `MetricsRegistry` (`.publish_metrics(…)`,
+//! `.snapshot_jsonl()`, `.prometheus_text()`) from the byte-identity
+//! crates must be gated — the registry is observability, and the
+//! feature-off fleet pass must not even look at it.
+//!
 //! Scope: the non-telemetry library crates whose hot paths carry the
 //! byte-identity promise (`core`, `baselines`, and the sim's
 //! runner/simulator/metrics). The campaign supervisor's trace *capture*
@@ -33,6 +39,10 @@ const GATED_TOKENS: &[&str] = &[
     "SlotTrace",
     "mmwave_telemetry::Stage",
     "mmwave_telemetry::TraceEvent",
+    "MetricsRegistry",
+    ".publish_metrics(",
+    ".snapshot_jsonl(",
+    ".prometheus_text(",
 ];
 
 pub fn in_scope(rel: &Path) -> bool {

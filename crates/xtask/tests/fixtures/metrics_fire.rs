@@ -1,0 +1,9 @@
+// Fixture: ungated metrics-registry call sites.
+// Linted at the virtual path crates/sim/src/fixture.rs — never compiled.
+pub fn publish(handler: &Handler, reg: &mut mmwave_telemetry::MetricsRegistry) {
+    handler.publish_metrics(reg);
+    for line in reg.snapshot_jsonl() {
+        println!("{line}");
+    }
+    let _ = reg.prometheus_text();
+}

@@ -121,6 +121,25 @@ fn telemetry_accepts_gated_and_test_call_sites() {
 }
 
 #[test]
+fn telemetry_fires_on_ungated_metrics_registry_sites() {
+    let src = include_str!("fixtures/metrics_fire.rs");
+    let found = lint("crates/sim/src/fixture.rs", src);
+    assert_eq!(found.len(), 4, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.lint == "telemetry-hygiene"));
+    // The same code is fine in the campaign capture layer and in bench
+    // binaries — the registry is populated there by design.
+    assert!(lint("crates/sim/src/campaign.rs", src).is_empty());
+    assert!(lint("crates/bench/src/admin.rs", src).is_empty());
+}
+
+#[test]
+fn telemetry_accepts_gated_metrics_registry_sites() {
+    let src = include_str!("fixtures/metrics_clean.rs");
+    let found = lint("crates/core/src/fixture.rs", src);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
 fn telemetry_is_scoped_to_byte_identity_crates() {
     let src = include_str!("fixtures/telemetry_fire.rs");
     // campaign.rs installs tracers unconditionally by design.
