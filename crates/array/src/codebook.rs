@@ -20,6 +20,7 @@ pub struct Codebook {
 impl Codebook {
     /// Uniformly spaced beams across `[-span_deg/2, +span_deg/2]`.
     /// Panics if `n_beams == 0` or `span_deg <= 0`.
+    // xtask-allow(hot-path-closure): codebook construction happens once per acquisition scan, not per slot; the beams are then reused read-only
     pub fn uniform(geom: &ArrayGeometry, n_beams: usize, span_deg: f64) -> Self {
         assert!(n_beams > 0, "codebook needs at least one beam");
         assert!(span_deg > 0.0, "span must be positive");
@@ -51,11 +52,13 @@ impl Codebook {
 
     /// Steering angle (degrees) of beam `i`.
     pub fn angle_deg(&self, i: usize) -> f64 {
+        debug_assert!(i < self.angles_deg.len());
         self.angles_deg[i]
     }
 
     /// Weights of beam `i`.
     pub fn beam(&self, i: usize) -> &BeamWeights {
+        debug_assert!(i < self.beams.len());
         &self.beams[i]
     }
 

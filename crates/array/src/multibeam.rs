@@ -79,6 +79,7 @@ impl MultiBeam {
     }
 
     /// The paper's 2-beam constructor `w(φ₁, φ₂, δ, σ)` (Eq. 10).
+    // xtask-allow(hot-path-closure): constructor; a multi-beam is built at establishment time and mutated in place afterwards
     pub fn two_beam(phi1_deg: f64, phi2_deg: f64, delta: f64, sigma_rad: f64) -> Self {
         Self::new(vec![
             BeamComponent::reference(phi1_deg),
@@ -93,11 +94,13 @@ impl MultiBeam {
 
     /// Component accessor.
     pub fn component(&self, k: usize) -> &BeamComponent {
+        debug_assert!(k < self.components.len());
         &self.components[k]
     }
 
     /// Mutable component accessor (used by the tracker to realign beams).
     pub fn component_mut(&mut self, k: usize) -> &mut BeamComponent {
+        debug_assert!(k < self.components.len());
         &mut self.components[k]
     }
 
@@ -107,6 +110,7 @@ impl MultiBeam {
     }
 
     /// Steering angles of all beams, degrees.
+    // xtask-allow(hot-path-closure): short per-call angle list used by acquisition/telemetry paths, not the slot loop
     pub fn angles_deg(&self) -> Vec<f64> {
         self.components.iter().map(|c| c.angle_deg).collect()
     }
@@ -145,6 +149,7 @@ impl MultiBeam {
 
     /// Synthesizes the unit-TRP weight vector on the given array
     /// (paper Eq. 10 / Eq. 29).
+    // xtask-allow(hot-path-closure): weight synthesis allocates per call by contract (paper Eq. 10); the per-slot loop synthesizes only on beam updates, which are maintenance-cadence events
     pub fn weights(&self, geom: &ArrayGeometry) -> BeamWeights {
         let beams: Vec<BeamWeights> = self
             .components

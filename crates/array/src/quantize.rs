@@ -77,6 +77,7 @@ impl Quantizer {
 
     /// Quantizes a weight vector. The result is renormalized to the input's
     /// norm so quantization never changes radiated power, only its shape.
+    // xtask-allow(hot-path-closure): quantization produces a fresh weight vector at beam-update time (maintenance cadence), not per slot
     pub fn quantize(&self, w: &BeamWeights) -> BeamWeights {
         let input_norm = w.norm();
         if input_norm == 0.0 {

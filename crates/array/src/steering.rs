@@ -27,6 +27,7 @@ pub fn steering_vector_into(geom: &ArrayGeometry, aod_deg: f64, out: &mut Vec<Co
 }
 
 /// Steering vector with explicit azimuth and elevation departure angles.
+// xtask-allow(hot-path-closure): owned-vector variant for construction-time callers; the slot loop uses steering_vector_az_el_into with a reused buffer
 pub fn steering_vector_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> Vec<Complex64> {
     let mut out = Vec::with_capacity(geom.num_elements());
     steering_vector_az_el_into(geom, az_deg, el_deg, &mut out);
@@ -53,6 +54,7 @@ pub fn steering_vector_az_el_into(
 
 /// Conjugate (maximum-ratio) single-beam weights toward `aod_deg`
 /// (paper Eq. 6): `w = a*(φ)/‖a(φ)‖`, unit-norm so TRP is conserved.
+// xtask-allow(hot-path-closure): owned-weights variant for construction-time callers; the slot loop uses single_beam_into with a reused buffer
 pub fn single_beam(geom: &ArrayGeometry, aod_deg: f64) -> BeamWeights {
     let a = steering_vector(geom, aod_deg);
     let n = (a.len() as f64).sqrt();
@@ -87,6 +89,7 @@ pub fn single_beam_az_el(geom: &ArrayGeometry, az_deg: f64, el_deg: f64) -> Beam
 /// A "wide" beam: only the central `active` azimuth elements are driven
 /// (rest muted), which broadens the main lobe at the cost of array gain.
 /// Used by the wide-beam baseline. Power is renormalized to unit TRP.
+// xtask-allow(hot-path-closure): wide beams are built once per scan stage during acquisition, not per slot
 pub fn wide_beam(geom: &ArrayGeometry, aod_deg: f64, active: usize) -> BeamWeights {
     let n_az = geom.azimuth_elements();
     let active = active.clamp(1, n_az);

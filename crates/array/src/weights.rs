@@ -28,6 +28,7 @@ impl BeamWeights {
     }
 
     /// All-zero weights (radio muted) for an `n`-element array.
+    // xtask-allow(hot-path-closure): constructor for the muted (all-zero) state, entered on link loss — an exceptional path
     pub fn muted(n: usize) -> Self {
         assert!(n > 0);
         Self {
@@ -110,6 +111,8 @@ impl BeamWeights {
 
     /// Linear combination `Σ cᵢ·wᵢ` of weight vectors, **not** renormalized
     /// (callers that need unit TRP call [`BeamWeights::renormalize`]).
+    // xtask-allow(hot-path-closure): combination output is a fresh vector by contract; called on beam updates (maintenance cadence), not per slot
+    // xtask-allow(hot-path-panic): the entry asserts make every part the same length n, so element indices are in bounds
     pub fn linear_combination(parts: &[(Complex64, &BeamWeights)]) -> Self {
         assert!(!parts.is_empty(), "need at least one component");
         let n = parts[0].1.len();

@@ -74,10 +74,12 @@ impl BeamSpy {
     }
 
     /// Current beam angle.
+    // xtask-allow(hot-path-panic): current_idx is only ever set by pick_best from an enumerate over profile, so it indexes in bounds
     pub fn beam_angle_deg(&self) -> Option<f64> {
         self.current_idx.map(|i| self.profile[i].0)
     }
 
+    // xtask-allow(hot-path-closure): the exhaustive SSB rescan rebuilds its power profile once per scan event, not per slot
     fn full_scan(&mut self, fe: &mut dyn LinkFrontEnd) {
         let geom = *fe.geometry();
         let cb = Codebook::uniform(&geom, self.cfg.codebook_beams, self.cfg.span_deg);
@@ -107,6 +109,7 @@ impl BeamSpy {
             .max_by(|(_, (_, p1)), (_, (_, p2))| p1.total_cmp(p2))
             .map(|(i, _)| i);
         if let Some(i) = pick {
+            debug_assert!(i < self.profile.len());
             self.current_idx = Some(i);
             self.weights = Some(single_beam(geom, self.profile[i].0));
         }
@@ -118,6 +121,7 @@ impl BeamStrategy for BeamSpy {
         "BeamSpy"
     }
 
+    // xtask-allow(hot-path-panic): the expect is unreachable — the is_none early return three lines up guarantees the weights are Some here
     fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, _t_s: f64) {
         if self.weights.is_none() {
             self.full_scan(fe);
@@ -141,6 +145,7 @@ impl BeamStrategy for BeamSpy {
         self.profile_switches += 1;
     }
 
+    // xtask-allow(hot-path-closure): the trait's owned-weights accessor clones by contract; the per-slot loop calls weights_into, which copies into a reused buffer
     fn weights(&self) -> BeamWeights {
         match &self.weights {
             Some(w) => w.clone(),

@@ -102,6 +102,7 @@ impl BeamStrategy for NrPeriodic {
         }
     }
 
+    // xtask-allow(hot-path-closure): the trait's owned-weights accessor clones by contract; the per-slot loop calls weights_into, which copies into a reused buffer
     fn weights(&self) -> BeamWeights {
         match &self.weights {
             Some(w) => w.clone(),

@@ -56,6 +56,7 @@ impl BeamStrategy for OracleMrt {
         // The genie needs no probes.
     }
 
+    // xtask-allow(hot-path-closure): the trait's owned-weights accessor clones by contract; the per-slot loop calls weights_into, which copies into a reused buffer
     fn weights(&self) -> BeamWeights {
         match &self.weights {
             Some(w) => w.clone(),
@@ -71,6 +72,7 @@ impl BeamStrategy for OracleMrt {
         }
     }
 
+    // xtask-allow(hot-path-closure): the genie recomputes its comb and ideal weights only on channel updates, not per slot
     fn observe_truth(&mut self, ch: &GeometricChannel) {
         if ch.paths.is_empty() {
             self.weights = None;

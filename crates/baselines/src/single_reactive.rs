@@ -121,6 +121,7 @@ impl BeamStrategy for SingleBeamReactive {
         "single-beam reactive"
     }
 
+    // xtask-allow(hot-path-panic): the expect is unreachable — the is_none early return three lines up guarantees the weights are Some here
     fn on_tick(&mut self, fe: &mut dyn LinkFrontEnd, _t_s: f64) {
         self.ticks_since_scan = self.ticks_since_scan.saturating_add(1);
         if self.weights.is_none() {
@@ -145,6 +146,7 @@ impl BeamStrategy for SingleBeamReactive {
         }
     }
 
+    // xtask-allow(hot-path-closure): the trait's owned-weights accessor clones by contract; the per-slot loop calls weights_into, which copies into a reused buffer
     fn weights(&self) -> BeamWeights {
         match &self.weights {
             Some(w) => w.clone(),

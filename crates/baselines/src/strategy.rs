@@ -42,6 +42,7 @@ pub trait BeamStrategy {
     /// Takes the link lifecycle transitions recorded since the last drain.
     /// Strategies without an explicit state machine return nothing; the
     /// run loop forwards drained transitions into the per-run event log.
+    // xtask-allow(hot-path-closure): default for stateless strategies; an empty Vec::new allocates nothing
     fn drain_transitions(&mut self) -> Vec<Transition> {
         Vec::new()
     }
@@ -108,6 +109,7 @@ impl BeamStrategy for MmReliableStrategy {
             .end(clock, mmwave_telemetry::Stage::WeightSynthesis, fe.now_s());
     }
 
+    // xtask-allow(hot-path-closure): the trait's owned-weights accessor clones by contract; the per-slot loop calls weights_into, which copies into a reused buffer
     fn weights(&self) -> BeamWeights {
         self.cached.clone()
     }

@@ -46,6 +46,7 @@ impl BlockageEvent {
 
     /// Checks the event is physically meaningful: all times finite, start
     /// non-negative, ramp/hold non-negative, depth non-negative.
+    // xtask-allow(hot-path-closure): error strings are built on the Err path only; a valid event allocates nothing
     pub fn validate(&self) -> Result<(), String> {
         if !self.start_s.is_finite() || self.start_s < 0.0 {
             return Err(format!("start_s {} must be finite and >= 0", self.start_s));
@@ -148,6 +149,7 @@ impl BlockageProcess {
     }
 
     /// Adds an event. Panics if it fails [`BlockageEvent::validate`].
+    // xtask-allow(hot-path-panic): an invalid blockage event is a scenario-configuration bug; failing loudly at setup is the contract
     pub fn push(&mut self, e: BlockageEvent) {
         if let Err(msg) = e.validate() {
             panic!("invalid blockage event: {msg}");

@@ -67,6 +67,7 @@ impl SharedSceneCache {
 
     /// The cached gNB image of wall `wall_idx`.
     pub fn image(&self, wall_idx: usize) -> Vec2 {
+        debug_assert!(wall_idx < self.images.len());
         self.images[wall_idx]
     }
 

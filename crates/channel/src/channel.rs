@@ -195,6 +195,7 @@ impl GeometricChannel {
     /// `h_eff[n] = Σ_l α_l · sinc(B·(n·Ts − τ_l))`, with delays re-referenced
     /// to the earliest path (plus `guard_s` of leading margin so early sinc
     /// sidelobes are visible).
+    // xtask-allow(hot-path-closure): owned-output variant for analysis callers; the slot loop uses cir_into with reused scratch
     pub fn cir(
         &self,
         geom: &ArrayGeometry,
@@ -252,6 +253,7 @@ impl GeometricChannel {
     }
 
     /// Per-element channel vector at baseband frequency offset `freq_hz`.
+    // xtask-allow(hot-path-closure): owned-output variant for analysis callers; the slot loop uses element_response_at_into with reused scratch
     pub fn element_response_at(
         &self,
         geom: &ArrayGeometry,
@@ -297,6 +299,7 @@ impl GeometricChannel {
     /// power iteration. For a narrowband channel this reduces to MRT
     /// (Eq. 4); in wideband multipath it is the true upper bound for any
     /// analog (single-RF-chain, phase-shifter) beamformer.
+    // xtask-allow(hot-path-closure): oracle weight synthesis is a genie baseline computed on channel updates, not in the per-slot loop
     pub fn wideband_oracle_weights(
         &self,
         geom: &ArrayGeometry,
@@ -331,6 +334,7 @@ impl GeometricChannel {
     }
 
     /// Optimal (maximum-ratio) transmit weights `w = h*/‖h‖` (paper Eq. 4).
+    // xtask-allow(hot-path-closure): MRT weights are a genie-baseline product built on channel updates, not in the per-slot loop
     pub fn optimal_weights(&self, geom: &ArrayGeometry, rx: &UeReceiver) -> BeamWeights {
         let h = self.element_response(geom, rx);
         BeamWeights::from_vec_normalized(h.into_iter().map(|v| v.conj()).collect())

@@ -114,6 +114,7 @@ impl Segment {
 
     /// Mirror image of point `p` across the infinite line through this
     /// segment — the image-source construction.
+    // xtask-allow(hot-path-panic): wall segments have distinct endpoints by scene construction; a degenerate wall is a scene bug worth the loud panic
     pub fn mirror(&self, p: Vec2) -> Vec2 {
         let d = (self.b - self.a).normalized().expect("non-degenerate");
         let ap = p - self.a;

@@ -116,6 +116,7 @@ impl ChannelSnapshot {
     /// before any reader; `geom` and `rx` must be the same link-constant
     /// values on every call (the cached rows are specific to them).
     #[hot_path]
+    // xtask-allow(hot-path-panic): coeffs/delays_s are rebuilt in lockstep from the same path list a few lines down, so the enumerate indices are in bounds
     pub fn rebuild(
         &mut self,
         dynamic: &DynamicChannel,
@@ -241,6 +242,7 @@ impl ChannelSnapshot {
     /// read from the cached rows.
     #[hot_path]
     pub fn path_alphas_into(&self, w: &BeamWeights, out: &mut Vec<(Complex64, f64)>) {
+        debug_assert_eq!(self.coeffs.len(), self.delays_s.len());
         out.clear();
         for (i, row) in self.rows().enumerate() {
             let af = w.apply(row);
@@ -311,6 +313,7 @@ impl ChannelSnapshot {
     /// snapshot-backed [`GeometricChannel::received_power`].
     #[hot_path]
     pub fn received_power(&self, w: &BeamWeights) -> f64 {
+        debug_assert_eq!(self.coeffs.len(), self.delays_s.len());
         let mut y = Complex64::ZERO;
         for (i, row) in self.rows().enumerate() {
             let af = w.apply(row);

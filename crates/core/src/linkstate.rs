@@ -514,6 +514,7 @@ impl LinkLifecycle {
     /// **The** transition function — the sole mutation point for
     /// [`LinkState`]. Feeds one signal in; records and returns the
     /// transition, if any.
+    // xtask-allow(hot-path-closure): the telemetry-gated transition strings format only when the telemetry feature (and a tracer) is active; the default build compiles them out
     pub fn apply(&mut self, sig: LinkSignal, t_s: f64) -> Option<Transition> {
         let from = self.state;
         #[cfg(feature = "telemetry")]

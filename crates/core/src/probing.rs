@@ -41,6 +41,7 @@ impl RelativeChannel {
 }
 
 /// Noise-debiased per-subcarrier power spectrum of a probe, mW.
+// xtask-allow(hot-path-closure): one spectrum vector per probe on the amortized probing cadence, not per slot (ROADMAP item 1)
 pub fn power_spectrum(obs: &ProbeObservation) -> Vec<f64> {
     obs.csi
         .iter()
@@ -59,6 +60,7 @@ pub fn power_spectrum(obs: &ProbeObservation) -> Vec<f64> {
 /// with `Δτ·BW ≳ 1` would average its relative phase to zero (which is
 /// exactly the wideband comb problem §3.4's delay array addresses). The
 /// returned σ is the relative phase at band center.
+// xtask-allow(hot-path-panic): the entry asserts make all five slices the same length, so per-subcarrier indices are in bounds
 pub fn relative_from_powers(
     p1: &[f64],
     p2: &[f64],
@@ -113,6 +115,8 @@ pub fn relative_from_powers(
 ///
 /// `p1`/`p2` may be single-element slices (a scalar wideband power, as the
 /// training scan produces); they are broadcast across the sounding comb.
+// xtask-allow(hot-path-closure): broadcast copies of the two spectra are per-probe-pair scratch on the amortized re-estimation cadence (ROADMAP item 1)
+// xtask-allow(hot-path-panic): spectra are broadcast to the comb length before indexing, so comb indices are in bounds
 pub fn two_probe_relative(
     fe: &mut dyn LinkFrontEnd,
     phi_ref_deg: f64,

@@ -66,6 +66,7 @@ pub struct PerBeamEstimate {
 
 impl PerBeamEstimate {
     /// Per-beam powers in dB (floored at −200 dB).
+    // xtask-allow(hot-path-closure): one short per-beam vector per estimate on the maintenance cadence
     pub fn powers_db(&self) -> Vec<f64> {
         self.powers_mw
             .iter()
@@ -89,6 +90,7 @@ struct FitScratch {
 }
 
 impl FitScratch {
+    // xtask-allow(hot-path-closure): scratch construction happens once per fitted probe; the fit loop itself reuses it (that is the point of FitScratch)
     fn for_probe(obs: &ProbeObservation) -> Self {
         Self {
             cf: obs.freqs_hz.iter().map(|&f| -2.0 * PI * f).collect(),
@@ -100,6 +102,8 @@ impl FitScratch {
 
 /// Decomposes one multi-beam probe into per-beam complex amplitudes, given
 /// the beams' relative delays (first entry is the reference, typically 0).
+// xtask-allow(hot-path-closure): the per-beam decomposition owns its outputs (amplitudes, delays) by contract; it runs per probe on the maintenance cadence (ROADMAP item 1)
+// xtask-allow(hot-path-panic): beam indices are bounded by rel_delays_ns.len() = K, the dimension of the solve; delay indices by the grid the function just built
 pub fn estimate_per_beam(
     obs: &ProbeObservation,
     rel_delays_ns: &[f64],
@@ -164,6 +168,7 @@ pub fn estimate_per_beam(
 /// `cf` precomputed per probe, which groups the products exactly as the
 /// textbook expression does, so every matrix entry (and hence the solve
 /// and the residual) is bit-identical to a scratch-free evaluation.
+// xtask-allow(hot-path-closure): the K-column design matrix is per-candidate-delay scratch inside the amortized fit
 fn fit_at(
     obs: &ProbeObservation,
     tau0_ns: f64,

@@ -45,6 +45,7 @@ pub struct TrackerUpdate {
 impl BeamTracker {
     /// Creates a tracker for a beam at `angle_deg` whose aligned power is
     /// `baseline_db`.
+    // xtask-allow(hot-path-closure): constructor allocates the history ring once per tracked beam at establishment time
     pub fn new(angle_deg: f64, baseline_db: f64, ewma_alpha: f64, window: usize) -> Self {
         assert!(window >= 2, "window must hold at least two samples");
         Self {
@@ -78,13 +79,14 @@ impl BeamTracker {
     }
 
     /// Quadratic fit over the history, evaluated at the newest point.
+    // xtask-allow(hot-path-closure): the fit's (x, y) views are per-fit scratch on the amortized maintenance cadence (ROADMAP item 1)
     fn fitted_latest(&self) -> Option<f64> {
         if self.history.len() < 3 {
             return None;
         }
         let xs: Vec<f64> = (0..self.history.len()).map(|i| i as f64).collect();
         let fit = polyfit(&xs, &self.history, 2)?;
-        Some(fit.eval(*xs.last().unwrap()))
+        Some(fit.eval((self.history.len() - 1) as f64))
     }
 
     /// Re-anchors the tracker after a (re-)alignment: new steering angle

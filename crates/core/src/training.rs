@@ -53,6 +53,7 @@ impl TrainingResult {
 ///
 /// `min_separation_deg` suppresses duplicate detections of one physical
 /// path across adjacent codebook beams (set it near the array's beamwidth).
+// xtask-allow(hot-path-closure): the exhaustive scan runs once per (re)acquisition event; its profile buffers are sized by the codebook, not reused per slot (ROADMAP item 1)
 pub fn beam_training(
     fe: &mut dyn LinkFrontEnd,
     codebook: &Codebook,
@@ -96,6 +97,8 @@ pub fn beam_training(
 /// Coarse path-delay estimate from one probe: magnitude peak of the
 /// band-limited CIR with parabolic sub-tap interpolation. Magnitude-based,
 /// hence immune to the CFO common phase.
+// xtask-allow(hot-path-closure): the magnitude profile is one short collect per probe on the amortized re-estimation cadence (ROADMAP item 1)
+// xtask-allow(hot-path-panic): peak is an argmax over the non-empty CIR (emptiness is the early return above), and the parabolic neighbors are taken only when 0 < peak < len − 1
 pub fn estimate_delay_ns(obs: &mmwave_phy::chanest::ProbeObservation) -> f64 {
     let cir = obs.cir();
     if cir.is_empty() || obs.comb_spacing_hz() <= 0.0 {
@@ -126,6 +129,8 @@ pub fn estimate_delay_ns(obs: &mmwave_phy::chanest::ProbeObservation) -> f64 {
 }
 
 /// Local-maxima extraction with a minimum angular separation.
+// xtask-allow(hot-path-closure): candidate/selected lists are per-scan outputs of acquisition, not per-slot state
+// xtask-allow(hot-path-panic): all indices are bounded by profile.len() (delays has the same length by construction in beam_training)
 fn find_viable(
     profile: &[(f64, f64)],
     delays: &[f64],

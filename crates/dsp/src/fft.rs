@@ -86,6 +86,7 @@ pub fn fftshift<T: Copy>(x: &[T]) -> Vec<T> {
     circular_shift_left(x, x.len().div_ceil(2))
 }
 
+// xtask-allow(hot-path-closure): the out-of-place API clones into its output buffer by contract; per-slot code uses fft_in_place/ifft_in_place
 fn transform_any(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
     let n = x.len();
     if n.is_power_of_two() {
@@ -97,6 +98,7 @@ fn transform_any(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
     }
 }
 
+// xtask-allow(hot-path-panic): butterfly indices satisfy i + k + len/2 < n by the loop structure (len ≤ n, i steps by len, k < len/2); the power-of-two assert at entry is the only runtime check
 fn radix2(x: &mut [Complex64], dir: Direction) {
     let n = x.len();
     assert!(
@@ -141,6 +143,8 @@ fn radix2(x: &mut [Complex64], dir: Direction) {
 
 /// Bluestein's algorithm: expresses a length-N DFT as a convolution, carried
 /// out with a power-of-two FFT of length ≥ 2N−1.
+// xtask-allow(hot-path-panic): all indices are bounded by n = x.len() and m ≥ 2n−1 by construction (k < n ≤ m, m − k > 0)
+// xtask-allow(hot-path-closure): Bluestein owns its chirp/scratch buffers by design; only arbitrary-length analysis windows take this path — the per-slot OFDM grid is power-of-two and stays on in-place radix-2
 fn bluestein(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
     let n = x.len();
     if n == 0 {

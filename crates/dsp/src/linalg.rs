@@ -23,6 +23,7 @@ pub struct CMatrix {
 
 impl CMatrix {
     /// Creates a zero matrix.
+    // xtask-allow(hot-path-closure): constructor allocates by definition; steady-state reuses FitScratch/reset() buffers, only amortized tick-path solves construct (ROADMAP item 1)
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
@@ -144,6 +145,7 @@ impl CMatrix {
     /// result is bit-identical to computing the entries one at a time,
     /// but `A` is read once instead of `K(K+1)/2` times.
     pub fn gram(&self) -> CMatrix {
+        debug_assert_eq!(self.data.len(), self.rows * self.cols);
         let mut g = CMatrix::zeros(self.cols, self.cols);
         for row in self.data.chunks_exact(self.cols) {
             for i in 0..self.cols {
@@ -166,6 +168,7 @@ impl CMatrix {
     /// Same single-pass layout as [`CMatrix::gram`]: one accumulator per
     /// output entry, each summing in row order — bit-identical to the
     /// column-at-a-time evaluation.
+    // xtask-allow(hot-path-closure): returns an owned K-vector (K ≤ 4) from the amortized tick-path fit; not called per slot (ROADMAP item 1)
     pub fn hermitian_mul_vec(&self, b: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(b.len(), self.rows, "dimension mismatch");
         let mut acc = vec![Complex64::ZERO; self.cols];
@@ -222,6 +225,8 @@ impl std::fmt::Display for LinalgError {
 impl std::error::Error for LinalgError {}
 
 /// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+// xtask-allow(hot-path-panic): every index is bounded by the n×n dimension check at entry (bad dims return Err); the pivot expect scans the non-empty range col..n
+// xtask-allow(hot-path-closure): the solver owns its working copy (clone + rhs vec) by design; reached only from amortized tick-path fits, not the per-slot loop (ROADMAP item 1)
 pub fn solve(a: &CMatrix, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
     let n = a.rows();
     if a.cols() != n || b.len() != n {
@@ -274,6 +279,8 @@ pub fn solve(a: &CMatrix, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError
 
 /// Solves `A·x = b` for Hermitian positive-definite `A` using a complex
 /// Cholesky factorization `A = L·Lᴴ`.
+// xtask-allow(hot-path-panic): every index is bounded by the n×n dimension check at entry (bad dims return Err)
+// xtask-allow(hot-path-closure): factor and solution vectors are owned by design; reached only from amortized tick-path fits, not the per-slot loop (ROADMAP item 1)
 pub fn cholesky_solve(a: &CMatrix, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
     let n = a.rows();
     if a.cols() != n || b.len() != n {
@@ -336,6 +343,7 @@ pub fn ridge_least_squares(
     }
     assert!(lambda >= 0.0, "ridge parameter must be non-negative");
     let mut gram = a.gram();
+    debug_assert_eq!(gram.rows(), a.cols());
     for i in 0..gram.rows() {
         gram[(i, i)] += Complex64::new(lambda, 0.0);
     }

@@ -44,6 +44,7 @@ impl Rng64 {
     }
 
     /// Next raw 64-bit output (xoshiro256++).
+    // xtask-allow(hot-path-panic): constant indices into the fixed [u64; 4] state are compile-time checked — no runtime bounds branch exists
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
             .wrapping_add(self.s[3])

@@ -76,6 +76,7 @@ impl ProbeObservation {
     }
 
     /// Frequency step of the sounding comb, Hz.
+    // xtask-allow(hot-path-panic): the len < 2 early return guarantees indices 0 and 1 exist
     pub fn comb_spacing_hz(&self) -> f64 {
         if self.freqs_hz.len() < 2 {
             return 0.0;
@@ -136,6 +137,7 @@ impl ChannelSounder {
 
     /// Sounds the channel under transmit weights `w`, returning the noisy
     /// probe observation. One call = one reference-signal transmission.
+    // xtask-allow(hot-path-closure): owned-output variant for one-shot callers; the slot loop uses probe_into with reused scratch
     pub fn probe(
         &self,
         ch: &GeometricChannel,

@@ -44,6 +44,7 @@ impl Modulation {
 
     /// Maps `bits_per_symbol` bits (LSB-first within the slice) to a
     /// constellation point. Panics if `bits.len()` is wrong.
+    // xtask-allow(hot-path-panic): the entry assert fixes bits.len() to bits_per_symbol, so both half-slices are in bounds
     pub fn map(self, bits: &[u8]) -> Complex64 {
         assert_eq!(
             bits.len(),

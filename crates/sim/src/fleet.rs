@@ -613,11 +613,13 @@ impl FleetShard {
                 continue;
             }
             live += 1;
+            // xtask-allow(hot-path-panic): the lane.done guard above means an unfinished lane always holds its slot loop
             let sl = lane.sl.as_mut().expect("lane already finished");
             lane.done = sl.advance_until(&mut lane.sim, lane.strategy.as_mut(), t_end);
             // Fold the new sample window into one intent: the pass-mean
             // non-probing SNR, stamped with the window's last sample time.
             let samples = sl.samples();
+            debug_assert!(lane.cursor <= samples.len());
             let mut sum = 0.0f64;
             let mut n = 0u32;
             let mut t_last = 0.0f64;

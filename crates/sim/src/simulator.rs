@@ -320,12 +320,14 @@ pub trait SimFrontEnd: LinkFrontEnd {
     fn apply_radiated_faults(&self, _w: &mut BeamWeights) {}
 
     /// Takes the fault events accumulated since the last drain.
+    // xtask-allow(hot-path-closure): default for fault-free front ends; an empty Vec::new allocates nothing
     fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
         Vec::new()
     }
 
     /// Takes the hardware-impairment annotations accumulated since the
     /// last drain.
+    // xtask-allow(hot-path-closure): default for impairment-free front ends; an empty Vec::new allocates nothing
     fn drain_impairment_events(&mut self) -> Vec<ImpairmentEvent> {
         Vec::new()
     }

@@ -70,6 +70,7 @@ impl LatencyHist {
     #[inline]
     pub fn record(&mut self, ns: u64) {
         let b = Self::bucket_index(ns);
+        debug_assert!(b < self.counts.len());
         self.counts[b] = self.counts[b].saturating_add(1);
         self.count = self.count.saturating_add(1);
         self.sum_ns = self.sum_ns.saturating_add(ns as u128);

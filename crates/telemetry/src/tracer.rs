@@ -138,6 +138,7 @@ pub struct StopWatch(Instant);
 
 impl StopWatch {
     /// Starts (or restarts — just overwrite) the stopwatch.
+    // xtask-allow(determinism-taint): the stopwatch feeds latency histograms and timing fields only; journal digests and fingerprints are computed over simulation outputs, never over these wall-clock readings
     pub fn start() -> Self {
         Self(Instant::now())
     }
@@ -255,6 +256,7 @@ impl Tracer {
     }
 
     /// Persist anything the sink buffers.
+    // xtask-allow(hot-path-panic): a poisoned tracer lock means another thread already panicked mid-trace; propagating loudly is the correct response
     pub fn flush(&self) -> Result<(), String> {
         match self.inner.as_ref() {
             Some(shared) => shared.lock().expect("tracer poisoned").sink.flush(),

@@ -8,6 +8,13 @@
 //!
 //! suppresses findings of `<lint>` on the same line (trailing comment) or
 //! on the next source line (standalone comment above the offending line).
+//! When the directive stands directly above a `fn` item (attributes and
+//! doc comments may sit between), it is *item-scoped*: it suppresses
+//! findings of that lint anywhere in the function. Item scope exists for
+//! the transitive lints (`hot-path-closure`, `hot-path-panic`,
+//! `determinism-taint`), whose findings are properties of the whole
+//! function's position in the call graph rather than of one line — a
+//! per-line hatch would force one directive per token and bury the code.
 //! The directive is itself linted:
 //!
 //! - a directive missing the lint name, the `:`, or a non-empty reason is
@@ -100,9 +107,10 @@ fn parse_directive(rest: &str) -> Result<(String, String), String> {
 }
 
 /// Applies `allows` to `findings`: a finding is suppressed when an allow
-/// for its lint sits on the same line or the line directly above. Returns
-/// the surviving findings plus a `stale-allow` finding for every allow
-/// that suppressed nothing.
+/// for its lint sits on the same line or the line directly above, or —
+/// when the allow stands directly above a `fn` item — anywhere within
+/// that function (item scope). Returns the surviving findings plus a
+/// `stale-allow` finding for every allow that suppressed nothing.
 pub fn apply_allows(
     rel: &Path,
     src: &str,
@@ -110,12 +118,20 @@ pub fn apply_allows(
     allows: &[Allow],
     findings: Vec<Finding>,
 ) -> Vec<Finding> {
+    let scopes: Vec<Option<(usize, usize)>> = allows
+        .iter()
+        .map(|a| item_scope(scrubbed, a.line))
+        .collect();
     let mut used = vec![false; allows.len()];
     let mut kept = Vec::new();
     for f in findings {
         let mut suppressed = false;
         for (i, a) in allows.iter().enumerate() {
-            if a.lint == f.lint && (a.line == f.line || a.line + 1 == f.line) {
+            let line_hit = a.line == f.line || a.line + 1 == f.line;
+            let item_hit = scopes[i]
+                .map(|(lo, hi)| f.line >= lo && f.line <= hi)
+                .unwrap_or(false);
+            if a.lint == f.lint && (line_hit || item_hit) {
                 used[i] = true;
                 suppressed = true;
             }
@@ -140,6 +156,91 @@ pub fn apply_allows(
         }
     }
     kept
+}
+
+/// If the line after `allow_line` begins a `fn` item (attributes,
+/// blanked doc comments, and visibility/qualifier keywords may precede
+/// the `fn` keyword), returns the item's inclusive line range.
+fn item_scope(scrubbed: &Scrubbed, allow_line: usize) -> Option<(usize, usize)> {
+    // Start of the line after the directive.
+    let start = *scrubbed.line_starts.get(allow_line)?;
+    let text = &scrubbed.text;
+    let bytes = text.as_bytes();
+    let mut i = start;
+    // Skip whitespace, intervening comments (the scrubber blanks their
+    // bodies but keeps the `//` / `/*` introducers — e.g. another stacked
+    // `xtask-allow` directive for a different lint), and attributes.
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if text[i..].starts_with("//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if text[i..].starts_with("/*") {
+            match text[i..].find("*/") {
+                Some(e) => {
+                    i += e + 2;
+                    continue;
+                }
+                None => return None,
+            }
+        }
+        if text[i..].starts_with("#[") {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Visibility/qualifier keywords, then `fn`.
+    let item_start = i;
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let ws = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        match &text[ws..i] {
+            "fn" => break,
+            "pub" => {
+                // Optional `(crate)` / `(in path)` restriction.
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'(' {
+                    while i < bytes.len() && bytes[i] != b')' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            "const" | "unsafe" | "async" | "extern" => {}
+            _ => return None,
+        }
+    }
+    let end = crate::lints::hotpath::fn_extent(text, item_start)?;
+    let (lo, _) = scrubbed.line_col(item_start);
+    let (hi, _) = scrubbed.line_col(end.saturating_sub(1));
+    Some((lo, hi))
 }
 
 fn line_text(src: &str, scrubbed: &Scrubbed, line: usize) -> String {

@@ -10,6 +10,16 @@
 //! | `telemetry-hygiene` | instrumentation call sites gated by `feature = "telemetry"` | PR 4 (byte-identity) |
 //! | `lifecycle-single-writer` | `Transition` literals only in `linkstate.rs` | PR 1 (state machine) |
 //!
+//! Plus three *transitive* lints over the workspace call graph
+//! ([`graph`]/[`resolve`]), which make the per-file contracts hold
+//! across call boundaries:
+//!
+//! | lint | invariant |
+//! |------|-----------|
+//! | `hot-path-closure` | everything *reachable from* a `#[hot_path]` root is allocation-free |
+//! | `hot-path-panic` | no `unwrap`/`expect`/`panic!`/bare slice indexing in the hot-path closure |
+//! | `determinism-taint` | no nondeterminism source reachable from a digest/fingerprint/journal sink |
+//!
 //! Plus two meta-lints on the escape hatch itself: `malformed-allow`
 //! (suppression without a reason) and `stale-allow` (suppression that no
 //! longer suppresses anything).
@@ -23,8 +33,10 @@
 
 pub mod allow;
 pub mod diag;
+pub mod graph;
 pub mod lints;
 pub mod regions;
+pub mod resolve;
 pub mod scrub;
 
 use diag::Finding;
@@ -37,7 +49,9 @@ pub struct SourceFile {
     pub src: String,
 }
 
-/// Runs every lint pass plus the allow layer over one file.
+/// Runs the per-file lint passes plus the allow layer over one file.
+/// The transitive graph lints need the whole file set — use
+/// [`lint_files`] for those.
 pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
     let scrubbed = scrub::scrub(&file.src);
     let (allows, mut findings) = allow::parse_allows(&file.rel, &scrubbed, &file.src);
@@ -46,6 +60,38 @@ pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
     findings.extend(lints::telemetry::run(&file.rel, &file.src, &scrubbed));
     findings.extend(lints::lifecycle::run(&file.rel, &file.src, &scrubbed));
     allow::apply_allows(&file.rel, &file.src, &scrubbed, &allows, findings)
+}
+
+/// Runs the full engine — per-file passes *and* the transitive
+/// call-graph lints — over a file set, with the allow layer applied per
+/// file after the union (so an `xtask-allow(hot-path-closure)` hatch
+/// suppresses a graph finding exactly like a per-file one, and unused
+/// hatches still surface as `stale-allow`).
+pub fn lint_files(files: &[SourceFile]) -> Vec<Finding> {
+    let scrubbed: Vec<scrub::Scrubbed> = files.iter().map(|f| scrub::scrub(&f.src)).collect();
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut allows_per_file = Vec::with_capacity(files.len());
+    for (f, s) in files.iter().zip(&scrubbed) {
+        let (allows, bad) = allow::parse_allows(&f.rel, s, &f.src);
+        allows_per_file.push(allows);
+        raw.extend(bad);
+        raw.extend(lints::determinism::run(&f.rel, &f.src, s));
+        raw.extend(lints::hotpath::run(&f.rel, &f.src, s));
+        raw.extend(lints::telemetry::run(&f.rel, &f.src, s));
+        raw.extend(lints::lifecycle::run(&f.rel, &f.src, s));
+    }
+    let g = graph::build(files, &scrubbed);
+    raw.extend(lints::closure::run(files, &scrubbed, &g));
+    raw.extend(lints::panic::run(files, &scrubbed, &g));
+    raw.extend(lints::taint::run(files, &scrubbed, &g));
+    let mut findings = Vec::new();
+    for ((f, s), allows) in files.iter().zip(&scrubbed).zip(&allows_per_file) {
+        let mine: Vec<Finding> = raw.iter().filter(|fi| fi.file == f.rel).cloned().collect();
+        findings.extend(allow::apply_allows(&f.rel, &f.src, s, allows, mine));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+    findings
 }
 
 /// Collects every `.rs` file under `root/crates`, skipping build output
@@ -86,12 +132,13 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), String
 /// Lints the whole workspace rooted at `root`; findings come back sorted
 /// by (file, line, col) for stable text and JSON output.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
-    let files = collect_workspace(root)?;
-    let mut findings = Vec::new();
-    for f in &files {
-        findings.extend(lint_file(f));
-    }
-    findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
-    Ok(findings)
+    Ok(lint_files(&collect_workspace(root)?))
+}
+
+/// Builds the workspace call graph over a file set (scrubs internally).
+/// Used by `cargo xtask lint --graph` / `--stats` and by tests.
+pub fn build_graph(files: &[SourceFile]) -> (Vec<scrub::Scrubbed>, graph::CallGraph) {
+    let scrubbed: Vec<scrub::Scrubbed> = files.iter().map(|f| scrub::scrub(&f.src)).collect();
+    let g = graph::build(files, &scrubbed);
+    (scrubbed, g)
 }

@@ -1,0 +1,52 @@
+//! `hot-path-closure` — allocation-freedom is transitive.
+//!
+//! The per-file `hot-path-alloc` pass checks functions *marked*
+//! `#[hot_path]`; this pass walks the call graph and applies the same
+//! banned-spelling list ([`super::hotpath::FORBIDDEN`]) to every
+//! **unmarked** function reachable from a marked root. Marked functions
+//! are skipped here (the per-file pass already owns them), so the two
+//! passes never double-report one site.
+//!
+//! Each finding carries the offending call chain (root → … → callee)
+//! reconstructed from the reachability BFS, so the fix target is visible
+//! at the diagnostic: either make the callee allocation-free and mark it
+//! `#[hot_path]` (putting it under the per-file pass from then on), or
+//! `xtask-allow(hot-path-closure): <reason>` the site when the path is
+//! an over-approximation artifact or the allocation is warmup-only.
+
+use crate::diag::Finding;
+use crate::graph::CallGraph;
+use crate::lints::{find_token, snippet_at};
+use crate::scrub::Scrubbed;
+use crate::SourceFile;
+
+pub fn run(files: &[SourceFile], scrubbed: &[Scrubbed], g: &CallGraph) -> Vec<Finding> {
+    let (closure, parent) = g.hot_closure();
+    let mut out = Vec::new();
+    for (idx, node) in g.nodes.iter().enumerate() {
+        if !closure[idx] || node.hot_path || node.in_test {
+            continue;
+        }
+        let Some(body) = &node.body else { continue };
+        let s = &scrubbed[node.file];
+        let chain = g.chain(idx, &parent).join(" → ");
+        for (needle, why) in super::hotpath::FORBIDDEN {
+            for off in find_token(&s.text[body.start..body.end], needle) {
+                let off = body.start + off;
+                let (line, col) = s.line_col(off);
+                out.push(Finding {
+                    lint: "hot-path-closure",
+                    file: files[node.file].rel.clone(),
+                    line,
+                    col,
+                    snippet: snippet_at(&files[node.file].src, s, off),
+                    message: format!(
+                        "`{needle}` in `{}`, which is reachable from a `#[hot_path]` root via {chain}: {why}; make it allocation-free and mark it `#[hot_path]`, or xtask-allow with a reason",
+                        node.display()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

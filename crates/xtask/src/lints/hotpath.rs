@@ -21,7 +21,11 @@ use crate::regions::Region;
 use crate::scrub::Scrubbed;
 use std::path::Path;
 
-const FORBIDDEN: &[(&str, &str)] = &[
+/// Allocating spellings banned in `#[hot_path]` functions. Shared with
+/// the transitive `hot-path-closure` lint, which applies the same list
+/// to every *unmarked* function the call graph proves reachable from a
+/// marked root.
+pub const FORBIDDEN: &[(&str, &str)] = &[
     (
         "Vec::new",
         "allocates a fresh Vec; reuse a caller-provided buffer",
@@ -63,33 +67,56 @@ const FORBIDDEN: &[(&str, &str)] = &[
     ),
 ];
 
-/// The marker attribute spellings the pass recognizes.
-const MARKERS: &[&str] = &[
-    "#[hot_path]",
-    "#[hotpath::hot_path]",
-    "#[mmwave_hotpath::hot_path]",
-];
-
 /// Byte ranges of every `#[hot_path]`-marked function (attribute through
 /// closing brace), on the scrubbed text.
+///
+/// Detection is structural rather than a fixed-spelling search: every
+/// `#[…]` attribute is bracket-matched and recognized as a marker when
+/// its text contains the word-bounded token `hot_path` — so the marker
+/// fires regardless of position in the attribute stack (`#[inline]`
+/// before or after), of path qualification (`#[hotpath::hot_path]`,
+/// `#[mmwave_hotpath::hot_path]`), and inside conditional application
+/// (`#[cfg_attr(…, hot_path)]`). String contents were blanked by the
+/// scrubber, so doc text and literals cannot false-positive.
 pub fn marked_fns(scrubbed: &Scrubbed) -> Vec<Region> {
     let mut regions = Vec::new();
-    for marker in MARKERS {
-        let mut i = 0;
-        while let Some(off) = scrubbed.text[i..].find(marker) {
-            let start = i + off;
-            i = start + marker.len();
-            if let Some(end) = fn_extent(&scrubbed.text, start + marker.len()) {
-                regions.push(Region { start, end });
+    let text = &scrubbed.text;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(off) = text[i..].find("#[") {
+        let start = i + off;
+        // Bracket-match the attribute.
+        let mut depth = 0usize;
+        let mut j = start + 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
             }
+            j += 1;
+        }
+        i = j.max(start + 2);
+        if find_token(&text[start..j], "hot_path").is_empty() {
+            continue;
+        }
+        if let Some(end) = fn_extent(text, j) {
+            regions.push(Region { start, end });
         }
     }
     regions
 }
 
 /// End of the function item following a marker: skip stacked attributes
-/// and the signature, then match the body's braces.
-fn fn_extent(text: &str, from: usize) -> Option<usize> {
+/// and the signature, then match the body's braces. Also used by the
+/// allow layer to compute item-scoped suppression ranges.
+pub(crate) fn fn_extent(text: &str, from: usize) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut j = from;
     loop {

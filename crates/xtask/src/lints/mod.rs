@@ -7,9 +7,12 @@
 //! the workspace-relative path, so fixture tests can exercise scoping by
 //! constructing virtual paths.
 
+pub mod closure;
 pub mod determinism;
 pub mod hotpath;
 pub mod lifecycle;
+pub mod panic;
+pub mod taint;
 pub mod telemetry;
 
 use crate::scrub::Scrubbed;

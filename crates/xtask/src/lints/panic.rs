@@ -1,0 +1,150 @@
+//! `hot-path-panic` — the hot-path closure must be panic-free.
+//!
+//! A panic mid-slot tears down the link loop; the tick budget work in
+//! ROADMAP item 1 refactors these kernels aggressively, so potential
+//! panic sites must be declared, not latent. Inside the hot-path closure
+//! (marked roots *and* everything reachable from them) this bans:
+//!
+//! - `.unwrap()` / `.expect(…)` — use caller-checked invariants or
+//!   pattern matches;
+//! - `panic!` (and its `unreachable!` cousin) — hot kernels return, they
+//!   don't abort;
+//! - slice indexing in `[…]` position — every `x[i]` is a hidden bounds
+//!   branch-and-panic.
+//!
+//! Two idioms are exempt by design rather than by allow hatch:
+//!
+//! - a function whose body states its bounds with `debug_assert!` keeps
+//!   its indexing (the declared-bounds idiom: the assert documents and
+//!   checks the invariant in debug builds and compiles out of release
+//!   builds, so the fix is fingerprint-safe);
+//! - `get_unchecked` under an `xtask-allow(hot-path-panic)` with a
+//!   safety comment, for sites where even the bounds branch is too hot.
+
+use crate::diag::Finding;
+use crate::graph::CallGraph;
+use crate::lints::{find_token, snippet_at};
+use crate::scrub::Scrubbed;
+use crate::SourceFile;
+
+const BANNED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "panics on None/Err; hot kernels must hold the invariant by construction or match",
+    ),
+    (
+        ".expect(",
+        "panics on None/Err; hot kernels must hold the invariant by construction or match",
+    ),
+    (
+        "panic!",
+        "aborts the slot loop; return an error from setup code instead",
+    ),
+    (
+        "unreachable!",
+        "aborts the slot loop if the 'impossible' case ever ships",
+    ),
+];
+
+pub fn run(files: &[SourceFile], scrubbed: &[Scrubbed], g: &CallGraph) -> Vec<Finding> {
+    let (closure, _) = g.hot_closure();
+    let mut out = Vec::new();
+    for (idx, node) in g.nodes.iter().enumerate() {
+        if !closure[idx] || node.in_test {
+            continue;
+        }
+        let Some(body) = &node.body else { continue };
+        let s = &scrubbed[node.file];
+        let text = &s.text[body.start..body.end];
+        for (needle, why) in BANNED {
+            for off in find_token(text, needle) {
+                let off = body.start + off;
+                let (line, col) = s.line_col(off);
+                out.push(Finding {
+                    lint: "hot-path-panic",
+                    file: files[node.file].rel.clone(),
+                    line,
+                    col,
+                    snippet: snippet_at(&files[node.file].src, s, off),
+                    message: format!(
+                        "`{needle}` in hot-path-closure function `{}`: {why}",
+                        node.display()
+                    ),
+                });
+            }
+        }
+        // Slice indexing — unless the function declares its bounds with
+        // `debug_assert` (the sanctioned idiom; see module docs). The
+        // `_eq`/`_ne` variants are separate word-bounded tokens.
+        if ["debug_assert", "debug_assert_eq", "debug_assert_ne"]
+            .iter()
+            .any(|t| !find_token(text, t).is_empty())
+        {
+            continue;
+        }
+        for off in index_sites(text) {
+            let off = body.start + off;
+            let (line, col) = s.line_col(off);
+            out.push(Finding {
+                lint: "hot-path-panic",
+                file: files[node.file].rel.clone(),
+                line,
+                col,
+                snippet: snippet_at(&files[node.file].src, s, off),
+                message: format!(
+                    "slice indexing in hot-path-closure function `{}`: each `x[i]` hides a bounds branch-and-panic; declare the bounds with a leading `debug_assert!` (exempts the function), or xtask-allow with a reason",
+                    node.display()
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Keywords that may directly precede a `[` without being a receiver
+/// (`&mut [f64]`, `return [a, b]`, `in [x, y]`, …).
+const NON_RECEIVER_KEYWORDS: &[&str] = &[
+    "mut", "in", "return", "as", "ref", "dyn", "else", "match", "if", "while", "impl", "where",
+    "const", "static", "break", "continue", "move", "unsafe", "box", "await", "yield", "let",
+    "loop", "for",
+];
+
+/// Byte offsets of `[` tokens in indexing position: the previous
+/// non-whitespace token is a receiver expression — an identifier that is
+/// not a keyword, or a closing `]`/`)`. Array literals/types (`[0.0;
+/// N]`, `&mut [f64]`), macro brackets (`vec![…]`), and attributes
+/// (`#[…]`) have no receiver and never match.
+fn index_sites(text: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut k = i;
+        let mut prev = None;
+        while k > 0 {
+            k -= 1;
+            if !bytes[k].is_ascii_whitespace() {
+                prev = Some(k);
+                break;
+            }
+        }
+        match prev {
+            Some(p) if bytes[p] == b']' || bytes[p] == b')' => out.push(i),
+            Some(p) if is_ident(bytes[p]) => {
+                let mut w = p;
+                while w > 0 && is_ident(bytes[w - 1]) {
+                    w -= 1;
+                }
+                let word = &text[w..p + 1];
+                if !NON_RECEIVER_KEYWORDS.contains(&word) {
+                    out.push(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,65 @@
+//! `determinism-taint` — nondeterminism must not reach a digest.
+//!
+//! The per-file `determinism` pass bans nondeterministic spellings
+//! inside a fixed crate allowlist; this pass replaces that heuristic
+//! scope with reachability. Sources are the spellings of nondeterminism
+//! ([`crate::graph::TAINT_SOURCES`]: wall clocks, iteration-order
+//! containers, OS entropy); sinks are the functions that produce the
+//! repo's bit-identity surfaces — digests, fingerprints, journal lines —
+//! identified by name stem (`digest` / `fingerprint` / `journal`, on the
+//! function or its owner type). Any source token inside a function the
+//! call graph proves reachable *from* a sink fires, with the sink→site
+//! call chain in the message.
+//!
+//! This is callee-direction taint: a source inside anything a sink
+//! calls (transitively) can corrupt what the sink writes. Data flowing
+//! *into* a sink through arguments is not modeled (documented
+//! under-approximation — the per-file pass still covers the
+//! digest-affecting crates wholesale).
+
+use crate::diag::Finding;
+use crate::graph::CallGraph;
+use crate::lints::snippet_at;
+use crate::scrub::Scrubbed;
+use crate::SourceFile;
+use std::collections::BTreeSet;
+
+pub fn run(files: &[SourceFile], scrubbed: &[Scrubbed], g: &CallGraph) -> Vec<Finding> {
+    let sources = g.taint_sources(scrubbed);
+    if sources.is_empty() {
+        return Vec::new();
+    }
+    let sinks = g.taint_sinks();
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for sink in sinks {
+        let (reach, parent) = g.reach(&[sink]);
+        for (&node, toks) in &sources {
+            if !reach[node] {
+                continue;
+            }
+            let chain = g.chain(node, &parent).join(" → ");
+            let sink_node = &g.nodes[sink];
+            let sink_loc = format!("{}:{}", files[sink_node.file].rel.display(), sink_node.line);
+            for &(off, tok) in toks {
+                if !reported.insert((node, off)) {
+                    continue;
+                }
+                let s = &scrubbed[g.nodes[node].file];
+                let (line, col) = s.line_col(off);
+                out.push(Finding {
+                    lint: "determinism-taint",
+                    file: files[g.nodes[node].file].rel.clone(),
+                    line,
+                    col,
+                    snippet: snippet_at(&files[g.nodes[node].file].src, s, off),
+                    message: format!(
+                        "`{tok}` is reachable from determinism sink `{}` ({sink_loc}) via {chain}: digests and journals must be bit-identical across runs; derive from sim time/seeds or BTree containers, or xtask-allow with a reason",
+                        sink_node.display()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

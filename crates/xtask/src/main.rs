@@ -26,22 +26,32 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint [--json] [--root <path>]");
+    eprintln!("usage: cargo xtask lint [--json] [--graph] [--stats] [--root <path>]");
     eprintln!();
     eprintln!("  lint     run the invariant lints (determinism, hot-path-alloc,");
-    eprintln!("           telemetry-hygiene, lifecycle-single-writer) over crates/");
+    eprintln!("           telemetry-hygiene, lifecycle-single-writer) plus the");
+    eprintln!("           transitive call-graph lints (hot-path-closure,");
+    eprintln!("           hot-path-panic, determinism-taint) over crates/");
     eprintln!("  --json   emit findings as a JSON array on stdout (for CI diffing)");
+    eprintln!("  --graph  export the workspace call graph to results/callgraph.json");
+    eprintln!("           and results/callgraph.dot");
+    eprintln!("  --stats  print graph summary stats (nodes/edges, hot-path closure");
+    eprintln!("           size, taint source/sink counts) on stderr");
     eprintln!("  --root   workspace root (default: parent of crates/xtask at build time,");
     eprintln!("           i.e. the repo checkout the binary was built from)");
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut graph = false;
+    let mut stats = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--graph" => graph = true,
+            "--stats" => stats = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -65,13 +75,42 @@ fn lint(args: &[String]) -> ExitCode {
             .expect("xtask lives at <root>/crates/xtask")
             .to_path_buf()
     });
-    let findings = match xtask::lint_workspace(&root) {
+    let files = match xtask::collect_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("xtask lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let findings = xtask::lint_files(&files);
+    if graph || stats {
+        let (scrubbed, g) = xtask::build_graph(&files);
+        if stats {
+            eprintln!("{}", g.stats(&scrubbed).render());
+        }
+        if graph {
+            let dir = root.join("results");
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("xtask lint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            let json_path = dir.join("callgraph.json");
+            let dot_path = dir.join("callgraph.dot");
+            if let Err(e) = std::fs::write(&json_path, g.to_json(&files, &scrubbed)) {
+                eprintln!("xtask lint: cannot write {}: {e}", json_path.display());
+                return ExitCode::from(2);
+            }
+            if let Err(e) = std::fs::write(&dot_path, g.to_dot(&scrubbed)) {
+                eprintln!("xtask lint: cannot write {}: {e}", dot_path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!(
+                "xtask lint: wrote {} and {}",
+                json_path.display(),
+                dot_path.display()
+            );
+        }
+    }
     if json {
         println!("{}", xtask::diag::report_json(&findings));
     } else {

@@ -1,0 +1,301 @@
+//! Call resolution: raw [`crate::graph::CallSite`] tokens → workspace
+//! call-graph edges.
+//!
+//! The symbol table indexes every non-test `fn` node three ways: free
+//! functions by `(module, name)`, methods by `(owner type, name)`, and
+//! everything by full display path. Resolution then applies, in order:
+//!
+//! 1. **Bare calls** `f(…)`: same-module free fn → `use`-imported name →
+//!    glob-imported modules → external.
+//! 2. **Path calls** `a::b::f(…)`: `crate`/`self`/`super`/`Self` heads
+//!    are normalized against the calling file's module; a head matching
+//!    a `use` alias is substituted; then full-path lookup →
+//!    `(Type, method)` lookup on the last two segments → module-suffix
+//!    match on free fns → external.
+//! 3. **Method calls** `.f(…)`: receiver types are unknown without type
+//!    inference, so the call edges to *every* workspace method named `f`
+//!    (the over-approximation that also covers trait-object dispatch);
+//!    no candidates → external.
+//!
+//! Test nodes are never resolution targets. Unresolved calls are
+//! recorded per node (sorted, deduped), never silently dropped — the
+//! JSON export carries them so precision loss stays visible.
+
+use crate::graph::{CallKind, CallSite, FileSyms, FnNode};
+use std::collections::{BTreeMap, BTreeSet};
+
+struct SymbolTable {
+    /// `(module, name)` → free-fn node indices.
+    free: BTreeMap<(String, String), Vec<usize>>,
+    /// `(owner type, name)` → method node indices.
+    methods: BTreeMap<(String, String), Vec<usize>>,
+    /// method name → node indices (for `.name(…)` over-approximation).
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// Full display path → node indices.
+    full: BTreeMap<String, Vec<usize>>,
+    /// name → node indices with that final segment (for suffix matching).
+    by_last: BTreeMap<String, Vec<usize>>,
+    /// node index → first module segment (its crate).
+    crate_of: Vec<String>,
+}
+
+fn build_table(nodes: &[FnNode]) -> SymbolTable {
+    let mut t = SymbolTable {
+        free: BTreeMap::new(),
+        methods: BTreeMap::new(),
+        methods_by_name: BTreeMap::new(),
+        full: BTreeMap::new(),
+        by_last: BTreeMap::new(),
+        crate_of: nodes
+            .iter()
+            .map(|n| first_seg(&n.module).to_string())
+            .collect(),
+    };
+    for (i, n) in nodes.iter().enumerate() {
+        if n.in_test {
+            continue;
+        }
+        match &n.owner {
+            Some(o) => {
+                t.methods
+                    .entry((o.clone(), n.name.clone()))
+                    .or_default()
+                    .push(i);
+                t.methods_by_name.entry(n.name.clone()).or_default().push(i);
+            }
+            None => {
+                t.free
+                    .entry((n.module.clone(), n.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        t.full.entry(n.display()).or_default().push(i);
+        t.by_last.entry(n.name.clone()).or_default().push(i);
+    }
+    t
+}
+
+/// Resolves every call site of every node. Returns `(edges, external)`
+/// parallel to `nodes`, both sorted and deduped.
+pub fn resolve(
+    nodes: &[FnNode],
+    calls: &[Vec<CallSite>],
+    syms: &[FileSyms],
+) -> (Vec<Vec<usize>>, Vec<Vec<String>>) {
+    let table = build_table(nodes);
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut external: Vec<Vec<String>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        let fs = &syms[n.file];
+        let mut es: BTreeSet<usize> = BTreeSet::new();
+        let mut ex: BTreeSet<String> = BTreeSet::new();
+        for call in &calls[i] {
+            let targets = resolve_call(call, n, fs, &table);
+            if targets.is_empty() {
+                ex.insert(call.display());
+            } else {
+                es.extend(targets.into_iter().filter(|&t| t != i));
+            }
+        }
+        edges[i] = es.into_iter().collect();
+        external[i] = ex.into_iter().collect();
+    }
+    (edges, external)
+}
+
+fn resolve_call(call: &CallSite, node: &FnNode, fs: &FileSyms, t: &SymbolTable) -> Vec<usize> {
+    match call.kind {
+        CallKind::Method => resolve_method(&call.path[0], node, fs, t),
+        CallKind::Bare => resolve_bare(&call.path[0], node, fs, t),
+        CallKind::Path => resolve_path(&call.path, node, fs, t),
+    }
+}
+
+/// Method calls have no receiver type without inference, so `.f(…)`
+/// over-approximates to every workspace method named `f` — but only in
+/// crates the calling file can see: its own crate plus every crate named
+/// by a `use` import or glob. A method on a type from crate B cannot be
+/// called in crate A unless B's names are in scope somewhere in A, so
+/// this keeps trait-object dispatch sound while preventing noise edges
+/// into crates the caller does not even depend on.
+fn resolve_method(name: &str, node: &FnNode, fs: &FileSyms, t: &SymbolTable) -> Vec<usize> {
+    let cands = match t.methods_by_name.get(name) {
+        Some(v) => v,
+        None => return Vec::new(),
+    };
+    let mut visible: BTreeSet<&str> = BTreeSet::new();
+    visible.insert(first_seg(&node.module));
+    visible.insert(first_seg(&fs.crate_root));
+    for target in fs.imports.values() {
+        visible.insert(first_seg(target));
+    }
+    for g in &fs.globs {
+        visible.insert(first_seg(g));
+    }
+    cands
+        .iter()
+        .copied()
+        .filter(|&c| visible.contains(t.crate_of[c].as_str()))
+        .collect()
+}
+
+fn first_seg(path: &str) -> &str {
+    path.split("::").next().unwrap_or(path)
+}
+
+fn resolve_bare(name: &str, node: &FnNode, fs: &FileSyms, t: &SymbolTable) -> Vec<usize> {
+    // Same module (the unqualified-call common case).
+    if let Some(v) = t.free.get(&(node.module.clone(), name.to_string())) {
+        return v.clone();
+    }
+    // Inline modules see their file-root siblings too.
+    if node.module != fs.module {
+        if let Some(v) = t.free.get(&(fs.module.clone(), name.to_string())) {
+            return v.clone();
+        }
+    }
+    // Explicitly imported name.
+    if let Some(target) = fs.imports.get(name) {
+        let full = expand_path(target, node, fs);
+        if let Some(v) = t.full.get(&full) {
+            return v.clone();
+        }
+    }
+    // Glob-imported modules.
+    for g in &fs.globs {
+        let base = expand_path(g, node, fs);
+        if let Some(v) = t.free.get(&(base, name.to_string())) {
+            return v.clone();
+        }
+    }
+    Vec::new()
+}
+
+fn resolve_path(path: &[String], node: &FnNode, fs: &FileSyms, t: &SymbolTable) -> Vec<usize> {
+    // Normalize the head segment.
+    let mut segs: Vec<String> = path.to_vec();
+    match segs[0].as_str() {
+        "crate" => segs[0] = fs.crate_root.clone(),
+        "self" => segs[0] = node.module.clone(),
+        "super" => {
+            let parent = node
+                .module
+                .rsplit_once("::")
+                .map(|(p, _)| p.to_string())
+                .unwrap_or_else(|| node.module.clone());
+            segs[0] = parent;
+        }
+        "Self" => {
+            // `Self::method(…)` inside an impl block.
+            if let (Some(owner), true) = (&node.owner, segs.len() == 2) {
+                if let Some(v) = t.methods.get(&(owner.clone(), segs[1].clone())) {
+                    return v.clone();
+                }
+            }
+            return Vec::new();
+        }
+        head => {
+            if let Some(target) = fs.imports.get(head) {
+                segs[0] = expand_path(target, node, fs);
+            }
+        }
+    }
+    // Re-split: substituted heads may hold multi-segment paths.
+    let joined = segs.join("::");
+    let segs: Vec<&str> = joined.split("::").collect();
+
+    // Exact full-path match (free fns and `Type::method` where the path
+    // spells module::Type::method).
+    if let Some(v) = t.full.get(&joined) {
+        return v.clone();
+    }
+    // `Type::method(…)` — associated-function call through the type name
+    // (possibly behind a module prefix the table doesn't key on).
+    if segs.len() >= 2 {
+        let (ty, m) = (segs[segs.len() - 2], segs[segs.len() - 1]);
+        if let Some(v) = t.methods.get(&(ty.to_string(), m.to_string())) {
+            return filter_by_suffix(v, &segs, t);
+        }
+    }
+    // Free fn addressed by a module suffix (`snapshot::refresh(…)` after
+    // `use mmwave_channel::snapshot`— already expanded — or relative
+    // submodule paths the expansion didn't cover).
+    if let Some(cands) = t.by_last.get(*segs.last().unwrap()) {
+        let matched: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&c| {
+                // The call path must be a `::`-boundary suffix of the
+                // node's display path.
+                let disp = path_of(c, t);
+                disp.as_deref().map(|d| is_path_suffix(d, &joined)) == Some(true)
+            })
+            .collect();
+        if !matched.is_empty() {
+            return matched;
+        }
+    }
+    Vec::new()
+}
+
+/// When a `(Type, method)` lookup returns methods on same-named types in
+/// different modules, keep only those whose display path matches the
+/// call path's module prefix, if any do.
+fn filter_by_suffix(cands: &[usize], segs: &[&str], t: &SymbolTable) -> Vec<usize> {
+    if segs.len() <= 2 {
+        return cands.to_vec();
+    }
+    let joined = segs.join("::");
+    let narrowed: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&c| path_of(c, t).as_deref().map(|d| is_path_suffix(d, &joined)) == Some(true))
+        .collect();
+    if narrowed.is_empty() {
+        cands.to_vec()
+    } else {
+        narrowed
+    }
+}
+
+/// Display path of a node via the full-path index (reverse lookup).
+fn path_of(idx: usize, t: &SymbolTable) -> Option<String> {
+    // The table is small enough that a scan is fine; this runs only on
+    // suffix-match fallbacks.
+    t.full
+        .iter()
+        .find(|(_, v)| v.contains(&idx))
+        .map(|(k, _)| k.clone())
+}
+
+/// True when `suffix` equals `full` or ends it at a `::` boundary.
+fn is_path_suffix(full: &str, suffix: &str) -> bool {
+    full == suffix
+        || full
+            .strip_suffix(suffix)
+            .map(|rest| rest.ends_with("::"))
+            .unwrap_or(false)
+}
+
+/// Expands `crate`/`self`/`super` heads in a stored import path against
+/// the calling context.
+fn expand_path(path: &str, node: &FnNode, fs: &FileSyms) -> String {
+    let mut segs: Vec<&str> = path.split("::").collect();
+    let head_owned;
+    match segs[0] {
+        "crate" => segs[0] = &fs.crate_root,
+        "self" => segs[0] = &fs.module,
+        "super" => {
+            head_owned = fs
+                .module
+                .rsplit_once("::")
+                .map(|(p, _)| p.to_string())
+                .unwrap_or_else(|| fs.module.clone());
+            segs[0] = &head_owned;
+        }
+        _ => {}
+    }
+    let _ = node;
+    segs.join("::")
+}

@@ -1,0 +1,19 @@
+//! Item-scoped allows: directives standing directly above a `fn` item
+//! suppress that lint across the whole function — including stacked
+//! directives for different lints and intervening doc comments/attributes.
+
+#[hot_path]
+pub fn tick(buf: &mut Vec<f64>) {
+    buf.clear();
+    stage(buf);
+}
+
+// xtask-allow(hot-path-closure): fixture — scratch is per-call by design
+// xtask-allow(hot-path-panic): fixture — index 0 exists after the push
+/// Doc comment between the directives and the item must not break scope.
+#[inline]
+fn stage(buf: &mut Vec<f64>) {
+    let mut scratch = Vec::new();
+    scratch.push(buf.len() as f64);
+    buf.push(scratch[0]);
+}

@@ -1,0 +1,20 @@
+//! Clean twin of `closure_fire.rs`: every function reachable from the
+//! marked root reuses caller-provided buffers, so the transitive closure
+//! walk finds nothing. The allocating function below is NOT reachable
+//! from the root — proximity alone must not fire the lint.
+
+#[hot_path]
+pub fn tick(buf: &mut Vec<f64>) {
+    buf.clear();
+    stage(buf);
+}
+
+fn stage(buf: &mut Vec<f64>) {
+    buf.push(1.0);
+}
+
+pub fn cold_setup() -> Vec<f64> {
+    let mut v = Vec::new();
+    v.push(0.0);
+    v
+}

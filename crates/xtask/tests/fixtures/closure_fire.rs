@@ -1,0 +1,18 @@
+//! Fires `hot-path-closure`: a marked root reaches an unmarked helper
+//! that allocates. The helper itself carries no `#[hot_path]` marker, so
+//! the per-file `hot-path-alloc` pass cannot see it — only the transitive
+//! closure walk can.
+
+#[hot_path]
+pub fn tick(buf: &mut Vec<f64>) {
+    buf.clear();
+    stage(buf);
+}
+
+fn stage(buf: &mut Vec<f64>) {
+    let scratch = Vec::new();
+    helper(&scratch);
+    buf.extend_from_slice(&scratch);
+}
+
+fn helper(_scratch: &[f64]) {}

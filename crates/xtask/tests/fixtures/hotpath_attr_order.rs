@@ -1,0 +1,26 @@
+//! Regression for marker detection with stacked attributes: the
+//! `#[hot_path]` marker must be recognized in any position in the
+//! attribute stack, qualified or wrapped in `cfg_attr` — earlier engines
+//! only saw it when it was the attribute directly before `fn`.
+
+#[hot_path]
+#[inline]
+pub fn marker_first(buf: &mut Vec<f64>) {
+    buf.push(1.0);
+    let v = Vec::new();
+    let _ = v;
+}
+
+#[inline]
+#[mmwave_hotpath::hot_path]
+#[must_use]
+pub fn marker_qualified_in_middle(x: f64) -> f64 {
+    let s = format!("{x}");
+    s.len() as f64
+}
+
+#[cfg_attr(not(test), hot_path)]
+pub fn marker_under_cfg_attr(buf: &mut Vec<f64>) {
+    let other = buf.to_vec();
+    let _ = other;
+}

@@ -1,0 +1,18 @@
+//! Clean twin of `panic_fire.rs`: the closure function states its bounds
+//! with `debug_assert!` (the sanctioned idiom — release builds compile it
+//! out, debug builds enforce the invariant), and holds the Option
+//! invariant by `match` instead of unwrapping.
+
+#[hot_path]
+pub fn tick(xs: &mut [f64]) {
+    step(xs);
+}
+
+fn step(xs: &mut [f64]) {
+    debug_assert!(!xs.is_empty());
+    let first = match xs.first() {
+        Some(&v) => v,
+        None => return,
+    };
+    xs[0] = first + 1.0;
+}

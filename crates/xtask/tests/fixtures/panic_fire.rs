@@ -1,0 +1,12 @@
+//! Fires `hot-path-panic`: an unmarked function in the hot closure
+//! unwraps an Option and indexes a slice with no `debug_assert` in sight.
+
+#[hot_path]
+pub fn tick(xs: &mut [f64]) {
+    step(xs);
+}
+
+fn step(xs: &mut [f64]) {
+    let first = xs.first().copied().unwrap();
+    xs[0] = first + 1.0;
+}

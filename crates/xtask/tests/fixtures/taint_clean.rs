@@ -1,0 +1,22 @@
+//! Clean twin of `taint_fire.rs`: the journal sink reaches only
+//! deterministic helpers, and the wall-clock read lives in a function the
+//! sink never calls — reachability, not co-location, must decide.
+
+pub fn journal_append(line: &str) -> u64 {
+    fnv(line.as_bytes())
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+pub fn watchdog_ns() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

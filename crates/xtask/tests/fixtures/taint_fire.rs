@@ -1,0 +1,18 @@
+//! Fires `determinism-taint`: a digest-adjacent sink (name contains
+//! `journal`) transitively reaches a wall-clock read. The tainted call is
+//! two hops away, so only the graph walk can connect them.
+
+pub fn journal_append(line: &str) -> u64 {
+    let t = stamp();
+    line.len() as u64 ^ t
+}
+
+fn stamp() -> u64 {
+    now_ns()
+}
+
+fn now_ns() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

@@ -295,3 +295,114 @@ fn findings_render_rustc_style_and_as_json() {
     assert!(json.contains("\"lint\":\"lifecycle-single-writer\""));
     assert!(json.contains("\"file\":\"crates/core/src/fixture.rs\""));
 }
+
+// ---- Transitive (call-graph) lints ------------------------------------
+
+fn lint_many(files: &[(&str, &str)]) -> Vec<Finding> {
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, src)| SourceFile {
+            rel: PathBuf::from(rel),
+            src: src.to_string(),
+        })
+        .collect();
+    xtask::lint_files(&sources)
+}
+
+#[test]
+fn closure_lint_fires_transitively_and_shows_the_call_chain() {
+    let src = include_str!("fixtures/closure_fire.rs");
+    let found = lint_many(&[("crates/dsp/src/fixture.rs", src)]);
+    assert_eq!(found.len(), 1, "findings: {found:#?}");
+    assert_eq!(found[0].lint, "hot-path-closure");
+    let msg = &found[0].message;
+    assert!(
+        msg.contains("reachable from a `#[hot_path]` root via"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("mmwave_dsp::fixture::tick → mmwave_dsp::fixture::stage"),
+        "chain missing from: {msg}"
+    );
+    assert!(msg.contains("Vec::new"), "{msg}");
+}
+
+#[test]
+fn closure_lint_ignores_unreachable_allocators() {
+    let src = include_str!("fixtures/closure_clean.rs");
+    let found = lint_many(&[("crates/dsp/src/fixture.rs", src)]);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn panic_lint_fires_on_unwrap_and_bare_indexing_in_closure() {
+    let src = include_str!("fixtures/panic_fire.rs");
+    let found = lint_many(&[("crates/dsp/src/fixture.rs", src)]);
+    assert_eq!(found.len(), 2, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.lint == "hot-path-panic"));
+    assert!(found.iter().any(|f| f.message.contains(".unwrap()")));
+    assert!(found.iter().any(|f| f.message.contains("slice indexing")));
+}
+
+#[test]
+fn panic_lint_accepts_debug_assert_and_match_idioms() {
+    let src = include_str!("fixtures/panic_clean.rs");
+    let found = lint_many(&[("crates/dsp/src/fixture.rs", src)]);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn taint_lint_connects_journal_sink_to_wall_clock_source() {
+    let src = include_str!("fixtures/taint_fire.rs");
+    let found = lint_many(&[("crates/telemetry/src/fixture.rs", src)]);
+    assert_eq!(found.len(), 1, "findings: {found:#?}");
+    assert_eq!(found[0].lint, "determinism-taint");
+    let msg = &found[0].message;
+    assert!(msg.contains("journal_append"), "{msg}");
+    assert!(msg.contains("Instant::now"), "{msg}");
+}
+
+#[test]
+fn taint_lint_requires_reachability_not_colocation() {
+    let src = include_str!("fixtures/taint_clean.rs");
+    let found = lint_many(&[("crates/telemetry/src/fixture.rs", src)]);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn hot_path_marker_is_found_in_any_attribute_position() {
+    let src = include_str!("fixtures/hotpath_attr_order.rs");
+    let found = lint("crates/dsp/src/fixture.rs", src);
+    assert_eq!(found.len(), 3, "findings: {found:#?}");
+    assert!(found.iter().all(|f| f.lint == "hot-path-alloc"));
+    // One finding per marked function: stacked-first, qualified-middle,
+    // and cfg_attr-wrapped markers must all be recognized.
+    assert!(found.iter().any(|f| f.message.contains("Vec::new")));
+    assert!(found.iter().any(|f| f.message.contains("format!")));
+    assert!(found.iter().any(|f| f.message.contains(".to_vec()")));
+}
+
+#[test]
+fn item_scoped_allows_cover_whole_functions_and_stack() {
+    let src = include_str!("fixtures/allow_item_scope.rs");
+    let found = lint_many(&[("crates/dsp/src/fixture.rs", src)]);
+    assert!(found.is_empty(), "findings: {found:#?}");
+}
+
+#[test]
+fn callgraph_export_and_stats_describe_the_fixture_graph() {
+    let sources = vec![SourceFile {
+        rel: PathBuf::from("crates/dsp/src/fixture.rs"),
+        src: include_str!("fixtures/closure_fire.rs").to_string(),
+    }];
+    let (scrubbed, g) = xtask::build_graph(&sources);
+    let stats = g.stats(&scrubbed);
+    assert_eq!(stats.hot_roots, 1);
+    assert!(stats.hot_closure >= 2, "{stats:?}");
+    assert!(stats.nodes >= 3, "{stats:?}");
+    let json = g.to_json(&sources, &scrubbed);
+    assert!(json.contains("\"nodes\""));
+    assert!(json.contains("mmwave_dsp::fixture::tick"));
+    let dot = g.to_dot(&scrubbed);
+    assert!(dot.starts_with("digraph"));
+}
